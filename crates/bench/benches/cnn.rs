@@ -1,0 +1,56 @@
+//! CNN execution benchmarks: the prefix/suffix cost asymmetry AMC exploits
+//! (Fig 13's `orig` vs `pred` bars at software scale) for all three
+//! workload analogues.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eva2_cnn::zoo::{self, Workload};
+use eva2_tensor::Tensor3;
+use std::hint::black_box;
+
+fn bench_prefix_vs_suffix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnn_split");
+    group.sample_size(20);
+    for workload in Workload::ALL {
+        let z = workload.build(0);
+        let input = Tensor3::from_fn(z.input_shape(), |_, y, x| ((y * 13 + x) % 97) as f32 / 97.0);
+        let target = z.late_target;
+        let act = z.network.forward_prefix(&input, target);
+        group.bench_with_input(
+            BenchmarkId::new("full", workload.name()),
+            &input,
+            |b, input| b.iter(|| black_box(z.network.forward(input))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("prefix", workload.name()),
+            &input,
+            |b, input| b.iter(|| black_box(z.network.forward_prefix(input, target))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("suffix", workload.name()),
+            &act,
+            |b, act| b.iter(|| black_box(z.network.forward_suffix(act, target))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(10);
+    let mut z = zoo::tiny_fasterm(0);
+    let input = Tensor3::from_fn(z.input_shape(), |_, y, x| ((y + x) % 31) as f32 / 31.0);
+    group.bench_function("fasterm_forward_backward", |b| {
+        b.iter(|| {
+            let acts = z.network.forward_collect(&input);
+            let out = acts.last().unwrap();
+            let grad = out.map(|v| v * 2.0);
+            z.network.backward(&acts, grad);
+            z.network.apply_grads(0.0, 1); // lr 0 keeps weights fixed
+            black_box(())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefix_vs_suffix, bench_training_step);
+criterion_main!(benches);

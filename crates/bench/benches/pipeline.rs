@@ -1,0 +1,59 @@
+//! End-to-end pipeline benchmarks: key-frame vs predicted-frame cost
+//! through the full AMC executor (Fig 1 at software scale), and the
+//! delta-network baseline for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eva2_cnn::delta::DeltaExecutor;
+use eva2_cnn::zoo;
+use eva2_core::executor::{AmcConfig, AmcExecutor};
+use eva2_core::policy::PolicyConfig;
+use eva2_tensor::GrayImage;
+use std::hint::black_box;
+
+fn frame(shift: usize) -> GrayImage {
+    GrayImage::from_fn(48, 48, |y, x| {
+        (125.0
+            + 50.0 * ((y as f32 * 0.29).sin() + ((x + shift) as f32 * 0.21).cos()))
+            as u8
+    })
+}
+
+fn bench_amc_frames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amc_pipeline_fasterm");
+    group.sample_size(20);
+    let z = zoo::tiny_fasterm(0);
+    let f0 = frame(0);
+    let f1 = frame(1);
+
+    // Key frame: full prefix + suffix + activation store refresh.
+    let mut always_key = AmcConfig::default();
+    always_key.policy = PolicyConfig::AlwaysKey;
+    group.bench_function("key_frame", |b| {
+        let mut amc = AmcExecutor::new(&z.network, always_key);
+        amc.process(&f0);
+        b.iter(|| black_box(amc.process(&f1)))
+    });
+
+    // Predicted frame: RFBME + warp + suffix only.
+    let mut never_key = AmcConfig::default();
+    never_key.policy = PolicyConfig::BlockError {
+        threshold: f32::INFINITY,
+        max_gap: usize::MAX,
+    };
+    group.bench_function("predicted_frame", |b| {
+        let mut amc = AmcExecutor::new(&z.network, never_key);
+        amc.process(&f0);
+        b.iter(|| black_box(amc.process(&f1)))
+    });
+
+    // The §II delta-network strawman processes every layer every frame.
+    group.bench_function("delta_network_frame", |b| {
+        let mut delta = DeltaExecutor::new(1e-4);
+        delta.process(&z.network, &f0.to_tensor());
+        b.iter(|| black_box(delta.process(&z.network, &f1.to_tensor())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_amc_frames);
+criterion_main!(benches);

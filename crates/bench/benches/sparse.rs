@@ -1,0 +1,68 @@
+//! Sparse activation store benchmarks: RLE encode/decode at the sparsity
+//! levels the paper reports (≈80% zeros after ReLU) and the 4-lane decoder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eva2_core::sparse::{LaneGroup, RleActivation};
+use eva2_tensor::{Shape3, Tensor3};
+use std::hint::black_box;
+
+fn activation(sparsity: f32) -> Tensor3 {
+    Tensor3::from_fn(Shape3::new(32, 12, 12), |c, y, x| {
+        let i = (c * 131 + y * 17 + x * 3) % 1000;
+        if (i as f32) < sparsity * 1000.0 {
+            0.0
+        } else {
+            (i as f32) * 0.01
+        }
+    })
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rle");
+    for sparsity in [0.5f32, 0.8, 0.95] {
+        let act = activation(sparsity);
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{:.0}pct", sparsity * 100.0)),
+            &act,
+            |b, act| b.iter(|| black_box(RleActivation::encode(act, 0.0))),
+        );
+        let rle = RleActivation::encode(&act, 0.0);
+        group.bench_with_input(
+            BenchmarkId::new("decode", format!("{:.0}pct", sparsity * 100.0)),
+            &rle,
+            |b, rle| b.iter(|| black_box(rle.decode())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lane_group(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparsity_decoder_lanes");
+    for sparsity in [0.5f32, 0.9] {
+        let act = activation(sparsity);
+        let rle = RleActivation::encode(&act, 0.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}pct_zero", sparsity * 100.0)),
+            &rle,
+            |b, rle| {
+                b.iter(|| {
+                    let mut lanes = LaneGroup::new([
+                        rle.channel_stream(0),
+                        rle.channel_stream(1),
+                        rle.channel_stream(2),
+                        rle.channel_stream(3),
+                    ]);
+                    let mut n = 0u64;
+                    while let Some((vals, _)) = lanes.next_group() {
+                        n += vals.iter().filter(|v| !v.is_zero()).count() as u64;
+                    }
+                    black_box((n, lanes.cycles))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_decode, bench_lane_group);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Warp-engine benchmarks: bilinear vs nearest interpolation, float
+//! reference vs the bit-accurate Q8.8 datapath, dense vs sparse
+//! activations (the §V claim that zero skipping cuts compensation cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eva2_core::warp::{warp_activation, warp_activation_fixed};
+use eva2_motion::field::{MotionVector, VectorField};
+use eva2_tensor::interp::Interpolation;
+use eva2_tensor::{Shape3, Tensor3};
+use std::hint::black_box;
+
+fn activation(c: usize, hw: usize, sparsity: f32) -> Tensor3 {
+    Tensor3::from_fn(Shape3::new(c, hw, hw), |ch, y, x| {
+        let i = (ch * 31 + y * 7 + x) % 100;
+        if (i as f32) < sparsity * 100.0 {
+            0.0
+        } else {
+            (i as f32) * 0.05 - 1.0
+        }
+    })
+}
+
+fn field(hw: usize) -> VectorField {
+    VectorField::from_fn(hw, hw, 8, |y, x| {
+        MotionVector::new(((y % 5) as f32 - 2.0) * 1.7, ((x % 3) as f32 - 1.0) * 2.3)
+    })
+}
+
+fn bench_warp_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warp_24ch_12x12");
+    let act = activation(24, 12, 0.6);
+    let f = field(12);
+    group.bench_function("bilinear_f32", |b| {
+        b.iter(|| black_box(warp_activation(&act, &f, 8, Interpolation::Bilinear)))
+    });
+    group.bench_function("nearest_f32", |b| {
+        b.iter(|| {
+            black_box(warp_activation(
+                &act,
+                &f,
+                8,
+                Interpolation::NearestNeighbor,
+            ))
+        })
+    });
+    group.bench_function("bilinear_q88_fixed", |b| {
+        b.iter(|| black_box(warp_activation_fixed(&act, &f, 8)))
+    });
+    group.finish();
+}
+
+fn bench_warp_sparsity(c: &mut Criterion) {
+    // Zero-skipping in the stats path: sparser activations do less multiply
+    // work (the hardware skips the loads entirely).
+    let mut group = c.benchmark_group("warp_sparsity");
+    for sparsity in [0.0f32, 0.5, 0.9] {
+        let act = activation(24, 12, sparsity);
+        let f = field(12);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}pct_zero", sparsity * 100.0)),
+            &sparsity,
+            |b, _| b.iter(|| black_box(warp_activation_fixed(&act, &f, 8))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warp_methods, bench_warp_sparsity);
+criterion_main!(benches);

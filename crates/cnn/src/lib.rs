@@ -1,0 +1,50 @@
+//! A from-scratch convolutional neural network library.
+//!
+//! The EVA² paper runs AMC against Caffe-trained AlexNet, Faster16
+//! (VGG-16-based Faster R-CNN), and FasterM (CNN-M-based). No Rust deep
+//! learning substrate is assumed here (repro note: "DL ecosystem thin; must
+//! bind or reimplement CNN"), so this crate *reimplements* the pieces AMC
+//! touches:
+//!
+//! * [`layer`] — convolution, max-pooling, ReLU, and fully-connected layers
+//!   with both forward and backward passes.
+//! * [`network`] — sequential networks with prefix/suffix execution: AMC
+//!   runs `forward` on key frames, but only [`Network::forward_suffix`] on
+//!   predicted frames (Fig 1 of the paper).
+//! * [`receptive`] — receptive-field arithmetic (size/stride/padding of the
+//!   target layer as seen from the input), the geometry RFBME searches over.
+//! * [`train`] — plain SGD with momentum, softmax cross-entropy, and a
+//!   detection loss; enough to train the scaled-down network zoo and to
+//!   reproduce the suffix-retraining ablation (Table III).
+//! * [`zoo`] — `TinyAlexNet`, `TinyFaster16`, `TinyFasterM`: scaled-down
+//!   analogues preserving the *structure* the paper relies on (conv/pool
+//!   prefix, fully-connected suffix, early/late spatial target layers).
+//! * [`metrics`] — top-1 accuracy and single-object mean average precision.
+//! * [`delta`] — the delta-network baseline the paper argues against (§II),
+//!   implemented for the ablation benches.
+//!
+//! # Example
+//!
+//! ```
+//! use eva2_cnn::zoo;
+//! use eva2_tensor::{Shape3, Tensor3};
+//!
+//! let net = zoo::tiny_alexnet(42);
+//! let input = Tensor3::zeros(Shape3::new(1, 32, 32));
+//! let logits = net.network.forward(&input);
+//! assert_eq!(logits.shape().channels, zoo::NUM_CLASSES);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod layer;
+pub mod metrics;
+pub mod network;
+pub mod receptive;
+pub mod train;
+pub mod zoo;
+
+pub use layer::{Conv2d, FullyConnected, Layer, LayerGeometry, MaxPool2d, Relu};
+pub use network::Network;
+pub use receptive::ReceptiveField;

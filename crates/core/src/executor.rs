@@ -1,0 +1,553 @@
+//! The AMC execution pipeline (Fig 1 / Fig 6 of the paper).
+//!
+//! [`AmcExecutor`] plays the role of the EVA² unit in front of the layer
+//! accelerators: it holds the two pixel buffers (the stored key frame and
+//! the current frame), runs RFBME, consults the key-frame choice module, and
+//! either (a) forwards pixels to the full CNN and refreshes the sparse key
+//! activation buffer, or (b) warps the stored activation and invokes only
+//! the CNN suffix.
+
+use crate::policy::{FrameKind, FrameMetrics, KeyFramePolicy, PolicyConfig};
+use crate::sparse::RleActivation;
+use crate::target::TargetSelection;
+use crate::warp::{warp_activation, warp_activation_fixed, WarpStats};
+use eva2_cnn::network::Network;
+use eva2_motion::rfbme::{Rfbme, RfGeometry, SearchParams};
+use eva2_tensor::interp::Interpolation;
+use eva2_tensor::{GrayImage, Tensor3};
+use serde::{Deserialize, Serialize};
+
+/// How predicted frames update the stored activation (§IV-E1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarpMode {
+    /// Full activation motion compensation (detection networks).
+    MotionCompensate {
+        /// Interpolation used for fractional destinations.
+        bilinear: bool,
+    },
+    /// Reuse the stored activation unchanged — "simple memoization", which
+    /// the paper found *better* for translation-insensitive classification
+    /// (AlexNet): warping "can even degrade them by introducing noise".
+    Memoize,
+}
+
+impl Default for WarpMode {
+    fn default() -> Self {
+        WarpMode::MotionCompensate { bilinear: true }
+    }
+}
+
+/// Configuration for an [`AmcExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmcConfig {
+    /// Which layer ends the CNN prefix.
+    pub target: TargetSelection,
+    /// Warp vs memoize on predicted frames.
+    pub warp: WarpMode,
+    /// RFBME search window.
+    pub search: SearchParams,
+    /// Key-frame policy.
+    pub policy: PolicyConfig,
+    /// Use the bit-accurate Q8.8 warp datapath instead of the `f32`
+    /// reference.
+    pub fixed_point: bool,
+    /// Near-zero suppression threshold for the sparse activation store.
+    pub sparsity_threshold: f32,
+}
+
+impl Default for AmcConfig {
+    fn default() -> Self {
+        Self {
+            target: TargetSelection::Late,
+            warp: WarpMode::default(),
+            search: SearchParams { radius: 8, step: 1 },
+            policy: PolicyConfig::BlockError {
+                threshold: 3.0,
+                max_gap: 16,
+            },
+            fixed_point: false,
+            sparsity_threshold: 1.0 / 256.0,
+        }
+    }
+}
+
+/// Stored key-frame state: the pixel buffer and the sparse activation
+/// buffer.
+#[derive(Debug, Clone)]
+struct KeyState {
+    image: GrayImage,
+    /// The compressed activation as the hardware stores it.
+    rle: RleActivation,
+    /// Decoded copy kept for software-speed warping (the hardware decodes
+    /// through the sparsity lanes on the fly).
+    decoded: Tensor3,
+}
+
+/// Outcome of processing one frame.
+#[derive(Debug, Clone)]
+pub struct AmcFrameResult {
+    /// The CNN output (suffix output) for this frame.
+    pub output: Tensor3,
+    /// Whether this frame ran as a key frame.
+    pub is_key: bool,
+    /// MACs actually executed on the layer accelerators (prefix + suffix
+    /// for key frames; suffix only for predicted frames).
+    pub macs_executed: u64,
+    /// RFBME adds performed (zero on the very first frame).
+    pub rfbme_ops: u64,
+    /// Warp-engine statistics for predicted frames with motion
+    /// compensation.
+    pub warp: Option<WarpStats>,
+    /// Motion metrics that informed the key-frame decision.
+    pub metrics: Option<FrameMetrics>,
+    /// Compression achieved by the sparse activation store (key frames).
+    pub compression: Option<f32>,
+}
+
+/// Aggregate statistics across all processed frames.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Frames processed.
+    pub frames: usize,
+    /// Frames executed as key frames.
+    pub key_frames: usize,
+    /// Total MACs executed on the layer accelerators.
+    pub macs: u64,
+    /// Total RFBME operations.
+    pub rfbme_ops: u64,
+    /// Total warp interpolations.
+    pub warp_interpolations: u64,
+}
+
+impl ExecStats {
+    /// Fraction of frames that were key frames (the paper's "keys" column).
+    pub fn key_fraction(&self) -> f32 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.key_frames as f32 / self.frames as f32
+        }
+    }
+}
+
+/// The AMC executor: EVA² in front of a CNN.
+pub struct AmcExecutor<'n> {
+    net: &'n Network,
+    target: usize,
+    rf: RfGeometry,
+    rfbme: Rfbme,
+    warp_mode: WarpMode,
+    fixed_point: bool,
+    sparsity_threshold: f32,
+    policy: Box<dyn KeyFramePolicy>,
+    state: Option<KeyState>,
+    frames_since_key: usize,
+    stats: ExecStats,
+    prefix_macs: u64,
+    total_macs: u64,
+}
+
+impl<'n> std::fmt::Debug for AmcExecutor<'n> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AmcExecutor(net={}, target={}, rf={:?}, policy={})",
+            self.net.name(),
+            self.target,
+            self.rf,
+            self.policy.name()
+        )
+    }
+}
+
+impl<'n> AmcExecutor<'n> {
+    /// Creates an executor over `net` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the target selection cannot be resolved (e.g. a network
+    /// with no spatial prefix); use [`AmcExecutor::try_new`] to handle that
+    /// case.
+    pub fn new(net: &'n Network, config: AmcConfig) -> Self {
+        Self::try_new(net, config).expect("invalid AMC configuration")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the target layer cannot be resolved.
+    pub fn try_new(net: &'n Network, config: AmcConfig) -> Result<Self, String> {
+        let (target, rf) = config.target.geometry(net)?;
+        let prefix_macs = net.prefix_macs(target);
+        let total_macs = net.total_macs();
+        Ok(Self {
+            net,
+            target,
+            rf,
+            rfbme: Rfbme::new(rf, config.search),
+            warp_mode: config.warp,
+            fixed_point: config.fixed_point,
+            sparsity_threshold: config.sparsity_threshold,
+            policy: config.policy.build(),
+            state: None,
+            frames_since_key: 0,
+            stats: ExecStats::default(),
+            prefix_macs,
+            total_macs,
+        })
+    }
+
+    /// The resolved target layer index.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// The receptive-field geometry RFBME matches at.
+    pub fn rf_geometry(&self) -> RfGeometry {
+        self.rf
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// MACs of the skipped prefix (key-frame-only work).
+    pub fn prefix_macs(&self) -> u64 {
+        self.prefix_macs
+    }
+
+    /// MACs of a full CNN pass.
+    pub fn total_macs(&self) -> u64 {
+        self.total_macs
+    }
+
+    /// Drops stored state, forcing the next frame to be a key frame.
+    pub fn reset(&mut self) {
+        self.state = None;
+        self.frames_since_key = 0;
+    }
+
+    /// The compressed key activation currently buffered, if any — the
+    /// contents of the hardware's sparse key-frame activation buffer.
+    pub fn key_activation(&self) -> Option<&RleActivation> {
+        self.state.as_ref().map(|s| &s.rle)
+    }
+
+    fn run_key_frame(&mut self, image: &GrayImage, input: &Tensor3) -> (Tensor3, Option<f32>) {
+        let act = self.net.forward_prefix(input, self.target);
+        let rle = RleActivation::encode(&act, self.sparsity_threshold);
+        let compression = rle.compression();
+        // The suffix consumes the *quantized* activation on real hardware;
+        // use the decoded store so key and predicted frames share numerics.
+        let decoded = rle.decode();
+        let output = self.net.forward_suffix(&decoded, self.target);
+        self.state = Some(KeyState {
+            image: image.clone(),
+            rle,
+            decoded,
+        });
+        self.policy.note_key_frame();
+        self.frames_since_key = 0;
+        (output, Some(compression))
+    }
+
+    /// Processes one frame through AMC.
+    pub fn process(&mut self, image: &GrayImage) -> AmcFrameResult {
+        let input = image.to_tensor();
+        self.stats.frames += 1;
+        self.frames_since_key += 1;
+
+        // Motion estimation against the stored key frame (when one exists):
+        // EVA² always runs RFBME — its block errors drive the key-frame
+        // choice module even when warping is disabled (memoization mode).
+        let motion = self
+            .state
+            .as_ref()
+            .map(|state| self.rfbme.estimate(&state.image, image));
+        let metrics = motion
+            .as_ref()
+            .map(|m| FrameMetrics::from_rfbme(m, self.frames_since_key));
+        let rfbme_ops = motion.as_ref().map_or(0, |m| m.ops());
+        self.stats.rfbme_ops += rfbme_ops;
+
+        let kind = match &metrics {
+            None => FrameKind::Key,
+            Some(m) => self.policy.decide(m),
+        };
+
+        match kind {
+            FrameKind::Key => {
+                let (output, compression) = self.run_key_frame(image, &input);
+                self.stats.key_frames += 1;
+                self.stats.macs += self.total_macs;
+                AmcFrameResult {
+                    output,
+                    is_key: true,
+                    macs_executed: self.total_macs,
+                    rfbme_ops,
+                    warp: None,
+                    metrics,
+                    compression,
+                }
+            }
+            FrameKind::Predicted => {
+                let motion = motion.expect("predicted frame requires motion");
+                let state = self.state.as_ref().expect("predicted frame requires state");
+                let (predicted, warp_stats) = match self.warp_mode {
+                    WarpMode::Memoize => (state.decoded.clone(), None),
+                    WarpMode::MotionCompensate { bilinear } => {
+                        let field = &motion.field;
+                        let (warped, ws) = if self.fixed_point {
+                            warp_activation_fixed(&state.decoded, field, self.rf.stride)
+                        } else {
+                            let method = if bilinear {
+                                Interpolation::Bilinear
+                            } else {
+                                Interpolation::NearestNeighbor
+                            };
+                            warp_activation(&state.decoded, field, self.rf.stride, method)
+                        };
+                        (warped, Some(ws))
+                    }
+                };
+                if let Some(ws) = &warp_stats {
+                    self.stats.warp_interpolations += ws.interpolations;
+                }
+                let output = self.net.forward_suffix(&predicted, self.target);
+                let suffix_macs = self.total_macs - self.prefix_macs;
+                self.stats.macs += suffix_macs;
+                AmcFrameResult {
+                    output,
+                    is_key: false,
+                    macs_executed: suffix_macs,
+                    rfbme_ops,
+                    warp: warp_stats,
+                    metrics,
+                    compression: None,
+                }
+            }
+        }
+    }
+
+    /// Convenience: processes a slice of frames, returning per-frame results.
+    pub fn process_clip(&mut self, frames: &[GrayImage]) -> Vec<AmcFrameResult> {
+        frames.iter().map(|f| self.process(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva2_cnn::zoo;
+
+    fn textured_frame(h: usize, w: usize, shift: usize) -> GrayImage {
+        GrayImage::from_fn(h, w, |y, x| {
+            // Mix of frequencies: the PI/8 component has period 16 px, so an
+            // 8 px pan flips its sign — maximally punishing stale
+            // (memoized) activations while stride-aligned warping remains
+            // exact.
+            let xs = (x + shift) as f32;
+            let v = (y as f32 * 0.33).sin()
+                + (xs * std::f32::consts::PI / 8.0).cos() * 0.8
+                + (xs * 0.21).cos();
+            (115.0 + v * 38.0) as u8
+        })
+    }
+
+    #[test]
+    fn first_frame_is_key() {
+        let z = zoo::tiny_fasterm(0);
+        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        let r = amc.process(&textured_frame(48, 48, 0));
+        assert!(r.is_key);
+        assert_eq!(r.macs_executed, z.network.total_macs());
+        assert_eq!(r.rfbme_ops, 0);
+        assert!(r.compression.is_some());
+    }
+
+    #[test]
+    fn static_scene_yields_predicted_frames() {
+        let z = zoo::tiny_fasterm(0);
+        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        let frame = textured_frame(48, 48, 0);
+        amc.process(&frame);
+        for _ in 0..5 {
+            let r = amc.process(&frame);
+            assert!(!r.is_key);
+            assert!(r.macs_executed < z.network.total_macs() / 2);
+        }
+        assert_eq!(amc.stats().key_frames, 1);
+        assert_eq!(amc.stats().frames, 6);
+    }
+
+    #[test]
+    fn predicted_frame_on_static_scene_matches_key_output() {
+        let z = zoo::tiny_fasterm(1);
+        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        let frame = textured_frame(48, 48, 0);
+        let key = amc.process(&frame);
+        let pred = amc.process(&frame);
+        assert!(!pred.is_key);
+        // Zero motion, zero-field warp: outputs agree to interpolation noise.
+        let dist = key.output.rms_distance(&pred.output);
+        assert!(dist < 1e-4, "rms {dist}");
+    }
+
+    #[test]
+    fn scene_cut_forces_key_frame() {
+        let z = zoo::tiny_fasterm(0);
+        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        amc.process(&textured_frame(48, 48, 0));
+        // Completely different content (inverted, shifted pattern).
+        let cut = GrayImage::from_fn(48, 48, |y, x| ((y * 11 + x * 29) % 255) as u8);
+        let r = amc.process(&cut);
+        assert!(r.is_key, "a scene cut must trigger a key frame");
+    }
+
+    #[test]
+    fn max_gap_bounds_prediction_run() {
+        let z = zoo::tiny_fasterm(0);
+        let mut cfg = AmcConfig::default();
+        cfg.policy = PolicyConfig::BlockError {
+            threshold: f32::INFINITY,
+            max_gap: 3,
+        };
+        let mut amc = AmcExecutor::new(&z.network, cfg);
+        let frame = textured_frame(48, 48, 0);
+        let kinds: Vec<bool> = (0..8).map(|_| amc.process(&frame).is_key).collect();
+        assert_eq!(
+            kinds,
+            vec![true, false, false, true, false, false, true, false]
+        );
+    }
+
+    #[test]
+    fn memoize_mode_skips_warp() {
+        let z = zoo::tiny_alexnet(0);
+        let mut cfg = AmcConfig::default();
+        cfg.warp = WarpMode::Memoize;
+        let mut amc = AmcExecutor::new(&z.network, cfg);
+        let frame = textured_frame(32, 32, 0);
+        amc.process(&frame);
+        let r = amc.process(&frame);
+        assert!(!r.is_key);
+        assert!(r.warp.is_none());
+        assert_eq!(amc.stats().warp_interpolations, 0);
+    }
+
+    #[test]
+    fn panning_scene_with_warp_tracks_translation() {
+        let z = zoo::tiny_fasterm(3);
+        let mut cfg = AmcConfig::default();
+        // Force predicted frames so we measure pure warp quality.
+        cfg.policy = PolicyConfig::BlockError {
+            threshold: f32::INFINITY,
+            max_gap: 1000,
+        };
+        let mut amc = AmcExecutor::new(&z.network, cfg);
+        let f0 = textured_frame(48, 48, 0);
+        // A full receptive-field stride of pan (8 px): stride-aligned motion
+        // is the regime where warping is near-exact (§II-B) while
+        // memoization is off by a whole activation cell.
+        let f1 = textured_frame(48, 48, 8);
+        amc.process(&f0);
+        let warped = amc.process(&f1);
+        // Compare against ground truth: full CNN on f1.
+        let truth_act = z
+            .network
+            .forward_prefix(&f1.to_tensor(), amc.target());
+        let truth_out = z.network.forward_suffix(&truth_act, amc.target());
+        let with_warp = warped.output.rms_distance(&truth_out);
+
+        // Memoized baseline (no warp) for the same pan.
+        let mut cfg2 = AmcConfig::default();
+        cfg2.policy = PolicyConfig::BlockError {
+            threshold: f32::INFINITY,
+            max_gap: 1000,
+        };
+        cfg2.warp = WarpMode::Memoize;
+        let mut amc2 = AmcExecutor::new(&z.network, cfg2);
+        amc2.process(&f0);
+        let memo = amc2.process(&f1);
+        let with_memo = memo.output.rms_distance(&truth_out);
+        assert!(
+            with_warp <= with_memo + 1e-6,
+            "warp ({with_warp}) should not be worse than memoization ({with_memo}) under pan"
+        );
+    }
+
+    #[test]
+    fn fixed_point_path_close_to_float_path() {
+        let z = zoo::tiny_fasterm(4);
+        let make = |fixed: bool| {
+            let mut cfg = AmcConfig::default();
+            cfg.fixed_point = fixed;
+            cfg.policy = PolicyConfig::BlockError {
+                threshold: f32::INFINITY,
+                max_gap: 1000,
+            };
+            cfg
+        };
+        let f0 = textured_frame(48, 48, 0);
+        let f1 = textured_frame(48, 48, 1);
+        let mut a = AmcExecutor::new(&z.network, make(false));
+        a.process(&f0);
+        let float_out = a.process(&f1).output;
+        let mut b = AmcExecutor::new(&z.network, make(true));
+        b.process(&f0);
+        let fixed_out = b.process(&f1).output;
+        let dist = float_out.rms_distance(&fixed_out);
+        assert!(dist < 0.05, "fixed/float divergence {dist}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let z = zoo::tiny_fasterm(0);
+        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        let frame = textured_frame(48, 48, 0);
+        for _ in 0..4 {
+            amc.process(&frame);
+        }
+        let s = amc.stats();
+        assert_eq!(s.frames, 4);
+        assert_eq!(s.key_frames, 1);
+        assert!((s.key_fraction() - 0.25).abs() < 1e-6);
+        assert!(s.rfbme_ops > 0);
+        let expected = z.network.total_macs()
+            + 3 * (z.network.total_macs() - z.network.prefix_macs(amc.target()));
+        assert_eq!(s.macs, expected);
+    }
+
+    #[test]
+    fn reset_forces_key() {
+        let z = zoo::tiny_fasterm(0);
+        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        let frame = textured_frame(48, 48, 0);
+        amc.process(&frame);
+        assert!(!amc.process(&frame).is_key);
+        amc.reset();
+        assert!(amc.process(&frame).is_key);
+    }
+
+    #[test]
+    fn early_target_skips_less() {
+        let z = zoo::tiny_faster16(0);
+        let mut cfg = AmcConfig::default();
+        cfg.target = TargetSelection::Early;
+        let early = AmcExecutor::new(&z.network, cfg);
+        let late = AmcExecutor::new(&z.network, AmcConfig::default());
+        assert!(early.prefix_macs() < late.prefix_macs());
+        assert_eq!(early.target(), z.early_target);
+        assert_eq!(late.target(), z.late_target);
+    }
+
+    #[test]
+    fn try_new_reports_bad_config() {
+        let z = zoo::tiny_fasterm(0);
+        let mut cfg = AmcConfig::default();
+        cfg.target = TargetSelection::Index(99);
+        assert!(AmcExecutor::try_new(&z.network, cfg).is_err());
+    }
+}

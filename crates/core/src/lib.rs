@@ -1,0 +1,51 @@
+//! Activation motion compensation (AMC) — the EVA² paper's core contribution.
+//!
+//! AMC processes live video as a mixture of **key frames** (full, precise
+//! CNN execution) and **predicted frames** (approximately incremental
+//! execution): on a predicted frame it estimates motion between the stored
+//! key frame and the new input, *warps* the stored target-layer activation
+//! by the scaled vector field, and runs only the CNN suffix (Fig 1 of the
+//! paper).
+//!
+//! Module map (paper section → module):
+//!
+//! * §II-C2 / §III-B compressed activation storage → [`sparse`]
+//!   (run-length encoding plus the 4-lane sparsity decoder model of Fig 10).
+//! * §II-C3 / §III-B interpolated warping → [`warp`] (float reference and a
+//!   bit-accurate Q8.8 model of the Fig 11 bilinear interpolator).
+//! * §II-C4 key frame selection → [`policy`] (static rate, pixel
+//!   compensation error, total motion magnitude).
+//! * §II-C5 target layer choice → [`target`].
+//! * §II-A the full pipeline → [`executor`] ([`AmcExecutor`]).
+//!
+//! # Example
+//!
+//! ```
+//! use eva2_core::executor::{AmcConfig, AmcExecutor};
+//! use eva2_cnn::zoo;
+//! use eva2_tensor::GrayImage;
+//!
+//! let zoo_net = zoo::tiny_fasterm(7);
+//! let mut amc = AmcExecutor::new(&zoo_net.network, AmcConfig::default());
+//! let frame = GrayImage::from_fn(48, 48, |y, x| {
+//!     (120.0 + 60.0 * ((y as f32) * 0.3).sin() * ((x as f32) * 0.2).cos()) as u8
+//! });
+//! let first = amc.process(&frame);
+//! assert!(first.is_key, "the first frame is always a key frame");
+//! let second = amc.process(&frame);
+//! // An unchanged scene with the default policy yields a cheap predicted frame.
+//! assert!(!second.is_key);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod policy;
+pub mod sparse;
+pub mod target;
+pub mod warp;
+
+pub use executor::{AmcConfig, AmcExecutor, AmcFrameResult, WarpMode};
+pub use policy::{FrameMetrics, KeyFramePolicy};
+pub use sparse::RleActivation;
+pub use target::TargetSelection;

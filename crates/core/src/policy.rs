@@ -1,0 +1,312 @@
+//! Key-frame selection policies.
+//!
+//! "The primary control that AMC has over vision accuracy and execution
+//! efficiency is the allocation of key frames" (§II-C4). The paper considers
+//! a static rate and two adaptive features measurable from RFBME's own
+//! bookkeeping:
+//!
+//! * **Pixel compensation error** — the aggregate block-match error; high
+//!   error means motion estimation failed to explain the frame (occlusion,
+//!   lighting, new objects), so spend a key frame. Chosen for the hardware
+//!   because "block errors are byproducts of RFBME" (§IV-E5).
+//! * **Total motion magnitude** — the summed length of the motion vectors;
+//!   large motion accumulates more warp error.
+
+use eva2_motion::field::VectorField;
+use serde::{Deserialize, Serialize};
+
+/// Per-frame features available to a key-frame policy, produced by the
+/// motion-estimation stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameMetrics {
+    /// Sum of per-receptive-field minimum block errors (RFBME bookkeeping).
+    pub block_error: u64,
+    /// `block_error` normalised by the number of compared pixels, making
+    /// thresholds resolution-independent.
+    pub block_error_per_pixel: f32,
+    /// Sum of motion-vector magnitudes (pixels).
+    pub motion_magnitude: f32,
+    /// Frames elapsed since the last key frame (≥ 1 when deciding).
+    pub frames_since_key: usize,
+}
+
+impl FrameMetrics {
+    /// Builds metrics from an RFBME result. The per-pixel error normalises
+    /// by the pixels actually compared (receptive fields overlap, so this
+    /// exceeds the frame area), making thresholds intensity-scaled and
+    /// resolution-independent.
+    pub fn from_rfbme(result: &eva2_motion::rfbme::RfbmeResult, frames_since_key: usize) -> Self {
+        let per_pixel = result.total_error as f32 / result.total_pixels.max(1) as f32;
+        Self {
+            block_error: result.total_error,
+            block_error_per_pixel: per_pixel,
+            motion_magnitude: result.field.magnitude_sum(),
+            frames_since_key,
+        }
+    }
+
+    /// Builds metrics directly from a vector field and error total (for
+    /// non-RFBME estimators).
+    pub fn from_field(field: &VectorField, block_error: u64, frames_since_key: usize) -> Self {
+        let cells = (field.grid_h() * field.grid_w()).max(1);
+        let cell = field.cell().max(1);
+        Self {
+            block_error,
+            block_error_per_pixel: block_error as f32 / (cells * cell * cell) as f32,
+            motion_magnitude: field.magnitude_sum(),
+            frames_since_key,
+        }
+    }
+}
+
+/// A key-frame decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameKind {
+    /// Run the full CNN and refresh the stored state.
+    Key,
+    /// Warp the stored activation and run only the suffix.
+    Predicted,
+}
+
+/// Decides, per frame, whether to spend a key frame.
+///
+/// Implementations may keep internal state (e.g. hysteresis); the executor
+/// calls [`KeyFramePolicy::decide`] once per non-initial frame and
+/// [`KeyFramePolicy::note_key_frame`] whenever a key frame actually runs.
+pub trait KeyFramePolicy: std::fmt::Debug + Send {
+    /// Chooses the frame kind given the motion metrics.
+    fn decide(&mut self, metrics: &FrameMetrics) -> FrameKind;
+
+    /// Notifies the policy that a key frame was executed.
+    fn note_key_frame(&mut self) {}
+
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Every `n`-th frame is a key frame; the rest are predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticRate {
+    /// Key-frame period (1 = every frame is a key frame).
+    pub period: usize,
+}
+
+impl KeyFramePolicy for StaticRate {
+    fn decide(&mut self, metrics: &FrameMetrics) -> FrameKind {
+        if metrics.frames_since_key >= self.period.max(1) {
+            FrameKind::Key
+        } else {
+            FrameKind::Predicted
+        }
+    }
+
+    fn name(&self) -> &str {
+        "static-rate"
+    }
+}
+
+/// Always run the full CNN (the paper's `orig` baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AlwaysKey;
+
+impl KeyFramePolicy for AlwaysKey {
+    fn decide(&mut self, _metrics: &FrameMetrics) -> FrameKind {
+        FrameKind::Key
+    }
+
+    fn name(&self) -> &str {
+        "always-key"
+    }
+}
+
+/// Adaptive policy on the pixel compensation error: a key frame whenever the
+/// normalised block-match error exceeds `threshold`, or `max_gap` predicted
+/// frames have accumulated (a safety net against unbounded drift).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockErrorAdaptive {
+    /// Per-pixel error threshold (intensity units).
+    pub threshold: f32,
+    /// Maximum consecutive predicted frames before forcing a key frame.
+    pub max_gap: usize,
+}
+
+impl KeyFramePolicy for BlockErrorAdaptive {
+    fn decide(&mut self, metrics: &FrameMetrics) -> FrameKind {
+        if metrics.block_error_per_pixel > self.threshold
+            || metrics.frames_since_key >= self.max_gap.max(1)
+        {
+            FrameKind::Key
+        } else {
+            FrameKind::Predicted
+        }
+    }
+
+    fn name(&self) -> &str {
+        "block-error"
+    }
+}
+
+/// Adaptive policy on the total motion magnitude: a key frame whenever the
+/// summed vector magnitude exceeds `threshold` pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionMagnitudeAdaptive {
+    /// Motion magnitude threshold in summed pixels.
+    pub threshold: f32,
+    /// Maximum consecutive predicted frames before forcing a key frame.
+    pub max_gap: usize,
+}
+
+impl KeyFramePolicy for MotionMagnitudeAdaptive {
+    fn decide(&mut self, metrics: &FrameMetrics) -> FrameKind {
+        if metrics.motion_magnitude > self.threshold
+            || metrics.frames_since_key >= self.max_gap.max(1)
+        {
+            FrameKind::Key
+        } else {
+            FrameKind::Predicted
+        }
+    }
+
+    fn name(&self) -> &str {
+        "motion-magnitude"
+    }
+}
+
+/// Serializable policy configuration (for experiment configs / builders).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyConfig {
+    /// See [`AlwaysKey`].
+    AlwaysKey,
+    /// See [`StaticRate`].
+    StaticRate {
+        /// Key-frame period.
+        period: usize,
+    },
+    /// See [`BlockErrorAdaptive`].
+    BlockError {
+        /// Per-pixel error threshold.
+        threshold: f32,
+        /// Forced key-frame gap.
+        max_gap: usize,
+    },
+    /// See [`MotionMagnitudeAdaptive`].
+    MotionMagnitude {
+        /// Summed-magnitude threshold.
+        threshold: f32,
+        /// Forced key-frame gap.
+        max_gap: usize,
+    },
+}
+
+impl PolicyConfig {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn KeyFramePolicy> {
+        match self {
+            PolicyConfig::AlwaysKey => Box::new(AlwaysKey),
+            PolicyConfig::StaticRate { period } => Box::new(StaticRate { period }),
+            PolicyConfig::BlockError { threshold, max_gap } => {
+                Box::new(BlockErrorAdaptive { threshold, max_gap })
+            }
+            PolicyConfig::MotionMagnitude { threshold, max_gap } => {
+                Box::new(MotionMagnitudeAdaptive { threshold, max_gap })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(err_pp: f32, mag: f32, since: usize) -> FrameMetrics {
+        FrameMetrics {
+            block_error: (err_pp * 1000.0) as u64,
+            block_error_per_pixel: err_pp,
+            motion_magnitude: mag,
+            frames_since_key: since,
+        }
+    }
+
+    #[test]
+    fn static_rate_fires_on_period() {
+        let mut p = StaticRate { period: 3 };
+        assert_eq!(p.decide(&metrics(0.0, 0.0, 1)), FrameKind::Predicted);
+        assert_eq!(p.decide(&metrics(0.0, 0.0, 2)), FrameKind::Predicted);
+        assert_eq!(p.decide(&metrics(100.0, 100.0, 3)), FrameKind::Key);
+    }
+
+    #[test]
+    fn always_key_ignores_metrics() {
+        let mut p = AlwaysKey;
+        assert_eq!(p.decide(&metrics(0.0, 0.0, 1)), FrameKind::Key);
+    }
+
+    #[test]
+    fn block_error_thresholds() {
+        let mut p = BlockErrorAdaptive {
+            threshold: 2.0,
+            max_gap: 100,
+        };
+        assert_eq!(p.decide(&metrics(1.9, 50.0, 1)), FrameKind::Predicted);
+        assert_eq!(p.decide(&metrics(2.1, 0.0, 1)), FrameKind::Key);
+    }
+
+    #[test]
+    fn block_error_max_gap_forces_key() {
+        let mut p = BlockErrorAdaptive {
+            threshold: 1e9,
+            max_gap: 5,
+        };
+        assert_eq!(p.decide(&metrics(0.0, 0.0, 4)), FrameKind::Predicted);
+        assert_eq!(p.decide(&metrics(0.0, 0.0, 5)), FrameKind::Key);
+    }
+
+    #[test]
+    fn motion_magnitude_thresholds() {
+        let mut p = MotionMagnitudeAdaptive {
+            threshold: 10.0,
+            max_gap: 100,
+        };
+        assert_eq!(p.decide(&metrics(5.0, 9.0, 1)), FrameKind::Predicted);
+        assert_eq!(p.decide(&metrics(0.0, 11.0, 1)), FrameKind::Key);
+    }
+
+    #[test]
+    fn config_builds_matching_policies() {
+        assert_eq!(PolicyConfig::AlwaysKey.build().name(), "always-key");
+        assert_eq!(
+            PolicyConfig::StaticRate { period: 2 }.build().name(),
+            "static-rate"
+        );
+        assert_eq!(
+            PolicyConfig::BlockError {
+                threshold: 1.0,
+                max_gap: 10
+            }
+            .build()
+            .name(),
+            "block-error"
+        );
+        assert_eq!(
+            PolicyConfig::MotionMagnitude {
+                threshold: 1.0,
+                max_gap: 10
+            }
+            .build()
+            .name(),
+            "motion-magnitude"
+        );
+    }
+
+    #[test]
+    fn metrics_from_field_normalises() {
+        use eva2_motion::field::{MotionVector, VectorField};
+        let f = VectorField::uniform(2, 2, 4, MotionVector::new(3.0, 4.0));
+        let m = FrameMetrics::from_field(&f, 640, 2);
+        assert_eq!(m.motion_magnitude, 20.0);
+        assert_eq!(m.block_error, 640);
+        // 4 cells × 16 px/cell = 64 px → 10 per pixel.
+        assert!((m.block_error_per_pixel - 10.0).abs() < 1e-6);
+        assert_eq!(m.frames_since_key, 2);
+    }
+}

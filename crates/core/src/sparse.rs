@@ -1,0 +1,430 @@
+//! Compressed activation storage: run-length encoding and the sparsity
+//! decoder lanes.
+//!
+//! "EVA² uses run-length encoding (RLE) for activations. RLE is critical to
+//! enabling on-chip activation storage: for Faster16, for example, sparse
+//! storage reduces memory requirements by more than 80%" (§III-B). Values
+//! are 16-bit fixed point; zeros are elided and represented as a *zero gap*
+//! before each stored value.
+//!
+//! [`SparsityDecoderLane`] and [`LaneGroup`] model the warp engine's load
+//! path (Fig 10): four lanes stream four neighbouring activation values and
+//! a min unit lets all four skip their shared zeros in a single step.
+
+use eva2_tensor::{Fixed, Shape3, Tensor3};
+use serde::{Deserialize, Serialize};
+
+/// Maximum zero gap representable in one RLE entry. Longer runs insert
+/// explicit zero-value entries, mirroring a fixed-width gap field in
+/// hardware.
+pub const MAX_ZERO_GAP: u16 = 255;
+
+/// One run-length entry: `zero_gap` zeros followed by `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RleEntry {
+    /// Number of zeros preceding `value` in the stream.
+    pub zero_gap: u16,
+    /// The non-zero activation value (Q8.8 bits). May be zero only for
+    /// gap-overflow placeholder entries.
+    pub value: i16,
+}
+
+/// A run-length-encoded activation tensor in Q8.8 fixed point.
+///
+/// Channels are encoded independently (the decoder lanes walk one channel at
+/// a time). Trailing zeros in a channel are implicit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RleActivation {
+    shape: Shape3,
+    channels: Vec<Vec<RleEntry>>,
+}
+
+impl RleActivation {
+    /// Encodes a tensor, zeroing values with `|v| <= threshold` first
+    /// (the paper's near-zero suppression, §II-C2) and quantizing to Q8.8.
+    pub fn encode(t: &Tensor3, threshold: f32) -> Self {
+        let shape = t.shape();
+        let mut channels = Vec::with_capacity(shape.channels);
+        for c in 0..shape.channels {
+            let mut entries = Vec::new();
+            let mut gap: u32 = 0;
+            for &v in t.channel(c) {
+                let q = if v.abs() <= threshold {
+                    Fixed::ZERO
+                } else {
+                    Fixed::from_f32(v)
+                };
+                if q.is_zero() {
+                    gap += 1;
+                    continue;
+                }
+                // A placeholder entry stands for MAX_ZERO_GAP skipped zeros
+                // *plus its own zero value*, i.e. MAX_ZERO_GAP + 1 positions.
+                while gap > MAX_ZERO_GAP as u32 {
+                    entries.push(RleEntry {
+                        zero_gap: MAX_ZERO_GAP,
+                        value: 0,
+                    });
+                    gap -= MAX_ZERO_GAP as u32 + 1;
+                }
+                entries.push(RleEntry {
+                    zero_gap: gap as u16,
+                    value: q.to_bits(),
+                });
+                gap = 0;
+            }
+            channels.push(entries);
+        }
+        Self { shape, channels }
+    }
+
+    /// Decodes back to a dense tensor (values on the Q8.8 grid).
+    pub fn decode(&self) -> Tensor3 {
+        let mut t = Tensor3::zeros(self.shape);
+        for (c, entries) in self.channels.iter().enumerate() {
+            let plane = t.channel_mut(c);
+            let mut pos = 0usize;
+            for e in entries {
+                pos += e.zero_gap as usize;
+                if e.value != 0 {
+                    plane[pos] = Fixed::from_bits(e.value).to_f32();
+                    pos += 1;
+                } else {
+                    // Gap-overflow placeholder occupies no value slot beyond
+                    // its zeros... except the placeholder itself stands for
+                    // a zero value.
+                    pos += 1;
+                }
+            }
+        }
+        t
+    }
+
+    /// The decoded tensor shape.
+    pub fn shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// Encoded size in bytes (each entry is 16-bit gap + 16-bit value in
+    /// this model; the RTL packs tighter but ratios are what matter).
+    pub fn encoded_bytes(&self) -> usize {
+        self.channels.iter().map(|c| c.len() * 4).sum()
+    }
+
+    /// Dense 16-bit storage size in bytes.
+    pub fn dense_bytes(&self) -> usize {
+        self.shape.len() * 2
+    }
+
+    /// Compression ratio: `1 - encoded/dense` (the paper reports 80–87% for
+    /// its detection networks).
+    pub fn compression(&self) -> f32 {
+        1.0 - self.encoded_bytes() as f32 / self.dense_bytes().max(1) as f32
+    }
+
+    /// The run-length stream of channel `c` (for the decoder lanes).
+    pub fn channel_stream(&self, c: usize) -> &[RleEntry] {
+        &self.channels[c]
+    }
+}
+
+/// One sparsity decoder lane (Fig 10): streams a channel's RLE entries and
+/// exposes the current zero gap, decrementing as the min unit skips.
+#[derive(Debug, Clone)]
+pub struct SparsityDecoderLane {
+    entries: Vec<RleEntry>,
+    next: usize,
+    /// Zeros remaining before the current value becomes visible.
+    zero_gap: u32,
+    /// Current value register (valid when `zero_gap == 0`).
+    value: Fixed,
+    /// Stream exhausted: produce zeros forever.
+    drained: bool,
+}
+
+impl SparsityDecoderLane {
+    /// Creates a lane over an entry stream.
+    pub fn new(entries: &[RleEntry]) -> Self {
+        let mut lane = Self {
+            entries: entries.to_vec(),
+            next: 0,
+            zero_gap: 0,
+            value: Fixed::ZERO,
+            drained: false,
+        };
+        lane.load_next();
+        lane
+    }
+
+    fn load_next(&mut self) {
+        if self.next < self.entries.len() {
+            let e = self.entries[self.next];
+            self.next += 1;
+            self.zero_gap = e.zero_gap as u32;
+            self.value = Fixed::from_bits(e.value);
+        } else {
+            self.drained = true;
+            self.zero_gap = u32::MAX; // infinite zeros
+            self.value = Fixed::ZERO;
+        }
+    }
+
+    /// The lane's current zero gap (distance to its next non-zero value).
+    pub fn zero_gap(&self) -> u32 {
+        self.zero_gap
+    }
+
+    /// Advances the lane by `skip` positions (the min-unit broadcast), then
+    /// returns the value visible at the new position: the register when the
+    /// gap reached zero, otherwise zero.
+    ///
+    /// After producing a real value the lane dequeues its next entry.
+    pub fn advance(&mut self, skip: u32) -> Fixed {
+        if self.drained {
+            return Fixed::ZERO;
+        }
+        debug_assert!(skip <= self.zero_gap, "min unit may not overshoot a lane");
+        self.zero_gap -= skip;
+        if self.zero_gap == 0 {
+            let v = self.value;
+            self.load_next();
+            v
+        } else {
+            // Consume one zero position.
+            self.zero_gap -= 1;
+            if self.zero_gap == 0 && false {
+                unreachable!();
+            }
+            Fixed::ZERO
+        }
+    }
+}
+
+/// Four decoder lanes with a min unit, producing aligned groups of four
+/// values per step while skipping shared zero runs (Fig 10).
+#[derive(Debug, Clone)]
+pub struct LaneGroup {
+    lanes: [SparsityDecoderLane; 4],
+    /// Positions consumed so far.
+    pub position: u64,
+    /// Steps (cycles) executed — the quantity reduced by zero skipping:
+    /// "the warp engine skips over zero entries when performing
+    /// interpolation, reducing the motion compensation cost proportionally
+    /// to the activations' sparsity" (§V).
+    pub cycles: u64,
+}
+
+impl LaneGroup {
+    /// Creates a group over four entry streams.
+    pub fn new(streams: [&[RleEntry]; 4]) -> Self {
+        Self {
+            lanes: [
+                SparsityDecoderLane::new(streams[0]),
+                SparsityDecoderLane::new(streams[1]),
+                SparsityDecoderLane::new(streams[2]),
+                SparsityDecoderLane::new(streams[3]),
+            ],
+            position: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Produces the next group of four values, skipping positions where all
+    /// four lanes are zero. Returns `None` when every lane is drained.
+    ///
+    /// The returned tuple is `(values, positions_skipped)`.
+    pub fn next_group(&mut self) -> Option<([Fixed; 4], u32)> {
+        let min_gap = self.lanes.iter().map(|l| l.zero_gap()).min().expect("4 lanes");
+        if min_gap == u32::MAX {
+            return None; // all drained
+        }
+        let vals = [
+            self.lanes[0].advance(min_gap),
+            self.lanes[1].advance(min_gap),
+            self.lanes[2].advance(min_gap),
+            self.lanes[3].advance(min_gap),
+        ];
+        self.position += min_gap as u64 + 1;
+        self.cycles += 1;
+        Some((vals, min_gap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_tensor() -> Tensor3 {
+        Tensor3::from_fn(Shape3::new(2, 4, 4), |c, y, x| {
+            if (y * 4 + x + c) % 5 == 0 {
+                (1 + y + x) as f32 * 0.5
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn roundtrip_is_exact_on_q88_grid() {
+        let t = sparse_tensor();
+        let rle = RleActivation::encode(&t, 0.0);
+        assert_eq!(rle.decode(), t);
+    }
+
+    #[test]
+    fn threshold_zeroes_small_values() {
+        let t = Tensor3::from_vec(Shape3::new(1, 1, 4), vec![0.001, 0.5, -0.002, -0.8]);
+        let rle = RleActivation::encode(&t, 0.01);
+        let d = rle.decode();
+        assert_eq!(d.as_slice()[0], 0.0);
+        assert_eq!(d.as_slice()[2], 0.0);
+        assert_eq!(d.as_slice()[1], 0.5);
+    }
+
+    #[test]
+    fn sparse_data_compresses_dramatically() {
+        // 95% zeros → compression must exceed the paper's 80% claim.
+        let t = Tensor3::from_fn(Shape3::new(4, 16, 16), |_, y, x| {
+            if (y * 16 + x) % 20 == 0 {
+                1.5
+            } else {
+                0.0
+            }
+        });
+        let rle = RleActivation::encode(&t, 0.0);
+        assert!(
+            rle.compression() > 0.8,
+            "compression {} too low",
+            rle.compression()
+        );
+        assert_eq!(rle.decode(), t);
+    }
+
+    #[test]
+    fn dense_data_does_not_compress() {
+        let t = Tensor3::filled(Shape3::new(1, 8, 8), 1.0);
+        let rle = RleActivation::encode(&t, 0.0);
+        assert!(rle.compression() <= 0.0);
+        assert_eq!(rle.decode(), t);
+    }
+
+    #[test]
+    fn long_zero_runs_use_placeholders() {
+        let mut t = Tensor3::zeros(Shape3::new(1, 20, 20)); // 400 zeros
+        t.set(0, 19, 19, 2.0);
+        let rle = RleActivation::encode(&t, 0.0);
+        // 399 zeros before the value: one placeholder (255) + entry (144).
+        assert_eq!(rle.channel_stream(0).len(), 2);
+        assert_eq!(rle.decode(), t);
+    }
+
+    #[test]
+    fn all_zero_channel_is_empty() {
+        let t = Tensor3::zeros(Shape3::new(2, 4, 4));
+        let rle = RleActivation::encode(&t, 0.0);
+        assert_eq!(rle.channel_stream(0).len(), 0);
+        assert_eq!(rle.encoded_bytes(), 0);
+        assert_eq!(rle.decode(), t);
+    }
+
+    #[test]
+    fn negative_values_roundtrip() {
+        let t = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![-1.5, 0.0, -0.25]);
+        let rle = RleActivation::encode(&t, 0.0);
+        assert_eq!(rle.decode(), t);
+    }
+
+    #[test]
+    fn quantization_respects_q88() {
+        let t = Tensor3::from_vec(Shape3::new(1, 1, 2), vec![0.126, 1.0 / 3.0]);
+        let d = RleActivation::encode(&t, 0.0).decode();
+        assert_eq!(d.as_slice()[0], Fixed::from_f32(0.126).to_f32());
+        assert_eq!(d.as_slice()[1], Fixed::from_f32(1.0 / 3.0).to_f32());
+    }
+
+    // ------------------------------------------------------------------
+    // Decoder lanes
+    // ------------------------------------------------------------------
+
+    fn stream_of(vals: &[f32]) -> Vec<RleEntry> {
+        let t = Tensor3::from_vec(Shape3::new(1, 1, vals.len()), vals.to_vec());
+        RleActivation::encode(&t, 0.0).channel_stream(0).to_vec()
+    }
+
+    /// Decodes a full stream through a single lane, checking it reproduces
+    /// the dense sequence.
+    fn drain_lane(vals: &[f32]) -> Vec<f32> {
+        let entries = stream_of(vals);
+        let mut lane = SparsityDecoderLane::new(&entries);
+        (0..vals.len())
+            .map(|_| lane.advance(0).to_f32())
+            .collect()
+    }
+
+    #[test]
+    fn single_lane_reproduces_sequence() {
+        let vals = [0.0, 0.0, 1.5, 0.0, -2.0, 0.0, 0.0, 3.0];
+        assert_eq!(drain_lane(&vals), vals.to_vec());
+    }
+
+    #[test]
+    fn lane_group_skips_shared_zeros() {
+        // Four identical streams with a long shared zero prefix: the min
+        // unit should jump it in one step.
+        let vals = [0.0, 0.0, 0.0, 0.0, 0.0, 4.0, 0.0, 2.0];
+        let entries = stream_of(&vals);
+        let mut group = LaneGroup::new([&entries, &entries, &entries, &entries]);
+        let (v, skipped) = group.next_group().expect("value");
+        assert_eq!(skipped, 5);
+        assert!(v.iter().all(|x| x.to_f32() == 4.0));
+        let (v2, _) = group.next_group().expect("value");
+        assert!(v2.iter().all(|x| x.to_f32() == 2.0));
+        assert!(group.next_group().is_none());
+        // Two cycles for eight positions: 4x fewer than dense iteration.
+        assert_eq!(group.cycles, 2);
+    }
+
+    #[test]
+    fn lane_group_handles_misaligned_zeros() {
+        let a = stream_of(&[1.0, 0.0, 0.0, 0.0]);
+        let b = stream_of(&[0.0, 2.0, 0.0, 0.0]);
+        let c = stream_of(&[0.0, 0.0, 3.0, 0.0]);
+        let d = stream_of(&[0.0, 0.0, 0.0, 4.0]);
+        let mut group = LaneGroup::new([&a, &b, &c, &d]);
+        let mut decoded = Vec::new();
+        while let Some((v, _)) = group.next_group() {
+            decoded.push([v[0].to_f32(), v[1].to_f32(), v[2].to_f32(), v[3].to_f32()]);
+        }
+        assert_eq!(
+            decoded,
+            vec![
+                [1.0, 0.0, 0.0, 0.0],
+                [0.0, 2.0, 0.0, 0.0],
+                [0.0, 0.0, 3.0, 0.0],
+                [0.0, 0.0, 0.0, 4.0],
+            ]
+        );
+        // No shared zeros → no skipping, 4 cycles.
+        assert_eq!(group.cycles, 4);
+    }
+
+    #[test]
+    fn lane_group_sparser_streams_take_fewer_cycles() {
+        let sparse = stream_of(&[0.0; 64].iter().enumerate().map(|(i, _)| if i == 60 { 1.0 } else { 0.0 }).collect::<Vec<_>>());
+        let mut group = LaneGroup::new([&sparse, &sparse, &sparse, &sparse]);
+        let mut n = 0;
+        while group.next_group().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1, "single shared value needs a single cycle");
+        assert_eq!(group.cycles, 1);
+    }
+
+    #[test]
+    fn drained_group_returns_none_immediately_for_empty_streams() {
+        let empty: Vec<RleEntry> = Vec::new();
+        let mut group = LaneGroup::new([&empty, &empty, &empty, &empty]);
+        assert!(group.next_group().is_none());
+        assert_eq!(group.cycles, 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! The warp engine: activation warping with bilinear interpolation.
+//!
+//! "The warp engine's job is to load this neighborhood of activation values
+//! from its sparse activation memory, feed them into a bilinear interpolator
+//! along with the fractional bits of this motion vector, and send the result
+//! to the layer accelerators to compute the CNN suffix" (§III-B, Figs 9–11).
+//!
+//! Two implementations are provided:
+//!
+//! * [`warp_activation`] — the `f32` reference path (used for accuracy
+//!   experiments, where datapath quantization would be a confound).
+//! * [`warp_activation_fixed`] — a bit-accurate Q8.8 model of the hardware
+//!   datapath: activation values and fractional weights are 16-bit fixed
+//!   point, products widen and the result shifts back (Fig 11's weighting
+//!   units). Tests bound its divergence from the reference by the
+//!   quantization step.
+
+use eva2_motion::field::VectorField;
+use eva2_tensor::interp::{sample, Interpolation};
+use eva2_tensor::{Fixed, Tensor3};
+
+/// Statistics from one warp pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarpStats {
+    /// Bilinear interpolations performed (one per output activation value).
+    pub interpolations: u64,
+    /// Interpolations whose entire 2×2 neighbourhood was zero — the loads a
+    /// sparsity-aware warp engine skips (§V: cost reduced "proportionally to
+    /// the activations' sparsity").
+    pub zero_skipped: u64,
+    /// Multiply operations in the interpolator datapath (8 per non-skipped
+    /// interpolation: four weighting units of two multiplies each, Fig 11).
+    pub mults: u64,
+}
+
+/// Warps a stored key-frame activation by a motion vector field.
+///
+/// `field` must have one vector per activation cell (its grid equals the
+/// activation's spatial extent); vectors are in **pixel units** and are
+/// scaled to activation units by dividing by `rf_stride` (§II-B: a distance
+/// `d` in the input is `d/s` in the output). The gather convention applies:
+/// `out[c, ay, ax] = key[c, ay + v.dy/s, ax + v.dx/s]`, interpolated.
+///
+/// # Panics
+///
+/// Panics when the field's grid does not match the activation's spatial
+/// dimensions.
+pub fn warp_activation(
+    key: &Tensor3,
+    field: &VectorField,
+    rf_stride: usize,
+    method: Interpolation,
+) -> (Tensor3, WarpStats) {
+    let shape = key.shape();
+    assert_eq!(
+        (field.grid_h(), field.grid_w()),
+        (shape.height, shape.width),
+        "vector field grid must match activation spatial dims"
+    );
+    let s = rf_stride.max(1) as f32;
+    let mut stats = WarpStats::default();
+    let out = Tensor3::from_fn(shape, |c, ay, ax| {
+        let v = field.get(ay, ax);
+        let sy = ay as f32 + v.dy / s;
+        let sx = ax as f32 + v.dx / s;
+        stats.interpolations += 1;
+        let val = sample(key, method, c, sy, sx);
+        if val == 0.0 {
+            stats.zero_skipped += 1;
+        } else {
+            stats.mults += 8;
+        }
+        val
+    });
+    (out, stats)
+}
+
+/// The Q8.8 bilinear interpolator of Fig 11, bit-accurately.
+///
+/// Computes `p00·(1−u)(1−v) + p01·u(1−v) + p10·(1−u)v + p11·uv` where `u`
+/// and `v` are the fractional bits of the motion vector, using widening
+/// multiplies and a final shift back to 16 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BilinearInterpolator {
+    /// Horizontal fraction `u` in Q8.8.
+    pub u: Fixed,
+    /// Vertical fraction `v` in Q8.8.
+    pub v: Fixed,
+}
+
+impl BilinearInterpolator {
+    /// Creates an interpolator from fractional offsets in `[0, 1)`.
+    pub fn new(u: f32, v: f32) -> Self {
+        Self {
+            u: Fixed::from_f32(u),
+            v: Fixed::from_f32(v),
+        }
+    }
+
+    /// Interpolates one 2×2 neighbourhood `[p00, p01, p10, p11]`
+    /// (`p01` = one step in +x, `p10` = one step in +y).
+    pub fn interpolate(&self, p: [Fixed; 4]) -> Fixed {
+        let one = Fixed::ONE;
+        // The hardware computes the four weights with two multiplies each in
+        // the weighting units; keep the same operation order.
+        let inv_u = one - self.u;
+        let inv_v = one - self.v;
+        let w00 = inv_u.wrapping_mul_shift(inv_v);
+        let w01 = self.u.wrapping_mul_shift(inv_v);
+        let w10 = inv_u.wrapping_mul_shift(self.v);
+        let w11 = self.u.wrapping_mul_shift(self.v);
+        p[0].wrapping_mul_shift(w00)
+            .saturating_add(p[1].wrapping_mul_shift(w01))
+            .saturating_add(p[2].wrapping_mul_shift(w10))
+            .saturating_add(p[3].wrapping_mul_shift(w11))
+    }
+}
+
+/// Warps using the bit-accurate Q8.8 datapath. The key activation is
+/// quantized to Q8.8 on load (it is stored that way in the sparse activation
+/// memory), the interpolator runs in fixed point, and results are returned
+/// dequantized.
+pub fn warp_activation_fixed(
+    key: &Tensor3,
+    field: &VectorField,
+    rf_stride: usize,
+) -> (Tensor3, WarpStats) {
+    let shape = key.shape();
+    assert_eq!(
+        (field.grid_h(), field.grid_w()),
+        (shape.height, shape.width),
+        "vector field grid must match activation spatial dims"
+    );
+    let s = rf_stride.max(1) as f32;
+    let mut stats = WarpStats::default();
+    let out = Tensor3::from_fn(shape, |c, ay, ax| {
+        let vec = field.get(ay, ax);
+        let sy = ay as f32 + vec.dy / s;
+        let sx = ax as f32 + vec.dx / s;
+        let y0 = sy.floor();
+        let x0 = sx.floor();
+        let interp = BilinearInterpolator::new(sx - x0, sy - y0);
+        let y0 = y0 as isize;
+        let x0 = x0 as isize;
+        let load = |yy: isize, xx: isize| Fixed::from_f32(key.get_padded(c, yy, xx));
+        let p = [
+            load(y0, x0),
+            load(y0, x0 + 1),
+            load(y0 + 1, x0),
+            load(y0 + 1, x0 + 1),
+        ];
+        stats.interpolations += 1;
+        if p.iter().all(|v| v.is_zero()) {
+            stats.zero_skipped += 1;
+            return 0.0;
+        }
+        stats.mults += 8;
+        interp.interpolate(p).to_f32()
+    });
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva2_motion::field::MotionVector;
+    use eva2_tensor::Shape3;
+
+    fn act(h: usize, w: usize) -> Tensor3 {
+        Tensor3::from_fn(Shape3::new(2, h, w), |c, y, x| {
+            ((c + 1) * (y * w + x)) as f32 * 0.125
+        })
+    }
+
+    #[test]
+    fn zero_field_is_identity() {
+        let key = act(6, 6);
+        let field = VectorField::zeros(6, 6, 8);
+        let (out, stats) = warp_activation(&key, &field, 8, Interpolation::Bilinear);
+        assert_eq!(out, key);
+        assert_eq!(stats.interpolations, 2 * 36);
+    }
+
+    #[test]
+    fn integer_motion_translates_exactly() {
+        let key = act(6, 6);
+        // Pixel motion of one full stride → activation shift of 1.
+        let field = VectorField::uniform(6, 6, 8, MotionVector::new(0.0, 8.0));
+        let (out, _) = warp_activation(&key, &field, 8, Interpolation::Bilinear);
+        for c in 0..2 {
+            for y in 0..6 {
+                for x in 0..5 {
+                    assert_eq!(out.get(c, y, x), key.get(c, y, x + 1));
+                }
+                // Gather beyond the right edge reads zero padding.
+                assert_eq!(out.get(c, y, 5), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_motion_interpolates() {
+        let key = act(4, 4);
+        // Half-stride horizontal motion → sample halfway between columns.
+        let field = VectorField::uniform(4, 4, 8, MotionVector::new(0.0, 4.0));
+        let (out, _) = warp_activation(&key, &field, 8, Interpolation::Bilinear);
+        let expect = (key.get(0, 1, 1) + key.get(0, 1, 2)) / 2.0;
+        assert!((out.get(0, 1, 1) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nearest_neighbor_snaps() {
+        let key = act(4, 4);
+        let field = VectorField::uniform(4, 4, 8, MotionVector::new(0.0, 3.0)); // 0.375 act units
+        let (out, _) = warp_activation(&key, &field, 8, Interpolation::NearestNeighbor);
+        assert_eq!(out.get(0, 1, 1), key.get(0, 1, 1)); // rounds to 0 offset
+        let field2 = VectorField::uniform(4, 4, 8, MotionVector::new(0.0, 5.0)); // 0.625
+        let (out2, _) = warp_activation(&key, &field2, 8, Interpolation::NearestNeighbor);
+        assert_eq!(out2.get(0, 1, 1), key.get(0, 1, 2));
+    }
+
+    #[test]
+    fn fixed_path_matches_float_within_quantization() {
+        let key = act(8, 8);
+        let field = VectorField::from_fn(8, 8, 4, |y, x| {
+            MotionVector::new(((y % 3) as f32 - 1.0) * 1.5, ((x % 3) as f32 - 1.0) * 2.5)
+        });
+        let (float_out, _) = warp_activation(&key, &field, 4, Interpolation::Bilinear);
+        let (fixed_out, _) = warp_activation_fixed(&key, &field, 4);
+        // Q8.8 resolution is 1/256; interpolation of 4 values can lose a few
+        // LSBs through weight quantization and truncating multiplies.
+        let tol = 6.0 / 256.0 + 1e-4;
+        for (a, b) in float_out.iter().zip(fixed_out.iter()) {
+            assert!((a - b).abs() <= tol * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fixed_interpolator_corners_are_exact() {
+        let interp = BilinearInterpolator::new(0.0, 0.0);
+        let p = [
+            Fixed::from_f32(1.0),
+            Fixed::from_f32(2.0),
+            Fixed::from_f32(3.0),
+            Fixed::from_f32(4.0),
+        ];
+        assert_eq!(interp.interpolate(p).to_f32(), 1.0);
+        let interp = BilinearInterpolator::new(1.0, 0.0);
+        // u=1 → p01 exactly (1.0 representable in Q8.8).
+        assert_eq!(interp.interpolate(p).to_f32(), 2.0);
+    }
+
+    #[test]
+    fn fixed_interpolator_midpoint() {
+        let interp = BilinearInterpolator::new(0.5, 0.5);
+        let p = [
+            Fixed::from_f32(0.0),
+            Fixed::from_f32(1.0),
+            Fixed::from_f32(2.0),
+            Fixed::from_f32(3.0),
+        ];
+        let v = interp.interpolate(p).to_f32();
+        assert!((v - 1.5).abs() <= 3.0 / 256.0, "midpoint {v}");
+    }
+
+    #[test]
+    fn zero_neighbourhood_is_skipped() {
+        let mut key = Tensor3::zeros(Shape3::new(1, 4, 4));
+        key.set(0, 0, 0, 1.0);
+        let field = VectorField::zeros(4, 4, 8);
+        let (_, stats) = warp_activation_fixed(&key, &field, 8);
+        // 16 outputs; the neighbourhoods touching (0,0) are not skipped.
+        assert_eq!(stats.interpolations, 16);
+        assert!(stats.zero_skipped >= 12, "skipped {}", stats.zero_skipped);
+        assert!(stats.mults <= 4 * 8);
+    }
+
+    #[test]
+    fn stats_mults_count_weighting_units() {
+        let key = act(4, 4);
+        let field = VectorField::zeros(4, 4, 8);
+        let (_, stats) = warp_activation(&key, &field, 8, Interpolation::Bilinear);
+        // Only position (c, 0, 0) is zero in this ramp (value 0).
+        assert_eq!(stats.mults, (stats.interpolations - stats.zero_skipped) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector field grid")]
+    fn mismatched_field_panics() {
+        let key = act(4, 4);
+        let field = VectorField::zeros(3, 3, 8);
+        let _ = warp_activation(&key, &field, 8, Interpolation::Bilinear);
+    }
+
+    /// The paper's commutativity claim (Fig 3/4): for stride-aligned global
+    /// translation and a conv-only prefix, warping the key activation equals
+    /// running the prefix on the translated input.
+    #[test]
+    fn warp_commutes_with_convolution_for_aligned_motion() {
+        use eva2_cnn::layer::{Conv2d, Layer};
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let conv = Conv2d::new("c", 1, 3, 3, 1, 1, &mut rng);
+        let input = Tensor3::from_fn(Shape3::new(1, 10, 10), |_, y, x| {
+            if (3..7).contains(&y) && (3..7).contains(&x) {
+                1.0 + (y * x) as f32 * 0.05
+            } else {
+                0.0
+            }
+        });
+        let key_act = conv.forward(&input);
+        let moved = input.translate(0, 2); // content 2 px right
+        let moved_act = conv.forward(&moved);
+        // Stride 1 conv → rf stride 1; gather vector (0, -2).
+        let shape = key_act.shape();
+        let field = VectorField::uniform(shape.height, shape.width, 1, MotionVector::new(0.0, -2.0));
+        let (warped, _) = warp_activation(&key_act, &field, 1, Interpolation::Bilinear);
+        // Compare away from frame borders (translation fill effects).
+        for c in 0..shape.channels {
+            for y in 1..shape.height - 1 {
+                for x in 3..shape.width - 1 {
+                    let a = warped.get(c, y, x);
+                    let b = moved_act.get(c, y, x);
+                    assert!(
+                        (a - b).abs() < 1e-4,
+                        "({c},{y},{x}): warped {a} vs recomputed {b}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Pre-trains and caches all three workloads (utility).
+//!
+//! The accuracy experiments (`table1_tradeoff`, `fig14_motion_estimation`,
+//! `table2_target_layer`, `table3_retraining`, `fig15_keyframe_policy`) all
+//! train the same networks; training is deterministic and cached under
+//! `results/`, so running this binary once makes every subsequent
+//! experiment start from the cache.
+
+use eva2_cnn::metrics::Detection;
+use eva2_cnn::zoo::{Task, Workload};
+use eva2_experiments::evalproto::{baseline_accuracy, truth_normbox};
+use eva2_experiments::workloads::{train_workload, Budget};
+
+fn main() {
+    let budget = Budget::from_env();
+    for w in Workload::ALL {
+        let t0 = std::time::Instant::now();
+        let tw = train_workload(w, &budget);
+        let acc = baseline_accuracy(&tw.zoo, &tw.validation);
+        let mut extra = String::new();
+        if tw.zoo.task == Task::Detection {
+            let mut cls_ok = 0;
+            let mut n = 0;
+            let mut iou50 = 0;
+            for clip in &tw.validation {
+                for f in &clip.frames {
+                    let out = tw.zoo.network.forward(&f.image.to_tensor());
+                    let d = Detection::from_output(&out);
+                    cls_ok += (d.class == f.truth.class) as usize;
+                    iou50 += (d.bbox.iou(&truth_normbox(f)) >= 0.5) as usize;
+                    n += 1;
+                }
+            }
+            extra = format!(
+                "  (class acc {:.1}%, IoU@0.5 {:.1}%)",
+                100.0 * cls_ok as f32 / n as f32,
+                100.0 * iou50 as f32 / n as f32
+            );
+        }
+        println!(
+            "{}: validation accuracy {:.2}{}  [{:?}]",
+            w.name(),
+            acc,
+            extra,
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Calibration constants for the cost model.
+//!
+//! The paper gathers "published per-layer results from each paper" — Eyeriss
+//! from the JSSC'17 journal version [33] and EIE from ISCA'16 [6] — and
+//! scales other layers by MAC count (§IV-B). The same anchors are encoded
+//! here once; **every** experiment derives from these constants, never from
+//! per-experiment tuning.
+//!
+//! Eyeriss publishes whole-network runs of AlexNet and VGG-16; the derived
+//! energy-per-MAC and throughput differ between the two (VGG's small 3×3
+//! layers reuse less), so the model keeps one efficiency class per published
+//! network and assigns each workload the class of its nearest relative.
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds and millijoules for one full network pass on the published
+/// accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PublishedRun {
+    /// Total network latency, ms.
+    pub latency_ms: f64,
+    /// Total network energy, mJ.
+    pub energy_mj: f64,
+    /// MACs of the published workload.
+    pub macs: f64,
+}
+
+impl PublishedRun {
+    /// Derived throughput in MACs per millisecond.
+    pub fn macs_per_ms(&self) -> f64 {
+        self.macs / self.latency_ms
+    }
+
+    /// Derived energy per MAC in millijoules.
+    pub fn mj_per_mac(&self) -> f64 {
+        self.energy_mj / self.macs
+    }
+}
+
+/// Eyeriss (65 nm) running AlexNet's five conv layers — JSSC'17: 115.3 ms
+/// per frame at 278 mW.
+pub const EYERISS_ALEXNET: PublishedRun = PublishedRun {
+    latency_ms: 115.3,
+    energy_mj: 32.0,
+    macs: 666e6,
+};
+
+/// Eyeriss (65 nm) running VGG-16's thirteen conv layers — JSSC'17: 4309.5
+/// ms per frame at 236 mW.
+pub const EYERISS_VGG16: PublishedRun = PublishedRun {
+    latency_ms: 4309.5,
+    energy_mj: 1017.0,
+    macs: 15.35e9,
+};
+
+/// EIE (45 nm, scaled to 65 nm) running AlexNet's FC layers. EIE keeps the
+/// compressed model on chip and skips zero activations, so its per-frame
+/// cost is tiny: ≈ 0.32 ms / ≈ 0.04 mJ across fc6–fc8 at 45 nm. Scaling
+/// latency and energy up linearly by the 45→65 nm factor gives the anchor
+/// (the same normalisation the paper applies, §IV-B).
+pub const EIE_ALEXNET_FC: PublishedRun = PublishedRun {
+    latency_ms: 0.46,
+    energy_mj: 0.06,
+    macs: 58.6e6,
+};
+
+/// Technology scaling factor from EIE's 45 nm process to 65 nm (linear, as
+/// the paper applies to area/latency/power).
+pub const TECH_SCALE_45_TO_65: f64 = 65.0 / 45.0;
+
+/// EVA² clock period (ns): "meets timing with a clock cycle of 7 ns, which
+/// was matched to the memory cycle time" (§IV-B).
+pub const EVA2_CLOCK_NS: f64 = 7.0;
+
+/// Parallel absolute-difference lanes in the diff tile producer's adder
+/// tree (one s×s tile row per cycle at the largest strides).
+pub const EVA2_ADD_LANES: f64 = 16.0;
+
+/// Energy per RFBME add including its share of pixel-buffer eDRAM traffic,
+/// in mJ (≈ 2 pJ: a 16-bit add is ≈ 0.05 pJ at 65 nm; the eDRAM read
+/// dominates).
+pub const EVA2_MJ_PER_OP: f64 = 2.0e-9;
+
+/// Energy per warp-engine interpolation (4 sparse loads + 8 multiplies +
+/// adds), in mJ (≈ 20 pJ).
+pub const EVA2_MJ_PER_INTERP: f64 = 20.0e-9;
+
+/// Warp-engine throughput: one interpolation per 7 ns cycle through the
+/// 4-lane datapath (1 ms = 10⁶ ns).
+pub const EVA2_INTERPS_PER_MS: f64 = 1.0e6 / EVA2_CLOCK_NS;
+
+/// Efficiency class: which published Eyeriss run a workload inherits its
+/// conv-layer efficiency from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConvClass {
+    /// Large-kernel, few-layer networks (AlexNet, CNN-M).
+    AlexNetLike,
+    /// Deep stacks of 3×3 kernels (VGG-16).
+    VggLike,
+}
+
+impl ConvClass {
+    /// The published anchor for this class.
+    pub fn anchor(self) -> PublishedRun {
+        match self {
+            ConvClass::AlexNetLike => EYERISS_ALEXNET,
+            ConvClass::VggLike => EYERISS_VGG16,
+        }
+    }
+
+    /// Class for one of the paper's workloads by name.
+    pub fn for_workload(name: &str) -> ConvClass {
+        match name {
+            "Faster16" => ConvClass::VggLike,
+            // AlexNet and CNN-M share the large-kernel shallow topology.
+            _ => ConvClass::AlexNetLike,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_are_sane() {
+        // Eyeriss AlexNet: ~5.8 GMAC/s, ~48 pJ/MAC.
+        let a = EYERISS_ALEXNET;
+        assert!((a.macs_per_ms() - 5.78e6).abs() / 5.78e6 < 0.05);
+        assert!((a.mj_per_mac() - 4.8e-8).abs() / 4.8e-8 < 0.05);
+        // VGG is slower per MAC on Eyeriss (published behaviour).
+        let v = EYERISS_VGG16;
+        assert!(v.macs_per_ms() < a.macs_per_ms());
+        assert!(v.mj_per_mac() > a.mj_per_mac());
+    }
+
+    #[test]
+    fn eie_is_orders_of_magnitude_cheaper() {
+        // §IV-C: "the energy and latency for the fully-connected layers are
+        // orders of magnitude smaller than for convolutional layers."
+        let fc = EIE_ALEXNET_FC;
+        assert!(fc.latency_ms < EYERISS_ALEXNET.latency_ms / 100.0);
+        assert!(fc.energy_mj < EYERISS_ALEXNET.energy_mj / 100.0);
+    }
+
+    #[test]
+    fn classes_map_workloads() {
+        assert_eq!(ConvClass::for_workload("AlexNet"), ConvClass::AlexNetLike);
+        assert_eq!(ConvClass::for_workload("FasterM"), ConvClass::AlexNetLike);
+        assert_eq!(ConvClass::for_workload("Faster16"), ConvClass::VggLike);
+    }
+
+    #[test]
+    fn tech_scaling_factor() {
+        assert!((TECH_SCALE_45_TO_65 - 1.444).abs() < 0.001);
+    }
+}

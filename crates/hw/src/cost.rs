@@ -1,0 +1,369 @@
+//! Per-frame latency and energy (Fig 13, Table I).
+//!
+//! Cost of one frame on the VPU of Fig 5:
+//!
+//! * **Key frame** — Eyeriss runs every conv layer, EIE every FC layer, and
+//!   EVA² stores the target activation (its motion-estimation work still
+//!   runs, deciding *that* this is a key frame).
+//! * **Predicted frame** — EVA² runs RFBME + warping; Eyeriss runs only the
+//!   conv layers after the target; EIE runs the FC layers.
+
+use crate::calib::{
+    ConvClass, EIE_ALEXNET_FC, EVA2_ADD_LANES, EVA2_CLOCK_NS, EVA2_MJ_PER_INTERP, EVA2_MJ_PER_OP,
+    EVA2_INTERPS_PER_MS,
+};
+use crate::descriptor::NetDescriptor;
+use crate::firstorder::{rfbme_ops, RfbmeParams};
+use serde::{Deserialize, Serialize};
+
+/// Latency/energy for one frame, with a per-unit breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FrameCost {
+    /// Total frame latency, ms.
+    pub latency_ms: f64,
+    /// Total frame energy, mJ.
+    pub energy_mj: f64,
+    /// Eyeriss (conv) share of the energy, mJ.
+    pub eyeriss_mj: f64,
+    /// EIE (FC) share, mJ.
+    pub eie_mj: f64,
+    /// EVA² (motion estimation + compensation) share, mJ.
+    pub eva2_mj: f64,
+    /// Eyeriss share of latency, ms.
+    pub eyeriss_ms: f64,
+    /// EIE share of latency, ms.
+    pub eie_ms: f64,
+    /// EVA² share of latency, ms.
+    pub eva2_ms: f64,
+}
+
+impl FrameCost {
+    fn add(&self, other: &FrameCost) -> FrameCost {
+        FrameCost {
+            latency_ms: self.latency_ms + other.latency_ms,
+            energy_mj: self.energy_mj + other.energy_mj,
+            eyeriss_mj: self.eyeriss_mj + other.eyeriss_mj,
+            eie_mj: self.eie_mj + other.eie_mj,
+            eva2_mj: self.eva2_mj + other.eva2_mj,
+            eyeriss_ms: self.eyeriss_ms + other.eyeriss_ms,
+            eie_ms: self.eie_ms + other.eie_ms,
+            eva2_ms: self.eva2_ms + other.eva2_ms,
+        }
+    }
+
+    fn scale(&self, f: f64) -> FrameCost {
+        FrameCost {
+            latency_ms: self.latency_ms * f,
+            energy_mj: self.energy_mj * f,
+            eyeriss_mj: self.eyeriss_mj * f,
+            eie_mj: self.eie_mj * f,
+            eva2_mj: self.eva2_mj * f,
+            eyeriss_ms: self.eyeriss_ms * f,
+            eie_ms: self.eie_ms * f,
+            eva2_ms: self.eva2_ms * f,
+        }
+    }
+
+    /// Weighted mixture: `key_fraction` of key-frame cost plus the rest of
+    /// predicted-frame cost — the paper's "avg" bars in Fig 13.
+    pub fn mix(key: &FrameCost, predicted: &FrameCost, key_fraction: f64) -> FrameCost {
+        key.scale(key_fraction).add(&predicted.scale(1.0 - key_fraction))
+    }
+}
+
+/// AMC execution parameters the cost model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmcCostConfig {
+    /// Prefix target layer index in the descriptor (defaults to the
+    /// workload's canonical target when `None`).
+    pub target: Option<usize>,
+    /// RFBME search radius in pixels.
+    pub search_radius: usize,
+    /// RFBME search stride in pixels.
+    pub search_stride: usize,
+}
+
+impl Default for AmcCostConfig {
+    fn default() -> Self {
+        Self {
+            target: None,
+            search_radius: 24,
+            search_stride: 8,
+        }
+    }
+}
+
+/// The first-order hardware model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HwModel {
+    /// AMC parameters.
+    pub amc: AmcCostConfig,
+}
+
+impl HwModel {
+    /// Canonical AMC target layer for a workload descriptor: the last conv
+    /// layer of the feature extractor (conv5_3 for Faster16, conv5 for
+    /// FasterM, pool5 for AlexNet — the last spatial layer before the
+    /// head).
+    pub fn canonical_target(net: &NetDescriptor) -> usize {
+        for name in ["conv5_3", "conv5", "pool5"] {
+            if let Some(i) = net.layer_index(name) {
+                return i;
+            }
+        }
+        net.last_spatial_layer().unwrap_or(0)
+    }
+
+    fn target(&self, net: &NetDescriptor) -> usize {
+        self.amc.target.unwrap_or_else(|| Self::canonical_target(net))
+    }
+
+    /// The resolution at which FODLAM's published per-layer anchors exist.
+    ///
+    /// The paper's Table I `orig` numbers line up with the published
+    /// Eyeriss runs at the *publication* resolutions (AlexNet 227², VGG-16
+    /// 224²), while §IV-A counts MACs at the detection resolution — two
+    /// separate analyses in the paper. The cost model follows FODLAM and
+    /// costs conv layers at the anchor resolution; RFBME geometry and the
+    /// first-order model keep the true 1000×562 shapes.
+    fn costing_net(net: &NetDescriptor) -> NetDescriptor {
+        if net.input.1 > 300 || net.input.2 > 300 {
+            net.with_input((net.input.0, 224, 224))
+        } else {
+            net.clone()
+        }
+    }
+
+    fn conv_cost(&self, name: &str, macs: u64) -> (f64, f64) {
+        let anchor = ConvClass::for_workload(name).anchor();
+        let ms = macs as f64 / anchor.macs_per_ms();
+        let mj = macs as f64 * anchor.mj_per_mac();
+        (ms, mj)
+    }
+
+    fn fc_cost(&self, costing: &NetDescriptor) -> (f64, f64) {
+        let macs = costing.fc_macs() as f64;
+        let ms = EIE_ALEXNET_FC.latency_ms * macs / EIE_ALEXNET_FC.macs;
+        let mj = EIE_ALEXNET_FC.energy_mj * macs / EIE_ALEXNET_FC.macs;
+        (ms, mj)
+    }
+
+    /// RFBME parameters for this network's target layer.
+    pub fn rfbme_params(&self, net: &NetDescriptor) -> RfbmeParams {
+        let target = self.target(net);
+        let (rf_size, rf_stride, _) = net.receptive_field(target);
+        let (_, h, w) = net.shape_after(target);
+        RfbmeParams {
+            act_h: h,
+            act_w: w,
+            rf_size,
+            rf_stride,
+            search_radius: self.amc.search_radius,
+            search_stride: self.amc.search_stride,
+        }
+    }
+
+    fn eva2_cost(&self, net: &NetDescriptor) -> (f64, f64) {
+        let p = self.rfbme_params(net);
+        let ops = rfbme_ops(&p) as f64;
+        let target = self.target(net);
+        let (c, h, w) = net.shape_after(target);
+        let interpolations = (c * h * w) as f64;
+        // Activation sparsity lets the warp engine skip most interpolations;
+        // the paper reports ≈80% sparse activations (§III-B).
+        let effective_interps = interpolations * 0.25;
+        let ms = ops / EVA2_ADD_LANES * EVA2_CLOCK_NS * 1e-6
+            + effective_interps / EVA2_INTERPS_PER_MS;
+        let mj = ops * EVA2_MJ_PER_OP + effective_interps * EVA2_MJ_PER_INTERP;
+        (ms, mj)
+    }
+
+    /// Cost of a key frame: the full CNN (the paper's `orig` configuration
+    /// is exactly this, with zero EVA² contribution).
+    pub fn key_frame_cost(&self, net: &NetDescriptor) -> FrameCost {
+        let costing = Self::costing_net(net);
+        let (conv_ms, conv_mj) = self.conv_cost(&net.name, costing.conv_macs());
+        let (fc_ms, fc_mj) = self.fc_cost(&costing);
+        // Key frames still pay EVA²'s motion estimation (it made the
+        // decision) — a negligible but honest inclusion.
+        let (eva_ms, eva_mj) = self.eva2_cost(net);
+        FrameCost {
+            latency_ms: conv_ms + fc_ms + eva_ms,
+            energy_mj: conv_mj + fc_mj + eva_mj,
+            eyeriss_mj: conv_mj,
+            eie_mj: fc_mj,
+            eva2_mj: eva_mj,
+            eyeriss_ms: conv_ms,
+            eie_ms: fc_ms,
+            eva2_ms: eva_ms,
+        }
+    }
+
+    /// Cost of the baseline (no EVA² attached at all): Eyeriss + EIE only.
+    pub fn baseline_cost(&self, net: &NetDescriptor) -> FrameCost {
+        let costing = Self::costing_net(net);
+        let (conv_ms, conv_mj) = self.conv_cost(&net.name, costing.conv_macs());
+        let (fc_ms, fc_mj) = self.fc_cost(&costing);
+        FrameCost {
+            latency_ms: conv_ms + fc_ms,
+            energy_mj: conv_mj + fc_mj,
+            eyeriss_mj: conv_mj,
+            eie_mj: fc_mj,
+            eva2_mj: 0.0,
+            eyeriss_ms: conv_ms,
+            eie_ms: fc_ms,
+            eva2_ms: 0.0,
+        }
+    }
+
+    /// Cost of a predicted frame: EVA² + conv suffix + FC layers.
+    pub fn predicted_frame_cost(&self, net: &NetDescriptor) -> FrameCost {
+        let costing = Self::costing_net(net);
+        let target = self.target(net);
+        let (_, suffix_conv) = costing.conv_macs_split(target);
+        let (conv_ms, conv_mj) = self.conv_cost(&net.name, suffix_conv);
+        let (fc_ms, fc_mj) = self.fc_cost(&costing);
+        let (eva_ms, eva_mj) = self.eva2_cost(net);
+        FrameCost {
+            latency_ms: conv_ms + fc_ms + eva_ms,
+            energy_mj: conv_mj + fc_mj + eva_mj,
+            eyeriss_mj: conv_mj,
+            eie_mj: fc_mj,
+            eva2_mj: eva_mj,
+            eyeriss_ms: conv_ms,
+            eie_ms: fc_ms,
+            eva2_ms: eva_ms,
+        }
+    }
+
+    /// Average per-frame cost at a given key-frame fraction (Table I's
+    /// `time`/`energy` columns; Fig 13's `avg` bars).
+    pub fn average_cost(&self, net: &NetDescriptor, key_fraction: f64) -> FrameCost {
+        FrameCost::mix(
+            &self.key_frame_cost(net),
+            &self.predicted_frame_cost(net),
+            key_fraction.clamp(0.0, 1.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nets;
+
+    #[test]
+    fn orig_costs_match_table1_anchors() {
+        // Table I `orig` rows: AlexNet 115.4 ms / 32.2 mJ; Faster16 4370.1
+        // ms / 1035.5 mJ. Our baseline derives from the same published
+        // Eyeriss runs, so it must land close.
+        let model = HwModel::default();
+        let a = model.baseline_cost(&nets::alexnet());
+        assert!((a.latency_ms - 115.4).abs() / 115.4 < 0.15, "{a:?}");
+        assert!((a.energy_mj - 32.2).abs() / 32.2 < 0.15, "{a:?}");
+        let f = model.baseline_cost(&nets::faster16());
+        assert!((f.latency_ms - 4370.0).abs() / 4370.0 < 0.25, "{f:?}");
+        assert!((f.energy_mj - 1035.5).abs() / 1035.5 < 0.25, "{f:?}");
+    }
+
+    #[test]
+    fn predicted_frames_are_much_cheaper() {
+        let model = HwModel::default();
+        for net in [nets::alexnet(), nets::faster16(), nets::fasterm()] {
+            let key = model.key_frame_cost(&net);
+            let pred = model.predicted_frame_cost(&net);
+            assert!(
+                pred.energy_mj < key.energy_mj * 0.25,
+                "{}: pred {pred:?} vs key {key:?}",
+                net.name
+            );
+            assert!(pred.latency_ms < key.latency_ms * 0.25, "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn average_interpolates_between_extremes() {
+        let model = HwModel::default();
+        let net = nets::fasterm();
+        let key = model.key_frame_cost(&net);
+        let pred = model.predicted_frame_cost(&net);
+        let avg = model.average_cost(&net, 0.37);
+        assert!(avg.energy_mj < key.energy_mj && avg.energy_mj > pred.energy_mj);
+        let expect = 0.37 * key.energy_mj + 0.63 * pred.energy_mj;
+        assert!((avg.energy_mj - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_med_energy_reductions_reproduce() {
+        // Table I `med` rows: AlexNet 11% keys → 4.0 mJ (88% saving);
+        // Faster16 36% keys → 396.4 mJ (62%); FasterM 37% → 53.4 mJ (54%).
+        let model = HwModel::default();
+        let cases = [
+            (nets::alexnet(), 0.11, 32.2, 4.0),
+            (nets::faster16(), 0.36, 1035.5, 396.4),
+            (nets::fasterm(), 0.37, 116.7, 53.4),
+        ];
+        for (net, keys, orig_paper, avg_paper) in cases {
+            let avg = model.average_cost(&net, keys);
+            let orig = model.baseline_cost(&net);
+            let our_ratio = avg.energy_mj / orig.energy_mj;
+            let paper_ratio = avg_paper / orig_paper;
+            assert!(
+                (our_ratio - paper_ratio).abs() < 0.12,
+                "{}: our ratio {our_ratio:.3} vs paper {paper_ratio:.3}",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn eva2_overhead_is_small() {
+        // EVA²'s own cost must be a small fraction of even a predicted
+        // frame for the big detection nets (else AMC couldn't win).
+        let model = HwModel::default();
+        let net = nets::faster16();
+        let pred = model.predicted_frame_cost(&net);
+        assert!(
+            pred.eva2_mj < pred.energy_mj * 0.6,
+            "EVA2 {} of {}",
+            pred.eva2_mj,
+            pred.energy_mj
+        );
+    }
+
+    #[test]
+    fn fc_latency_is_orders_of_magnitude_below_conv() {
+        let model = HwModel::default();
+        let net = nets::faster16();
+        let key = model.key_frame_cost(&net);
+        assert!(key.eie_ms < key.eyeriss_ms / 100.0);
+    }
+
+    #[test]
+    fn canonical_targets() {
+        assert_eq!(
+            HwModel::canonical_target(&nets::faster16()),
+            nets::faster16().layer_index("conv5_3").unwrap()
+        );
+        assert_eq!(
+            HwModel::canonical_target(&nets::fasterm()),
+            nets::fasterm().layer_index("conv5").unwrap()
+        );
+    }
+
+    #[test]
+    fn mix_endpoints() {
+        let a = FrameCost {
+            latency_ms: 10.0,
+            energy_mj: 5.0,
+            ..FrameCost::default()
+        };
+        let b = FrameCost {
+            latency_ms: 2.0,
+            energy_mj: 1.0,
+            ..FrameCost::default()
+        };
+        assert_eq!(FrameCost::mix(&a, &b, 1.0).latency_ms, 10.0);
+        assert_eq!(FrameCost::mix(&a, &b, 0.0).energy_mj, 1.0);
+    }
+}

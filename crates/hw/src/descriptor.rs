@@ -1,0 +1,389 @@
+//! Shape-level network descriptors.
+//!
+//! The cost model never executes these networks — it only needs layer
+//! geometry to count MACs (the paper's §IV-A formulas) and to locate the AMC
+//! prefix/suffix split. Keeping full-scale shapes here and executable
+//! scaled-down analogues in `eva2-cnn` separates the two faithfully: energy
+//! numbers come from real AlexNet/VGG shapes, accuracy numbers from networks
+//! we can actually train.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind and geometry of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Convolution. `groups` models grouped convolution (AlexNet's split
+    /// layers); MACs divide by the group count.
+    Conv {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels (filters).
+        out_channels: usize,
+        /// Square kernel side.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding per side.
+        padding: usize,
+        /// Filter groups (1 = dense).
+        groups: usize,
+    },
+    /// Max pooling.
+    Pool {
+        /// Window side.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Element-wise activation (free in the MAC model).
+    Relu,
+    /// Fully-connected layer over the flattened input.
+    Fc {
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+/// One named layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerDesc {
+    /// Layer name (paper convention, e.g. `conv5_3`).
+    pub name: String,
+    /// Geometry.
+    pub kind: LayerKind,
+}
+
+/// A `(channels, height, width)` shape.
+pub type Shape = (usize, usize, usize);
+
+/// A full network as a list of layer shapes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetDescriptor {
+    /// Network name (paper convention).
+    pub name: String,
+    /// Input shape `(c, h, w)`.
+    pub input: Shape,
+    /// Layers in execution order.
+    pub layers: Vec<LayerDesc>,
+}
+
+fn conv_out(n: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let padded = n + 2 * padding;
+    if padded < kernel {
+        0
+    } else {
+        (padded - kernel) / stride + 1
+    }
+}
+
+impl NetDescriptor {
+    /// Builder: starts an empty descriptor.
+    pub fn new(name: impl Into<String>, input: Shape) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a dense convolution followed by an implicit ReLU-free count
+    /// (ReLUs are free; add them explicitly only when the layer list should
+    /// mirror the paper's tables).
+    pub fn conv(
+        mut self,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        self.layers.push(LayerDesc {
+            name: name.into(),
+            kind: LayerKind::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups: 1,
+            },
+        });
+        self
+    }
+
+    /// Appends a grouped convolution (AlexNet's two-GPU split).
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_grouped(
+        mut self,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    ) -> Self {
+        self.layers.push(LayerDesc {
+            name: name.into(),
+            kind: LayerKind::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+            },
+        });
+        self
+    }
+
+    /// Appends a pooling layer.
+    pub fn pool(mut self, name: &str, kernel: usize, stride: usize) -> Self {
+        self.layers.push(LayerDesc {
+            name: name.into(),
+            kind: LayerKind::Pool { kernel, stride },
+        });
+        self
+    }
+
+    /// Appends a fully-connected layer.
+    pub fn fc(mut self, name: &str, out_features: usize) -> Self {
+        self.layers.push(LayerDesc {
+            name: name.into(),
+            kind: LayerKind::Fc { out_features },
+        });
+        self
+    }
+
+    /// Returns a copy evaluating the same layers at a different input size.
+    ///
+    /// Used by the cost model: FODLAM sums *published* per-layer results,
+    /// which exist at the publication resolutions (227² AlexNet, 224²
+    /// VGG-16), while receptive-field geometry and the §IV-A analysis use
+    /// the true detection resolution.
+    pub fn with_input(&self, input: Shape) -> Self {
+        Self {
+            name: self.name.clone(),
+            input,
+            layers: self.layers.clone(),
+        }
+    }
+
+    /// Shape of the activation *after* layer `i`.
+    pub fn shape_after(&self, i: usize) -> Shape {
+        let mut s = self.input;
+        for layer in &self.layers[..=i] {
+            s = Self::apply(s, &layer.kind);
+        }
+        s
+    }
+
+    /// Shape entering layer `i`.
+    pub fn shape_before(&self, i: usize) -> Shape {
+        if i == 0 {
+            self.input
+        } else {
+            self.shape_after(i - 1)
+        }
+    }
+
+    fn apply(s: Shape, kind: &LayerKind) -> Shape {
+        let (c, h, w) = s;
+        match *kind {
+            LayerKind::Conv {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => (
+                out_channels,
+                conv_out(h, kernel, stride, padding),
+                conv_out(w, kernel, stride, padding),
+            ),
+            LayerKind::Pool { kernel, stride } => {
+                (c, conv_out(h, kernel, stride, 0), conv_out(w, kernel, stride, 0))
+            }
+            LayerKind::Relu => s,
+            LayerKind::Fc { out_features } => (out_features, 1, 1),
+        }
+    }
+
+    /// MACs of layer `i` — "outputs × MACs per output" (§IV-A).
+    pub fn layer_macs(&self, i: usize) -> u64 {
+        let before = self.shape_before(i);
+        let after = self.shape_after(i);
+        match self.layers[i].kind {
+            LayerKind::Conv {
+                in_channels,
+                kernel,
+                groups,
+                ..
+            } => {
+                let outputs = (after.0 * after.1 * after.2) as u64;
+                let per_output = (in_channels * kernel * kernel) as u64 / groups.max(1) as u64;
+                outputs * per_output
+            }
+            LayerKind::Fc { .. } => {
+                let inputs = (before.0 * before.1 * before.2) as u64;
+                inputs * after.0 as u64
+            }
+            LayerKind::Pool { .. } | LayerKind::Relu => 0,
+        }
+    }
+
+    /// Total MACs of a full forward pass.
+    pub fn total_macs(&self) -> u64 {
+        (0..self.layers.len()).map(|i| self.layer_macs(i)).sum()
+    }
+
+    /// MACs of layers `0..=target` (the AMC prefix).
+    pub fn prefix_macs(&self, target: usize) -> u64 {
+        (0..=target).map(|i| self.layer_macs(i)).sum()
+    }
+
+    /// MACs executed on the convolutional accelerator (Eyeriss).
+    pub fn conv_macs(&self) -> u64 {
+        (0..self.layers.len())
+            .filter(|&i| matches!(self.layers[i].kind, LayerKind::Conv { .. }))
+            .map(|i| self.layer_macs(i))
+            .sum()
+    }
+
+    /// MACs executed on the fully-connected accelerator (EIE).
+    pub fn fc_macs(&self) -> u64 {
+        (0..self.layers.len())
+            .filter(|&i| matches!(self.layers[i].kind, LayerKind::Fc { .. }))
+            .map(|i| self.layer_macs(i))
+            .sum()
+    }
+
+    /// Conv MACs restricted to the prefix / suffix split at `target`.
+    pub fn conv_macs_split(&self, target: usize) -> (u64, u64) {
+        let mut prefix = 0;
+        let mut suffix = 0;
+        for i in 0..self.layers.len() {
+            if matches!(self.layers[i].kind, LayerKind::Conv { .. }) {
+                if i <= target {
+                    prefix += self.layer_macs(i);
+                } else {
+                    suffix += self.layer_macs(i);
+                }
+            }
+        }
+        (prefix, suffix)
+    }
+
+    /// Index of the last spatial layer (the paper's default target).
+    pub fn last_spatial_layer(&self) -> Option<usize> {
+        let mut last = None;
+        for (i, l) in self.layers.iter().enumerate() {
+            match l.kind {
+                LayerKind::Fc { .. } => break,
+                _ => last = Some(i),
+            }
+        }
+        last
+    }
+
+    /// Index of the layer with the given name.
+    pub fn layer_index(&self, name: &str) -> Option<usize> {
+        self.layers.iter().position(|l| l.name == name)
+    }
+
+    /// Receptive-field `(size, stride, padding)` of the activation after
+    /// layer `target`, as seen from the input.
+    pub fn receptive_field(&self, target: usize) -> (usize, usize, usize) {
+        let mut rf = (1usize, 1usize, 0usize);
+        for l in &self.layers[..=target] {
+            let (k, s, p) = match l.kind {
+                LayerKind::Conv {
+                    kernel,
+                    stride,
+                    padding,
+                    ..
+                } => (kernel, stride, padding),
+                LayerKind::Pool { kernel, stride } => (kernel, stride, 0),
+                LayerKind::Relu => (1, 1, 0),
+                LayerKind::Fc { .. } => panic!("receptive field through FC layer"),
+            };
+            rf = (rf.0 + (k - 1) * rf.1, rf.1 * s, rf.2 + p * rf.1);
+        }
+        rf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> NetDescriptor {
+        NetDescriptor::new("toy", (1, 32, 32))
+            .conv("c1", 1, 8, 3, 1, 1)
+            .pool("p1", 2, 2)
+            .conv("c2", 8, 16, 3, 1, 1)
+            .fc("fc1", 10)
+    }
+
+    #[test]
+    fn shapes_propagate() {
+        let n = toy();
+        assert_eq!(n.shape_after(0), (8, 32, 32));
+        assert_eq!(n.shape_after(1), (8, 16, 16));
+        assert_eq!(n.shape_after(2), (16, 16, 16));
+        assert_eq!(n.shape_after(3), (10, 1, 1));
+    }
+
+    #[test]
+    fn macs_formula() {
+        let n = toy();
+        assert_eq!(n.layer_macs(0), 32 * 32 * 8 * 9);
+        assert_eq!(n.layer_macs(1), 0);
+        assert_eq!(n.layer_macs(2), 16 * 16 * 16 * 8 * 9);
+        assert_eq!(n.layer_macs(3), 16 * 16 * 16 * 10);
+        assert_eq!(
+            n.total_macs(),
+            n.layer_macs(0) + n.layer_macs(2) + n.layer_macs(3)
+        );
+    }
+
+    #[test]
+    fn grouped_conv_divides_macs() {
+        let dense = NetDescriptor::new("d", (96, 27, 27)).conv("c", 96, 256, 5, 1, 2);
+        let grouped =
+            NetDescriptor::new("g", (96, 27, 27)).conv_grouped("c", 96, 256, 5, 1, 2, 2);
+        assert_eq!(dense.layer_macs(0), 2 * grouped.layer_macs(0));
+    }
+
+    #[test]
+    fn conv_fc_split() {
+        let n = toy();
+        assert_eq!(n.conv_macs() + n.fc_macs(), n.total_macs());
+        assert_eq!(n.fc_macs(), 16 * 16 * 16 * 10);
+    }
+
+    #[test]
+    fn prefix_and_split() {
+        let n = toy();
+        assert_eq!(n.prefix_macs(1), n.layer_macs(0));
+        let (pre, suf) = n.conv_macs_split(1);
+        assert_eq!(pre, n.layer_macs(0));
+        assert_eq!(suf, n.layer_macs(2));
+    }
+
+    #[test]
+    fn last_spatial_stops_before_fc() {
+        let n = toy();
+        assert_eq!(n.last_spatial_layer(), Some(2));
+        assert_eq!(n.layer_index("c2"), Some(2));
+        assert_eq!(n.layer_index("nope"), None);
+    }
+
+    #[test]
+    fn receptive_field_fold() {
+        let n = toy();
+        // c1 (3,1,1) → rf (3,1,1); p1 (2,2) → (4,2,1); c2 → (8,2,3).
+        assert_eq!(n.receptive_field(2), (8, 2, 3));
+    }
+}

@@ -1,0 +1,637 @@
+//! Receptive field block motion estimation (RFBME).
+//!
+//! RFBME (§III-A of the paper) estimates one motion vector per *receptive
+//! field* of the AMC target layer — exactly the granularity activation
+//! warping can use. It exploits two properties of receptive fields:
+//!
+//! 1. Their size is typically much larger than their stride, so adjacent
+//!    fields overlap heavily and **tile-level differences can be reused**.
+//! 2. Padding makes edge receptive fields extend out of bounds, where
+//!    comparisons are unnecessary.
+//!
+//! The implementation mirrors the hardware microarchitecture:
+//! [`DiffTileProducer`] performs a subsampled exhaustive search per
+//! `stride × stride` tile (Fig 6's "diff tile producer"), and
+//! [`DiffTileConsumer`] coalesces tile differences into receptive-field
+//! differences with rolling column add/subtract reuse and a min-check
+//! register per field (Fig 8). Both stages count their arithmetic
+//! operations, which backs the §IV-A first-order comparison against the CNN
+//! prefix cost.
+
+use crate::field::{MotionVector, VectorField};
+use crate::{MotionEstimator, MotionResult};
+use eva2_tensor::GrayImage;
+use serde::{Deserialize, Serialize};
+
+/// Receptive-field geometry as seen from the input image.
+///
+/// Mirrors `eva2_cnn::ReceptiveField` (duplicated here so the motion crate
+/// depends only on the tensor substrate; `eva2-core` converts between the
+/// two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RfGeometry {
+    /// Receptive-field side length in pixels.
+    pub size: usize,
+    /// Pixel distance between adjacent receptive fields.
+    pub stride: usize,
+    /// Offset of the first receptive field's origin above/left of the image
+    /// origin.
+    pub padding: usize,
+}
+
+impl RfGeometry {
+    /// Number of receptive fields along an image dimension of `n` pixels
+    /// (the spatial extent of the target activation).
+    pub fn grid_len(&self, n: usize) -> usize {
+        let padded = n + 2 * self.padding;
+        if padded < self.size {
+            0
+        } else {
+            (padded - self.size) / self.stride + 1
+        }
+    }
+}
+
+/// Block-matching search window parameters.
+///
+/// The producer "considers all locations in the key frame that are aligned
+/// with the search stride and are within the search radius" (§III-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Maximum displacement searched in each direction, in pixels.
+    pub radius: usize,
+    /// Search stride: only offsets that are multiples of `step` are
+    /// examined. 1 = full search.
+    pub step: usize,
+}
+
+impl SearchParams {
+    /// The search offsets along one axis: `-radius..=radius` step `step`.
+    pub fn offsets(&self) -> Vec<isize> {
+        let step = self.step.max(1) as isize;
+        let r = self.radius as isize;
+        let mut v = Vec::new();
+        let mut o = -r;
+        while o <= r {
+            v.push(o);
+            o += step;
+        }
+        v
+    }
+
+    /// Number of candidate offsets in the 2-D search window.
+    pub fn window_len(&self) -> usize {
+        let n = self.offsets().len();
+        n * n
+    }
+}
+
+/// Marker for a tile difference that could not be computed because the
+/// candidate window leaves the key frame.
+const INVALID: u32 = u32::MAX;
+
+/// Tile-level absolute differences for every search offset.
+///
+/// `diffs[o][ty * tiles_x + tx]` is the sum of absolute differences between
+/// the new frame's tile `(ty, tx)` and the key frame at that tile's origin
+/// displaced by `offsets[o]`, or [`INVALID`] when that window is out of
+/// bounds.
+#[derive(Debug, Clone)]
+pub struct TileDiffs {
+    /// Tile grid height.
+    pub tiles_y: usize,
+    /// Tile grid width.
+    pub tiles_x: usize,
+    /// The (dy, dx) search offsets, row-major over the search window.
+    pub offsets: Vec<(isize, isize)>,
+    /// Per-offset tile difference planes.
+    pub diffs: Vec<Vec<u32>>,
+    /// Adds performed while producing the differences.
+    pub ops: u64,
+}
+
+/// The diff tile producer: subsampled exhaustive search per tile (§III-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffTileProducer {
+    /// Tile side length — equal to the receptive-field stride.
+    pub tile: usize,
+    /// Search window parameters.
+    pub params: SearchParams,
+}
+
+impl DiffTileProducer {
+    /// Computes tile differences between `new` (current frame tiles) and
+    /// `key` (search windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two frames differ in size.
+    pub fn produce(&self, key: &GrayImage, new: &GrayImage) -> TileDiffs {
+        assert_eq!(
+            (key.height(), key.width()),
+            (new.height(), new.width()),
+            "frame size mismatch"
+        );
+        let s = self.tile.max(1);
+        let tiles_y = new.height() / s;
+        let tiles_x = new.width() / s;
+        let axis = self.params.offsets();
+        let mut offsets = Vec::with_capacity(axis.len() * axis.len());
+        for &dy in &axis {
+            for &dx in &axis {
+                offsets.push((dy, dx));
+            }
+        }
+        let mut diffs = vec![vec![INVALID; tiles_y * tiles_x]; offsets.len()];
+        let mut ops: u64 = 0;
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                let oy = (ty * s) as isize;
+                let ox = (tx * s) as isize;
+                for (oi, &(dy, dx)) in offsets.iter().enumerate() {
+                    let ky = oy + dy;
+                    let kx = ox + dx;
+                    // Only fully in-bounds key windows are valid candidates.
+                    if ky < 0
+                        || kx < 0
+                        || ky + s as isize > key.height() as isize
+                        || kx + s as isize > key.width() as isize
+                    {
+                        continue;
+                    }
+                    let mut sad: u32 = 0;
+                    for py in 0..s {
+                        for px in 0..s {
+                            let a = new.get(oy as usize + py, ox as usize + px) as i32;
+                            let b = key.get((ky as usize) + py, (kx as usize) + px) as i32;
+                            sad += (a - b).unsigned_abs();
+                        }
+                    }
+                    ops += (s * s) as u64;
+                    diffs[oi][ty * tiles_x + tx] = sad;
+                }
+            }
+        }
+        TileDiffs {
+            tiles_y,
+            tiles_x,
+            offsets,
+            diffs,
+            ops,
+        }
+    }
+}
+
+/// Per-receptive-field output of the consumer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfMatch {
+    /// Best-match displacement (pixels, gather convention).
+    pub vector: MotionVector,
+    /// Minimum receptive-field difference (the block error fed to the
+    /// key-frame choice module).
+    pub error: u32,
+    /// Number of pixels that contributed to `error` (for normalisation).
+    pub pixels: u32,
+}
+
+/// The diff tile consumer: aggregates tile differences into receptive-field
+/// differences with rolling reuse, and finds each field's best offset
+/// (§III-A2, Fig 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffTileConsumer {
+    /// Receptive-field geometry.
+    pub rf: RfGeometry,
+}
+
+impl DiffTileConsumer {
+    /// Tile index range `[t0, t1)` covered by the receptive field starting
+    /// at activation coordinate `a` along one axis, restricted to whole
+    /// tiles inside the frame ("RFBME ignores partial tiles", §III-A).
+    fn tile_range(&self, a: usize, tiles: usize) -> (usize, usize) {
+        let s = self.rf.stride as isize;
+        let origin = a as isize * s - self.rf.padding as isize;
+        let end = origin + self.rf.size as isize;
+        // First whole tile at or after origin; last whole tile ending at or
+        // before end.
+        let t0 = origin.div_euclid(s) + if origin.rem_euclid(s) != 0 { 1 } else { 0 };
+        let t1 = end.div_euclid(s);
+        let t0 = t0.max(0) as usize;
+        let t1 = t1.max(0) as usize;
+        (t0.min(tiles), t1.min(tiles))
+    }
+
+    /// Consumes tile differences, producing one [`RfMatch`] per receptive
+    /// field plus the consumer's operation count.
+    pub fn consume(&self, tiles: &TileDiffs, grid_h: usize, grid_w: usize) -> (Vec<RfMatch>, u64) {
+        let s2 = (self.rf.stride * self.rf.stride) as u32;
+        let mut best: Vec<RfMatch> = vec![
+            RfMatch {
+                vector: MotionVector::ZERO,
+                error: u32::MAX,
+                pixels: 0,
+            };
+            grid_h * grid_w
+        ];
+        let mut ops: u64 = 0;
+        let mut colsum = vec![0u64; tiles.tiles_x];
+        let mut colvalid = vec![true; tiles.tiles_x];
+        for (oi, plane) in tiles.diffs.iter().enumerate() {
+            let (ody, odx) = tiles.offsets[oi];
+            for ay in 0..grid_h {
+                let (ty0, ty1) = self.tile_range(ay, tiles.tiles_y);
+                if ty0 >= ty1 {
+                    continue;
+                }
+                // Column sums over the tile rows of this receptive-field row
+                // (the "previous block sum memory" granularity in hardware).
+                for tx in 0..tiles.tiles_x {
+                    let mut sum = 0u64;
+                    let mut valid = true;
+                    for ty in ty0..ty1 {
+                        let d = plane[ty * tiles.tiles_x + tx];
+                        if d == INVALID {
+                            valid = false;
+                            break;
+                        }
+                        sum += d as u64;
+                    }
+                    ops += (ty1 - ty0) as u64;
+                    colsum[tx] = sum;
+                    colvalid[tx] = valid;
+                }
+                // Slide the window across activation columns with rolling
+                // add/subtract.
+                let mut window: Option<(u64, usize, usize)> = None; // (sum, tx0, tx1)
+                for ax in 0..grid_w {
+                    let (tx0, tx1) = self.tile_range(ax, tiles.tiles_x);
+                    if tx0 >= tx1 {
+                        window = None;
+                        continue;
+                    }
+                    let sum = match window {
+                        // Rolling update only valid when the window width is
+                        // unchanged and slid by exactly the reuse pattern.
+                        Some((prev, p0, p1)) if tx1 - tx0 == p1 - p0 && tx0 >= p0 && tx0 <= p1 => {
+                            let mut sum = prev;
+                            for tx in p0..tx0 {
+                                sum -= colsum[tx];
+                                ops += 1;
+                            }
+                            for tx in p1..tx1 {
+                                sum += colsum[tx];
+                                ops += 1;
+                            }
+                            sum
+                        }
+                        _ => {
+                            let mut sum = 0u64;
+                            for tx in tx0..tx1 {
+                                sum += colsum[tx];
+                                ops += 1;
+                            }
+                            sum
+                        }
+                    };
+                    window = Some((sum, tx0, tx1));
+                    // Any invalid column invalidates this offset for the RF.
+                    if colvalid[tx0..tx1].iter().any(|&v| !v) {
+                        continue;
+                    }
+                    let n_tiles = ((ty1 - ty0) * (tx1 - tx0)) as u32;
+                    let err = sum.min(u32::MAX as u64 - 1) as u32;
+                    let b = &mut best[ay * grid_w + ax];
+                    // Min-check register: strictly-smaller error wins; ties
+                    // prefer the smaller displacement (stability).
+                    let cand_mag = (ody * ody + odx * odx) as f32;
+                    let best_mag =
+                        b.vector.dy * b.vector.dy + b.vector.dx * b.vector.dx;
+                    if err < b.error || (err == b.error && cand_mag < best_mag) {
+                        *b = RfMatch {
+                            vector: MotionVector::new(ody as f32, odx as f32),
+                            error: err,
+                            pixels: n_tiles * s2,
+                        };
+                    }
+                }
+            }
+        }
+        // Receptive fields that never saw a valid offset report zero motion
+        // and zero error (no evidence either way).
+        for b in &mut best {
+            if b.error == u32::MAX {
+                *b = RfMatch {
+                    vector: MotionVector::ZERO,
+                    error: 0,
+                    pixels: 0,
+                };
+            }
+        }
+        (best, ops)
+    }
+}
+
+/// Full RFBME result.
+#[derive(Debug, Clone)]
+pub struct RfbmeResult {
+    /// Motion vector per receptive field (pixel units, cell = RF stride).
+    pub field: VectorField,
+    /// Per-field minimum block error.
+    pub errors: Vec<u32>,
+    /// Sum of per-field minimum errors — the pixel-compensation-error
+    /// signal for adaptive key-frame selection.
+    pub total_error: u64,
+    /// Total pixels compared across all fields' best matches (receptive
+    /// fields overlap, so this exceeds the frame size). Normalising
+    /// `total_error` by this gives a resolution-independent per-pixel
+    /// error.
+    pub total_pixels: u64,
+    /// Producer adds.
+    pub producer_ops: u64,
+    /// Consumer adds/subtracts.
+    pub consumer_ops: u64,
+}
+
+impl RfbmeResult {
+    /// Total arithmetic operations.
+    pub fn ops(&self) -> u64 {
+        self.producer_ops + self.consumer_ops
+    }
+}
+
+/// The complete RFBME estimator: producer + consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rfbme {
+    rf: RfGeometry,
+    params: SearchParams,
+}
+
+impl Rfbme {
+    /// Creates an estimator for the given receptive-field geometry and
+    /// search window.
+    pub fn new(rf: RfGeometry, params: SearchParams) -> Self {
+        Self { rf, params }
+    }
+
+    /// The receptive-field geometry being matched.
+    pub fn rf(&self) -> RfGeometry {
+        self.rf
+    }
+
+    /// Runs RFBME from `key` to `new`.
+    pub fn estimate(&self, key: &GrayImage, new: &GrayImage) -> RfbmeResult {
+        let producer = DiffTileProducer {
+            tile: self.rf.stride,
+            params: self.params,
+        };
+        let tiles = producer.produce(key, new);
+        let grid_h = self.rf.grid_len(new.height());
+        let grid_w = self.rf.grid_len(new.width());
+        let consumer = DiffTileConsumer { rf: self.rf };
+        let (matches, consumer_ops) = consumer.consume(&tiles, grid_h, grid_w);
+        let mut field = VectorField::zeros(grid_h, grid_w, self.rf.stride);
+        let mut errors = Vec::with_capacity(matches.len());
+        let mut total: u64 = 0;
+        let mut total_pixels: u64 = 0;
+        for (i, m) in matches.iter().enumerate() {
+            field.set(i / grid_w.max(1), i % grid_w.max(1), m.vector);
+            errors.push(m.error);
+            total += m.error as u64;
+            total_pixels += m.pixels as u64;
+        }
+        RfbmeResult {
+            field,
+            errors,
+            total_error: total,
+            total_pixels,
+            producer_ops: tiles.ops,
+            consumer_ops,
+        }
+    }
+}
+
+impl MotionEstimator for Rfbme {
+    fn name(&self) -> &str {
+        "RFBME"
+    }
+
+    fn estimate(&self, key: &GrayImage, new: &GrayImage) -> MotionResult {
+        let r = Rfbme::estimate(self, key, new);
+        MotionResult {
+            ops: r.ops(),
+            total_error: Some(r.total_error),
+            field: r.field,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(h: usize, w: usize) -> GrayImage {
+        GrayImage::from_fn(h, w, |y, x| {
+            (((y * 31 + x * 17) ^ (y * x / 3)) % 251) as u8
+        })
+    }
+
+    fn rf_844() -> RfGeometry {
+        RfGeometry {
+            size: 8,
+            stride: 4,
+            padding: 0,
+        }
+    }
+
+    #[test]
+    fn search_offsets_respect_step() {
+        let p = SearchParams { radius: 4, step: 2 };
+        assert_eq!(p.offsets(), vec![-4, -2, 0, 2, 4]);
+        assert_eq!(p.window_len(), 25);
+    }
+
+    #[test]
+    fn identical_frames_give_zero_vectors_and_zero_error() {
+        let img = textured(32, 32);
+        let rfbme = Rfbme::new(rf_844(), SearchParams { radius: 4, step: 1 });
+        let r = rfbme.estimate(&img, &img);
+        assert_eq!(r.total_error, 0);
+        assert!(r.field.iter().all(|v| *v == MotionVector::ZERO));
+    }
+
+    #[test]
+    fn global_translation_is_recovered() {
+        let key = textured(40, 40);
+        // New frame: content moved right by 3 pixels → best match for a new
+        // block at p is at p + v with v = (0, -3).
+        let new = key.translate(0, 3, 0);
+        let rfbme = Rfbme::new(rf_844(), SearchParams { radius: 4, step: 1 });
+        let r = rfbme.estimate(&key, &new);
+        let mut hits = 0;
+        let mut total = 0;
+        for gy in 0..r.field.grid_h() {
+            for gx in 2..r.field.grid_w() {
+                // skip leftmost columns polluted by the translation fill
+                total += 1;
+                if r.field.get(gy, gx) == MotionVector::new(0.0, -3.0) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits * 10 >= total * 8, "only {hits}/{total} fields correct");
+    }
+
+    #[test]
+    fn vertical_translation_sign() {
+        let key = textured(40, 40);
+        let new = key.translate(2, 0, 0); // content moved down
+        let rfbme = Rfbme::new(rf_844(), SearchParams { radius: 4, step: 1 });
+        let r = rfbme.estimate(&key, &new);
+        let center = r.field.get(r.field.grid_h() / 2, r.field.grid_w() / 2);
+        assert_eq!(center, MotionVector::new(-2.0, 0.0));
+    }
+
+    #[test]
+    fn consumer_matches_brute_force_sums() {
+        // The rolling-window consumer must agree with a brute-force
+        // recomputation of every receptive-field difference.
+        let key = textured(32, 32);
+        let new = key.translate(1, 2, 7);
+        let rf = rf_844();
+        let params = SearchParams { radius: 2, step: 1 };
+        let producer = DiffTileProducer {
+            tile: rf.stride,
+            params,
+        };
+        let tiles = producer.produce(&key, &new);
+        let grid = rf.grid_len(32);
+        let consumer = DiffTileConsumer { rf };
+        let (matches, _) = consumer.consume(&tiles, grid, grid);
+        // Brute force.
+        for ay in 0..grid {
+            for ax in 0..grid {
+                let (ty0, ty1) = consumer.tile_range(ay, tiles.tiles_y);
+                let (tx0, tx1) = consumer.tile_range(ax, tiles.tiles_x);
+                let mut best_err = u32::MAX;
+                for (oi, _) in tiles.offsets.iter().enumerate() {
+                    let mut sum: u64 = 0;
+                    let mut valid = true;
+                    for ty in ty0..ty1 {
+                        for tx in tx0..tx1 {
+                            let d = tiles.diffs[oi][ty * tiles.tiles_x + tx];
+                            if d == INVALID {
+                                valid = false;
+                            } else {
+                                sum += d as u64;
+                            }
+                        }
+                    }
+                    if valid {
+                        best_err = best_err.min(sum as u32);
+                    }
+                }
+                let got = matches[ay * grid + ax].error;
+                if best_err == u32::MAX {
+                    assert_eq!(got, 0);
+                } else {
+                    assert_eq!(got, best_err, "rf ({ay},{ax})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_shrinks_valid_tile_range_at_edges() {
+        let rf = RfGeometry {
+            size: 6,
+            stride: 2,
+            padding: 2,
+        };
+        let consumer = DiffTileConsumer { rf };
+        // Fig 7a: the first receptive field starts at -2; only tiles 0 and 1
+        // (pixels 0..4) are fully inside it.
+        assert_eq!(consumer.tile_range(0, 10), (0, 2));
+        // Fig 7b: second receptive field covers pixels 0..6 → tiles 0..3.
+        assert_eq!(consumer.tile_range(1, 10), (0, 3));
+    }
+
+    #[test]
+    fn producer_skips_out_of_bounds_windows() {
+        let img = textured(16, 16);
+        let producer = DiffTileProducer {
+            tile: 4,
+            params: SearchParams { radius: 8, step: 4 },
+        };
+        let tiles = producer.produce(&img, &img);
+        // Corner tile (0,0) cannot match at offset (-8,-8).
+        let oi = tiles
+            .offsets
+            .iter()
+            .position(|&o| o == (-8, -8))
+            .expect("offset present");
+        assert_eq!(tiles.diffs[oi][0], INVALID);
+        // But it can match at (0, 0).
+        let oi0 = tiles.offsets.iter().position(|&o| o == (0, 0)).unwrap();
+        assert_eq!(tiles.diffs[oi0][0], 0);
+    }
+
+    #[test]
+    fn ops_are_far_below_unoptimized_for_large_strides() {
+        // §IV-A: reuse gains scale with stride². With rf 16/8, the optimized
+        // op count must be well under the unoptimized rf_size² per offset.
+        let key = textured(64, 64);
+        let new = key.translate(1, 1, 0);
+        let rf = RfGeometry {
+            size: 16,
+            stride: 8,
+            padding: 0,
+        };
+        let rfbme = Rfbme::new(rf, SearchParams { radius: 8, step: 2 });
+        let r = rfbme.estimate(&key, &new);
+        let grid = rf.grid_len(64);
+        let window = SearchParams { radius: 8, step: 2 }.window_len() as u64;
+        let unoptimized = (grid * grid) as u64 * window * (rf.size * rf.size) as u64;
+        assert!(
+            r.ops() * 2 < unoptimized,
+            "ops {} not far below unoptimized {unoptimized}",
+            r.ops()
+        );
+    }
+
+    #[test]
+    fn occlusion_raises_block_error() {
+        let key = textured(32, 32);
+        let mut new = key.clone();
+        // Paint a block of "new pixels" (de-occlusion).
+        for y in 8..20 {
+            for x in 8..20 {
+                new.set(y, x, 255);
+            }
+        }
+        let rfbme = Rfbme::new(rf_844(), SearchParams { radius: 4, step: 1 });
+        let clean = rfbme.estimate(&key, &key).total_error;
+        let occluded = rfbme.estimate(&key, &new).total_error;
+        assert!(occluded > clean + 1000, "occluded {occluded} clean {clean}");
+    }
+
+    #[test]
+    fn grid_len_matches_conv_arithmetic() {
+        let rf = RfGeometry {
+            size: 8,
+            stride: 4,
+            padding: 2,
+        };
+        // (32 + 4 - 8)/4 + 1 = 8
+        assert_eq!(rf.grid_len(32), 8);
+        assert_eq!(rf_844().grid_len(32), 7);
+    }
+
+    #[test]
+    fn estimator_trait_reports_error() {
+        let img = textured(24, 24);
+        let rfbme = Rfbme::new(rf_844(), SearchParams { radius: 2, step: 1 });
+        let res = MotionEstimator::estimate(&rfbme, &img, &img);
+        assert_eq!(res.total_error, Some(0));
+        assert_eq!(MotionEstimator::name(&rfbme), "RFBME");
+        assert!(res.ops > 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the tensor substrate.
+
+use eva2_tensor::interp::sample_bilinear;
+use eva2_tensor::{fixed, Fixed, GrayImage, Shape3, Tensor3};
+use proptest::prelude::*;
+
+fn small_shape() -> impl Strategy<Value = Shape3> {
+    (1usize..4, 1usize..8, 1usize..8).prop_map(|(c, h, w)| Shape3::new(c, h, w))
+}
+
+fn tensor_for(shape: Shape3) -> impl Strategy<Value = Tensor3> {
+    proptest::collection::vec(-10.0f32..10.0, shape.len())
+        .prop_map(move |v| Tensor3::from_vec(shape, v))
+}
+
+fn arb_tensor() -> impl Strategy<Value = Tensor3> {
+    small_shape().prop_flat_map(tensor_for)
+}
+
+proptest! {
+    #[test]
+    fn index_coords_roundtrip(shape in small_shape(), seed in 0usize..10_000) {
+        let flat = seed % shape.len();
+        let (c, y, x) = shape.coords(flat);
+        prop_assert_eq!(shape.index(c, y, x), flat);
+    }
+
+    #[test]
+    fn translate_composes(t in arb_tensor(), dy in -3isize..3, dx in -3isize..3) {
+        // Translating by (dy, dx) then (-dy, -dx) restores interior values.
+        let back = t.translate(dy, dx).translate(-dy, -dx);
+        let s = t.shape();
+        for c in 0..s.channels {
+            for y in 0..s.height {
+                for x in 0..s.width {
+                    let yi = y as isize;
+                    let xi = x as isize;
+                    // The value survives the round trip iff its intermediate
+                    // location (y+dy, x+dx) stayed inside the frame.
+                    let interior = yi + dy >= 0
+                        && xi + dx >= 0
+                        && ((yi + dy) as usize) < s.height
+                        && ((xi + dx) as usize) < s.width;
+                    if interior {
+                        prop_assert_eq!(back.get(c, y, x), t.get(c, y, x));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l1_distance_is_symmetric(a in arb_tensor()) {
+        let b = a.map(|v| v * 0.5 + 1.0);
+        prop_assert!((a.l1_distance(&b) - b.l1_distance(&a)).abs() < 1e-3);
+        prop_assert_eq!(a.l1_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn bilinear_is_bounded_by_neighbourhood(t in arb_tensor(), fy in 0.0f32..1.0, fx in 0.0f32..1.0) {
+        // For interior sample points, the interpolated value never exceeds
+        // the min/max of its 2x2 neighbourhood.
+        let s = t.shape();
+        prop_assume!(s.height >= 2 && s.width >= 2);
+        let y = fy * (s.height - 1) as f32 * 0.999;
+        let x = fx * (s.width - 1) as f32 * 0.999;
+        let y0 = y.floor() as usize;
+        let x0 = x.floor() as usize;
+        for c in 0..s.channels {
+            let vals = [
+                t.get(c, y0, x0),
+                t.get(c, y0, (x0 + 1).min(s.width - 1)),
+                t.get(c, (y0 + 1).min(s.height - 1), x0),
+                t.get(c, (y0 + 1).min(s.height - 1), (x0 + 1).min(s.width - 1)),
+            ];
+            let lo = vals.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = vals.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let v = sample_bilinear(&t, c, y, x);
+            prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4, "v={v} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn fixed_roundtrip_error_is_half_ulp(v in -120.0f32..120.0) {
+        let q = Fixed::from_f32(v).to_f32();
+        prop_assert!((q - v).abs() <= 0.5 / fixed::SCALE as f32 + 1e-6);
+    }
+
+    #[test]
+    fn fixed_add_is_commutative(a in -60.0f32..60.0, b in -60.0f32..60.0) {
+        let fa = Fixed::from_f32(a);
+        let fb = Fixed::from_f32(b);
+        prop_assert_eq!(fa + fb, fb + fa);
+    }
+
+    #[test]
+    fn fixed_mul_matches_float_within_ulp(a in -10.0f32..10.0, b in -10.0f32..10.0) {
+        let prod = (Fixed::from_f32(a) * Fixed::from_f32(b)).to_f32();
+        let expect = Fixed::from_f32(a).to_f32() * Fixed::from_f32(b).to_f32();
+        // Truncating multiply may lose up to one LSB.
+        prop_assert!((prod - expect).abs() <= 1.0 / fixed::SCALE as f32 + 1e-5);
+    }
+
+    #[test]
+    fn image_sad_triangle_inequality(
+        h in 1usize..6,
+        w in 1usize..6,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let a = GrayImage::from_fn(h, w, |y, x| ((seed_a >> ((y * w + x) % 57)) & 0xff) as u8);
+        let b = GrayImage::from_fn(h, w, |y, x| ((seed_b >> ((y * w + x) % 57)) & 0xff) as u8);
+        let zero = GrayImage::zeros(h, w);
+        prop_assert!(a.sad(&b) <= a.sad(&zero) + zero.sad(&b));
+    }
+
+    #[test]
+    fn image_translate_preserves_histogram_mass_when_interior(
+        h in 3usize..8,
+        w in 3usize..8,
+    ) {
+        // A single bright interior pixel keeps its value under small shifts.
+        let mut img = GrayImage::zeros(h, w);
+        img.set(h / 2, w / 2, 200);
+        let moved = img.translate(1, 1, 0);
+        prop_assert_eq!(moved.get(h / 2 + 1, w / 2 + 1), 200);
+    }
+}

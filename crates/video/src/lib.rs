@@ -1,0 +1,47 @@
+//! Synthetic live-video generator with ground truth.
+//!
+//! The EVA² paper evaluates on the YouTube-BoundingBoxes dataset — 240,000
+//! annotated videos. That corpus (and the pretrained networks that consume
+//! it) is unavailable here, so this crate builds the closest synthetic
+//! equivalent: procedurally generated video whose statistics exercise exactly
+//! the phenomena AMC's accuracy depends on. Each of the paper's three
+//! "sufficient conditions for precision" (§II-B) has a controllable violation:
+//!
+//! * **Condition 1 (perfect motion estimation)** is violated by
+//!   [`scene::SceneConfig::lighting_drift`], sensor noise, occluders that
+//!   reveal "new pixels", and object appearance/disappearance.
+//! * **Condition 2 (convolution-aligned motion)** is violated by sub-stride
+//!   object velocities and independently moving objects inside one receptive
+//!   field.
+//! * **Condition 3 (nonlinearities preserve motion)** is violated by any
+//!   motion at all once the CNN contains max-pooling, which every network in
+//!   the zoo does.
+//!
+//! Ground truth (object class and bounding box) is exact by construction, so
+//! the accuracy metrics in `eva2-cnn::metrics` (top-1, mAP) are meaningful.
+//!
+//! # Example
+//!
+//! ```
+//! use eva2_video::scene::{Scene, SceneConfig};
+//!
+//! let mut scene = Scene::new(SceneConfig::classification(64, 64), 42);
+//! let clip = scene.render_clip(10);
+//! assert_eq!(clip.frames.len(), 10);
+//! let truth = &clip.frames[0].truth;
+//! assert!(truth.class < eva2_video::sprite::SpriteKind::COUNT);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod dataset;
+pub mod frame;
+pub mod motion_script;
+pub mod scene;
+pub mod sprite;
+
+pub use bbox::BoundingBox;
+pub use frame::{Clip, Frame, GroundTruth};
+pub use scene::{Scene, SceneConfig};
+pub use sprite::SpriteKind;

@@ -1,0 +1,141 @@
+//! End-to-end tests of the paper's §II-B claims: convolutions commute with
+//! translation, and the three "sufficient conditions for precision" behave
+//! as Fig 4 illustrates — through the *real* layer implementations and the
+//! real warp engine, not toy matrices.
+
+use eva2::amc::warp::warp_activation;
+use eva2::cnn::layer::{Conv2d, Layer, MaxPool2d};
+use eva2::motion::field::{MotionVector, VectorField};
+use eva2::tensor::interp::Interpolation;
+use eva2::tensor::{Shape3, Tensor3};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(77)
+}
+
+/// A blob image whose interior content can translate without touching the
+/// frame border.
+fn blob(h: usize, w: usize) -> Tensor3 {
+    Tensor3::from_fn(Shape3::new(1, h, w), |_, y, x| {
+        let dy = y as f32 - h as f32 * 0.4;
+        let dx = x as f32 - w as f32 * 0.4;
+        let r2 = dy * dy + dx * dx;
+        if r2 < (h as f32 * 0.2).powi(2) {
+            1.0 + (y * 7 + x * 3) as f32 * 0.01
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Fig 3: f(δ(x)) = δ'(f(x)) for a stride-1 convolution and integer
+/// translation.
+#[test]
+fn convolution_commutes_with_integer_translation() {
+    let conv = Conv2d::new("c", 1, 4, 3, 1, 1, &mut rng());
+    let x = blob(16, 16);
+    let moved = x.translate(2, 3);
+    let f_then_translate = conv.forward(&x).translate(2, 3);
+    let translate_then_f = conv.forward(&moved);
+    // Interior equality (border rows touched by padding may differ).
+    let s = f_then_translate.shape();
+    for c in 0..s.channels {
+        for y in 3..s.height - 1 {
+            for x in 4..s.width - 1 {
+                let a = f_then_translate.get(c, y, x);
+                let b = translate_then_f.get(c, y, x);
+                assert!((a - b).abs() < 1e-4, "({c},{y},{x}): {a} vs {b}");
+            }
+        }
+    }
+}
+
+/// Fig 4b: a stride-s pooling layer translates by d/s when the input
+/// translates by a multiple of s.
+#[test]
+fn pooling_commutes_with_stride_aligned_translation() {
+    let pool = MaxPool2d::new("p", 2, 2);
+    let x = blob(16, 16);
+    let moved = x.translate(0, 4); // aligned to the pooling stride
+    let a = pool.forward(&x).translate(0, 2);
+    let b = pool.forward(&moved);
+    for y in 1..7 {
+        for xx in 3..7 {
+            assert_eq!(a.get(0, y, xx), b.get(0, y, xx), "({y},{xx})");
+        }
+    }
+}
+
+/// Fig 4e: the same pooling layer does NOT commute with a sub-stride
+/// translation — condition 3 is violated and warping becomes approximate.
+#[test]
+fn pooling_breaks_on_unaligned_translation() {
+    let pool = MaxPool2d::new("p", 2, 2);
+    let x = blob(16, 16);
+    let moved = x.translate(0, 1); // half the pooling stride
+    let unmoved_pool = pool.forward(&x);
+    let moved_pool = pool.forward(&moved);
+    // There is no integer activation translation that reproduces moved_pool.
+    let mut any_exact = false;
+    for shift in -1..=1isize {
+        if unmoved_pool.translate(0, shift) == moved_pool {
+            any_exact = true;
+        }
+    }
+    assert!(!any_exact, "sub-stride translation should not be exactly representable");
+}
+
+/// The full AMC claim: for stride-aligned global motion through a
+/// conv+pool prefix, warping the stored activation matches recomputation.
+#[test]
+fn amc_warp_matches_recomputation_for_aligned_motion() {
+    let mut r = rng();
+    let conv = Conv2d::new("c", 1, 3, 3, 1, 1, &mut r);
+    let pool = MaxPool2d::new("p", 2, 2);
+    let prefix = |t: &Tensor3| pool.forward(&conv.forward(t));
+    let x = blob(20, 20);
+    let moved = x.translate(0, 4); // two pooling strides
+    let key_act = prefix(&x);
+    let truth = prefix(&moved);
+    // Gather vector: content moved +4 px right, so pred[p] = key[p - 4px].
+    let s = key_act.shape();
+    let field = VectorField::uniform(s.height, s.width, 2, MotionVector::new(0.0, -4.0));
+    let (warped, _) = warp_activation(&key_act, &field, 2, Interpolation::Bilinear);
+    for c in 0..s.channels {
+        for y in 1..s.height - 1 {
+            for xx in 3..s.width - 1 {
+                let a = warped.get(c, y, xx);
+                let b = truth.get(c, y, xx);
+                assert!((a - b).abs() < 1e-4, "({c},{y},{xx}): {a} vs {b}");
+            }
+        }
+    }
+}
+
+/// Condition 1 (Fig 4c): "new pixels" from de-occlusion make warping
+/// approximate — the warped activation differs from recomputation near the
+/// new content, and the RFBME block error flags it.
+#[test]
+fn new_pixels_break_exactness_and_raise_block_error() {
+    use eva2::motion::rfbme::{Rfbme, RfGeometry, SearchParams};
+    use eva2::tensor::GrayImage;
+    let key = GrayImage::from_fn(32, 32, |y, x| {
+        (100.0 + 60.0 * ((y as f32 * 0.4).sin() * (x as f32 * 0.3).cos())) as u8
+    });
+    let mut new = key.clone();
+    for y in 10..22 {
+        for x in 10..22 {
+            new.set(y, x, 255); // revealed object
+        }
+    }
+    let rfbme = Rfbme::new(
+        RfGeometry { size: 8, stride: 4, padding: 0 },
+        SearchParams { radius: 4, step: 1 },
+    );
+    let clean = rfbme.estimate(&key, &key).total_error;
+    let occluded = rfbme.estimate(&key, &new).total_error;
+    assert_eq!(clean, 0);
+    assert!(occluded > 10_000, "block error {occluded} should flag new pixels");
+}
