@@ -3,9 +3,35 @@
 //! workload analogues.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eva2_cnn::layer::{Conv2d, Layer};
 use eva2_cnn::zoo::{self, Workload};
-use eva2_tensor::Tensor3;
+use eva2_tensor::gemm::GemmScratch;
+use eva2_tensor::{Shape3, Tensor3};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
+
+/// Naive-vs-GEMM conv forward on a representative mid-network layer
+/// (16→32 channels, 3×3, 32×32 spatial). The acceptance bar for the
+/// convolution engine is a ≥ 5× GEMM speedup here (release build).
+fn bench_conv_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_paths");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let conv = Conv2d::new("bench", 16, 32, 3, 1, 1, &mut rng);
+    let input = Tensor3::from_fn(Shape3::new(16, 32, 32), |c, y, x| {
+        (((c * 31 + y * 7 + x) % 23) as f32 - 11.0) * 0.1
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(conv.forward_naive(&input)))
+    });
+    group.bench_function("gemm", |b| b.iter(|| black_box(conv.forward(&input))));
+    let mut scratch = GemmScratch::new();
+    group.bench_function("gemm_scratch", |b| {
+        b.iter(|| black_box(conv.forward_scratch(&input, &mut scratch)))
+    });
+    group.finish();
+}
 
 fn bench_prefix_vs_suffix(c: &mut Criterion) {
     let mut group = c.benchmark_group("cnn_split");
@@ -52,5 +78,10 @@ fn bench_training_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prefix_vs_suffix, bench_training_step);
+criterion_group!(
+    benches,
+    bench_conv_paths,
+    bench_prefix_vs_suffix,
+    bench_training_step
+);
 criterion_main!(benches);

@@ -12,9 +12,7 @@ use std::hint::black_box;
 
 fn frame(shift: usize) -> GrayImage {
     GrayImage::from_fn(48, 48, |y, x| {
-        (125.0
-            + 50.0 * ((y as f32 * 0.29).sin() + ((x + shift) as f32 * 0.21).cos()))
-            as u8
+        (125.0 + 50.0 * ((y as f32 * 0.29).sin() + ((x + shift) as f32 * 0.21).cos())) as u8
     })
 }
 
@@ -26,22 +24,45 @@ fn bench_amc_frames(c: &mut Criterion) {
     let f1 = frame(1);
 
     // Key frame: full prefix + suffix + activation store refresh.
-    let mut always_key = AmcConfig::default();
-    always_key.policy = PolicyConfig::AlwaysKey;
+    let always_key = AmcConfig {
+        policy: PolicyConfig::AlwaysKey,
+        ..Default::default()
+    };
     group.bench_function("key_frame", |b| {
         let mut amc = AmcExecutor::new(&z.network, always_key);
         amc.process(&f0);
         b.iter(|| black_box(amc.process(&f1)))
     });
 
-    // Predicted frame: RFBME + warp + suffix only.
-    let mut never_key = AmcConfig::default();
-    never_key.policy = PolicyConfig::BlockError {
-        threshold: f32::INFINITY,
-        max_gap: usize::MAX,
+    // Predicted frame: RFBME + warp + sparse-fed suffix only.
+    let never_key = AmcConfig {
+        policy: PolicyConfig::BlockError {
+            threshold: f32::INFINITY,
+            max_gap: usize::MAX,
+        },
+        ..Default::default()
     };
     group.bench_function("predicted_frame", |b| {
         let mut amc = AmcExecutor::new(&z.network, never_key);
+        amc.process(&f0);
+        b.iter(|| black_box(amc.process(&f1)))
+    });
+
+    // Same predicted frame through the bit-accurate Q8.8 warp datapath.
+    let mut fixed = never_key;
+    fixed.fixed_point = true;
+    group.bench_function("predicted_frame_q88", |b| {
+        let mut amc = AmcExecutor::new(&z.network, fixed);
+        amc.process(&f0);
+        b.iter(|| black_box(amc.process(&f1)))
+    });
+
+    // Memoized predicted frame: suffix fed straight from the RLE store's
+    // non-zero runs (no warp, no densify).
+    let mut memo = never_key;
+    memo.warp = eva2_core::executor::WarpMode::Memoize;
+    group.bench_function("predicted_frame_memoize", |b| {
+        let mut amc = AmcExecutor::new(&z.network, memo);
         amc.process(&f0);
         b.iter(|| black_box(amc.process(&f1)))
     });

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eva2_motion::block::{BlockMatcher, SearchStrategy};
 use eva2_motion::hornschunck::HornSchunck;
 use eva2_motion::lucas_kanade::LucasKanade;
-use eva2_motion::rfbme::{Rfbme, RfGeometry, SearchParams};
+use eva2_motion::rfbme::{RfGeometry, Rfbme, SearchParams};
 use eva2_motion::MotionEstimator;
 use eva2_tensor::GrayImage;
 use std::hint::black_box;
@@ -60,7 +60,13 @@ fn bench_fig14_estimators(c: &mut Criterion) {
     let estimators: Vec<(&str, Box<dyn MotionEstimator>)> = vec![
         (
             "rfbme",
-            Box::new(Rfbme::new(rf, SearchParams { radius: 12, step: 1 })),
+            Box::new(Rfbme::new(
+                rf,
+                SearchParams {
+                    radius: 12,
+                    step: 1,
+                },
+            )),
         ),
         ("lucas_kanade", Box::new(LucasKanade::default())),
         ("dense_flow_hs", Box::new(HornSchunck::default())),

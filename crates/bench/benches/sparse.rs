@@ -2,7 +2,9 @@
 //! levels the paper reports (≈80% zeros after ReLU) and the 4-lane decoder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eva2_cnn::zoo;
 use eva2_core::sparse::{LaneGroup, RleActivation};
+use eva2_tensor::gemm::GemmScratch;
 use eva2_tensor::{Shape3, Tensor3};
 use std::hint::black_box;
 
@@ -64,5 +66,52 @@ fn bench_lane_group(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode_decode, bench_lane_group);
+/// Sparse-aware suffix vs densify-then-dense execution from the RLE store.
+///
+/// `densify` is the pre-engine behaviour (`rle.decode()` then a dense
+/// suffix); `sparse` feeds the first suffix layer straight from the
+/// non-zero runs. The acceptance bar: `sparse` wins at ≥ 50% sparsity.
+fn bench_suffix_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_from_rle");
+    group.sample_size(20);
+    let z = zoo::tiny_fasterm(0);
+    let target = z.late_target;
+    let shape = z.network.shape_after(target);
+    for sparsity in [0.5f32, 0.8, 0.95] {
+        let act = Tensor3::from_fn(shape, |c, y, x| {
+            let i = (c * 131 + y * 17 + x * 3) % 1000;
+            if (i as f32) < sparsity * 1000.0 {
+                0.0
+            } else {
+                (i as f32) * 0.004
+            }
+        });
+        let rle = RleActivation::encode(&act, 0.0);
+        let label = format!("{:.0}pct", sparsity * 100.0);
+        group.bench_with_input(BenchmarkId::new("densify", &label), &rle, |b, rle| {
+            b.iter(|| {
+                let dense = rle.decode();
+                black_box(z.network.forward_suffix(&dense, target))
+            })
+        });
+        let mut scratch = GemmScratch::new();
+        group.bench_with_input(BenchmarkId::new("sparse", &label), &rle, |b, rle| {
+            b.iter(|| {
+                let sparse = rle.to_sparse();
+                black_box(
+                    z.network
+                        .forward_suffix_sparse(&sparse, target, &mut scratch),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode_decode,
+    bench_lane_group,
+    bench_suffix_paths
+);
 criterion_main!(benches);

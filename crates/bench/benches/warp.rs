@@ -34,14 +34,7 @@ fn bench_warp_methods(c: &mut Criterion) {
         b.iter(|| black_box(warp_activation(&act, &f, 8, Interpolation::Bilinear)))
     });
     group.bench_function("nearest_f32", |b| {
-        b.iter(|| {
-            black_box(warp_activation(
-                &act,
-                &f,
-                8,
-                Interpolation::NearestNeighbor,
-            ))
-        })
+        b.iter(|| black_box(warp_activation(&act, &f, 8, Interpolation::NearestNeighbor)))
     });
     group.bench_function("bilinear_q88_fixed", |b| {
         b.iter(|| black_box(warp_activation_fixed(&act, &f, 8)))

@@ -76,10 +76,7 @@ impl DeltaExecutor {
             Some(old) => {
                 for i in 0..net.len() {
                     let d = new_acts[i].zip_with(&old[i], |a, b| a - b);
-                    let nonzero = d
-                        .iter()
-                        .filter(|v| v.abs() > self.threshold)
-                        .count();
+                    let nonzero = d.iter().filter(|v| v.abs() > self.threshold).count();
                     let total = d.as_slice().len().max(1);
                     density.push(nonzero as f32 / total as f32);
                 }
@@ -151,7 +148,9 @@ mod tests {
     fn output_matches_plain_forward() {
         let zoo = tiny_alexnet(3);
         let mut exec = DeltaExecutor::new(1e-6);
-        let input = Tensor3::from_fn(Shape3::new(1, 32, 32), |_, y, x| ((y + x) as f32 * 0.01).sin());
+        let input = Tensor3::from_fn(Shape3::new(1, 32, 32), |_, y, x| {
+            ((y + x) as f32 * 0.01).sin()
+        });
         let (out, _) = exec.process(&zoo.network, &input);
         assert_eq!(out, zoo.network.forward(&input));
     }

@@ -6,7 +6,8 @@
 //! return `None`, which is exactly the property AMC uses to bound the target
 //! layer ("these non-spatial layers must remain in the CNN suffix", §II-C5).
 
-use eva2_tensor::{Shape3, Tensor3};
+use eva2_tensor::gemm::{self, GemmScratch};
+use eva2_tensor::{Shape3, SparseActivation, Tensor3};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
@@ -57,6 +58,32 @@ pub trait Layer: fmt::Debug + Send + Sync {
 
     /// Runs the layer forward.
     fn forward(&self, input: &Tensor3) -> Tensor3;
+
+    /// Runs the layer forward reusing caller-owned scratch buffers.
+    ///
+    /// Layers that lower to GEMM ([`Conv2d`]) use `scratch` for their
+    /// im2col packing so steady-state frame processing performs no
+    /// per-frame allocation; layers without scratch needs fall back to
+    /// [`Layer::forward`].
+    fn forward_scratch(&self, input: &Tensor3, scratch: &mut GemmScratch) -> Tensor3 {
+        let _ = scratch;
+        self.forward(input)
+    }
+
+    /// Runs the layer forward directly from a sparse activation, skipping
+    /// zero entries (the software analogue of the EVA² skip-zero suffix
+    /// feed, §IV of the paper).
+    ///
+    /// Returns `None` when the layer has no sparse-aware path; the caller
+    /// then densifies and uses [`Layer::forward_scratch`].
+    fn forward_sparse(
+        &self,
+        input: &SparseActivation,
+        scratch: &mut GemmScratch,
+    ) -> Option<Tensor3> {
+        let _ = (input, scratch);
+        None
+    }
 
     /// Backpropagates `grad_out`, returning the gradient w.r.t. `input`.
     ///
@@ -140,7 +167,9 @@ impl Conv2d {
     ) -> Self {
         let n = out_channels * in_channels * kernel * kernel;
         let scale = (2.0 / (in_channels * kernel * kernel) as f32).sqrt();
-        let weights = (0..n).map(|_| rng.gen_range(-1.0f32..1.0) * scale).collect();
+        let weights = (0..n)
+            .map(|_| rng.gen_range(-1.0f32..1.0) * scale)
+            .collect();
         Self {
             name: name.into(),
             in_channels,
@@ -186,43 +215,22 @@ impl Conv2d {
         let i = self.w_index(oc, ic, ky, kx);
         self.weights[i] = v;
     }
-}
 
-impl fmt::Debug for Conv2d {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Conv2d({}: {}→{}, k={}, s={}, p={})",
-            self.name,
-            self.in_channels,
-            self.out_channels,
-            self.geom.kernel,
-            self.geom.stride,
-            self.geom.padding
-        )
-    }
-}
-
-impl Layer for Conv2d {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn output_shape(&self, input: Shape3) -> Shape3 {
-        Shape3::new(
-            self.out_channels,
-            self.geom.output_len(input.height),
-            self.geom.output_len(input.width),
-        )
-    }
-
-    fn forward(&self, input: &Tensor3) -> Tensor3 {
+    fn check_input(&self, shape: Shape3) {
         assert_eq!(
-            input.shape().channels,
-            self.in_channels,
+            shape.channels, self.in_channels,
             "{}: input channel mismatch",
             self.name
         );
+    }
+
+    /// Reference implementation: the direct six-loop convolution.
+    ///
+    /// Kept for golden-equivalence tests and the naive-vs-GEMM benchmark;
+    /// the production path is [`Layer::forward`], which lowers to
+    /// im2col + GEMM ([`eva2_tensor::gemm`]).
+    pub fn forward_naive(&self, input: &Tensor3) -> Tensor3 {
+        self.check_input(input.shape());
         let out_shape = self.output_shape(input.shape());
         let k = self.geom.kernel;
         let s = self.geom.stride as isize;
@@ -237,8 +245,11 @@ impl Layer for Conv2d {
                     for ic in 0..self.in_channels {
                         for ky in 0..k {
                             for kx in 0..k {
-                                let iv =
-                                    input.get_padded(ic, base_y + ky as isize, base_x + kx as isize);
+                                let iv = input.get_padded(
+                                    ic,
+                                    base_y + ky as isize,
+                                    base_x + kx as isize,
+                                );
                                 if iv != 0.0 {
                                     acc += self.weights[self.w_index(oc, ic, ky, kx)] * iv;
                                 }
@@ -252,7 +263,9 @@ impl Layer for Conv2d {
         out
     }
 
-    fn backward(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
+    /// Reference backward pass matching [`Conv2d::forward_naive`]
+    /// (accumulates parameter gradients like [`Layer::backward`]).
+    pub fn backward_naive(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
         let out_shape = self.output_shape(input.shape());
         assert_eq!(grad_out.shape(), out_shape, "{}: grad shape", self.name);
         let k = self.geom.kernel;
@@ -288,6 +301,144 @@ impl Layer for Conv2d {
             }
         }
         grad_in
+    }
+
+    /// Sparse forward: accumulates each non-zero input's weighted kernel
+    /// footprint into the output, visiting no zero entries at all.
+    ///
+    /// Cost is `O(nnz · K² · C_out)` versus the dense path's
+    /// `O(C_in · H·W · K² · C_out)` — proportional savings equal to the
+    /// activation's sparsity, mirroring the paper's skip-zero hardware.
+    pub fn forward_sparse_impl(&self, input: &SparseActivation) -> Tensor3 {
+        self.check_input(input.shape());
+        let out_shape = self.output_shape(input.shape());
+        let k = self.geom.kernel;
+        let s = self.geom.stride;
+        let p = self.geom.padding;
+        let mut out = Tensor3::zeros(out_shape);
+        for oc in 0..self.out_channels {
+            out.channel_mut(oc).fill(self.bias[oc]);
+        }
+        if out_shape.is_empty() {
+            return out;
+        }
+        let w_stride = self.in_channels * k * k; // between consecutive oc
+        let plane = out_shape.plane_len();
+        for (ic, iy, ix, v) in input.iter_coords() {
+            for ky in 0..k {
+                // iy = oy*s - p + ky  ⇒  oy = (iy + p - ky) / s.
+                let oy_num = iy + p;
+                if oy_num < ky {
+                    break; // ky increases: later kernel rows can't match either
+                }
+                let oy_off = oy_num - ky;
+                if !oy_off.is_multiple_of(s) {
+                    continue;
+                }
+                let oy = oy_off / s;
+                if oy >= out_shape.height {
+                    continue;
+                }
+                for kx in 0..k {
+                    let ox_num = ix + p;
+                    if ox_num < kx {
+                        break;
+                    }
+                    let ox_off = ox_num - kx;
+                    if !ox_off.is_multiple_of(s) {
+                        continue;
+                    }
+                    let ox = ox_off / s;
+                    if ox >= out_shape.width {
+                        continue;
+                    }
+                    let w0 = ((ic * k) + ky) * k + kx;
+                    let o0 = oy * out_shape.width + ox;
+                    let out_buf = out.as_mut_slice();
+                    for oc in 0..self.out_channels {
+                        out_buf[oc * plane + o0] += self.weights[oc * w_stride + w0] * v;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Conv2d {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Conv2d({}: {}→{}, k={}, s={}, p={})",
+            self.name,
+            self.in_channels,
+            self.out_channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input: Shape3) -> Shape3 {
+        Shape3::new(
+            self.out_channels,
+            self.geom.output_len(input.height),
+            self.geom.output_len(input.width),
+        )
+    }
+
+    fn forward(&self, input: &Tensor3) -> Tensor3 {
+        gemm::with_thread_scratch(|scratch| self.forward_scratch(input, scratch))
+    }
+
+    fn forward_scratch(&self, input: &Tensor3, scratch: &mut GemmScratch) -> Tensor3 {
+        self.check_input(input.shape());
+        gemm::conv2d_forward(
+            input,
+            &self.weights,
+            &self.bias,
+            self.out_channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding,
+            scratch,
+        )
+    }
+
+    fn forward_sparse(
+        &self,
+        input: &SparseActivation,
+        _scratch: &mut GemmScratch,
+    ) -> Option<Tensor3> {
+        Some(self.forward_sparse_impl(input))
+    }
+
+    fn backward(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
+        let out_shape = self.output_shape(input.shape());
+        assert_eq!(grad_out.shape(), out_shape, "{}: grad shape", self.name);
+        let weights = &self.weights;
+        let grad_w = &mut self.grad_w;
+        let grad_b = &mut self.grad_b;
+        gemm::with_thread_scratch(|scratch| {
+            gemm::conv2d_backward(
+                input,
+                weights,
+                grad_out,
+                self.out_channels,
+                self.geom.kernel,
+                self.geom.stride,
+                self.geom.padding,
+                scratch,
+                grad_w,
+                grad_b,
+            )
+        })
     }
 
     fn apply_grads(&mut self, lr: f32, batch: usize) {
@@ -334,7 +485,12 @@ impl Layer for Conv2d {
     }
 
     fn load_params(&mut self, params: &[f32]) {
-        assert_eq!(params.len(), self.param_count(), "{}: param count", self.name);
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "{}: param count",
+            self.name
+        );
         let (w, b) = params.split_at(self.weights.len());
         self.weights.copy_from_slice(w);
         self.bias.copy_from_slice(b);
@@ -501,6 +657,12 @@ pub struct FullyConnected {
     out_features: usize,
     /// Row-major `[out][in]`.
     weights: Vec<f32>,
+    /// Transposed copy `[in][out]`, kept in sync by [`FullyConnected::sync_transpose`].
+    ///
+    /// The sparse suffix path turns every non-zero input into one
+    /// unit-stride AXPY over a row of this matrix, so skip-zero execution
+    /// vectorizes as well as the dense path it replaces.
+    weights_t: Vec<f32>,
     bias: Vec<f32>,
     grad_w: Vec<f32>,
     grad_b: Vec<f32>,
@@ -518,22 +680,40 @@ impl FullyConnected {
     ) -> Self {
         let n = in_features * out_features;
         let scale = (2.0 / in_features as f32).sqrt();
-        Self {
+        let mut fc = Self {
             name: name.into(),
             in_features,
             out_features,
-            weights: (0..n).map(|_| rng.gen_range(-1.0f32..1.0) * scale).collect(),
+            weights: (0..n)
+                .map(|_| rng.gen_range(-1.0f32..1.0) * scale)
+                .collect(),
+            weights_t: vec![0.0; n],
             bias: vec![0.0; out_features],
             grad_w: vec![0.0; n],
             grad_b: vec![0.0; out_features],
             momentum_w: vec![0.0; n],
             momentum_b: vec![0.0; out_features],
-        }
+        };
+        fc.sync_transpose();
+        fc
     }
 
     /// Number of input features (flattened input length).
     pub fn in_features(&self) -> usize {
         self.in_features
+    }
+
+    /// Rebuilds the transposed weight copy after a weight mutation.
+    ///
+    /// Called automatically by [`Layer::apply_grads`] and
+    /// [`Layer::load_params`]; tests poking `weights` directly must call it
+    /// before exercising the sparse path.
+    pub fn sync_transpose(&mut self) {
+        for o in 0..self.out_features {
+            for i in 0..self.in_features {
+                self.weights_t[i * self.out_features + o] = self.weights[o * self.in_features + i];
+            }
+        }
     }
 }
 
@@ -579,13 +759,36 @@ impl Layer for FullyConnected {
         Tensor3::from_vec(out_shape, out)
     }
 
+    fn forward_sparse(
+        &self,
+        input: &SparseActivation,
+        _scratch: &mut GemmScratch,
+    ) -> Option<Tensor3> {
+        assert_eq!(
+            input.shape().len(),
+            self.in_features,
+            "{}: flattened sparse input {} != in_features {}",
+            self.name,
+            input.shape().len(),
+            self.in_features
+        );
+        // Each non-zero input contributes one vectorized AXPY over a row of
+        // the transposed weights; zeros cost nothing (`O(nnz · out)` wide
+        // ops vs the dense `O(in · out)`).
+        let nout = self.out_features;
+        let mut out = self.bias.clone();
+        for (i, v) in input.iter_flat() {
+            gemm::axpy(v, &self.weights_t[i * nout..(i + 1) * nout], &mut out);
+        }
+        Some(Tensor3::from_vec(Shape3::new(nout, 1, 1), out))
+    }
+
     fn backward(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
         assert_eq!(grad_out.shape().len(), self.out_features);
         let x = input.as_slice();
         let g = grad_out.as_slice();
         let mut grad_in = vec![0.0f32; self.in_features];
-        for o in 0..self.out_features {
-            let go = g[o];
+        for (o, &go) in g.iter().enumerate().take(self.out_features) {
             if go == 0.0 {
                 continue;
             }
@@ -618,6 +821,7 @@ impl Layer for FullyConnected {
             self.bias[i] -= scale * self.momentum_b[i];
             self.grad_b[i] = 0.0;
         }
+        self.sync_transpose();
     }
 
     fn geometry(&self) -> Option<LayerGeometry> {
@@ -639,10 +843,16 @@ impl Layer for FullyConnected {
     }
 
     fn load_params(&mut self, params: &[f32]) {
-        assert_eq!(params.len(), self.param_count(), "{}: param count", self.name);
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "{}: param count",
+            self.name
+        );
         let (w, b) = params.split_at(self.weights.len());
         self.weights.copy_from_slice(w);
         self.bias.copy_from_slice(b);
+        self.sync_transpose();
     }
 }
 

@@ -127,26 +127,21 @@ pub fn mean_average_precision(results: &[DetectionResult], iou_threshold: f32) -
         let mut fp = 0usize;
         let mut curve: Vec<(f32, f32)> = Vec::with_capacity(preds.len()); // (recall, precision)
         for r in preds {
-            let hit = r.truth_class == class && r.prediction.bbox.iou(&r.truth_bbox) >= iou_threshold;
+            let hit =
+                r.truth_class == class && r.prediction.bbox.iou(&r.truth_bbox) >= iou_threshold;
             if hit {
                 tp += 1;
             } else {
                 fp += 1;
             }
-            curve.push((
-                tp as f32 / truth_count as f32,
-                tp as f32 / (tp + fp) as f32,
-            ));
+            curve.push((tp as f32 / truth_count as f32, tp as f32 / (tp + fp) as f32));
         }
         // Every-point interpolation: precision at recall r is the max
         // precision at any recall ≥ r.
         let mut ap = 0.0;
         let mut prev_recall = 0.0;
         for i in 0..curve.len() {
-            let max_prec = curve[i..]
-                .iter()
-                .map(|&(_, p)| p)
-                .fold(0.0f32, f32::max);
+            let max_prec = curve[i..].iter().map(|&(_, p)| p).fold(0.0f32, f32::max);
             let (recall, _) = curve[i];
             ap += (recall - prev_recall).max(0.0) * max_prec;
             prev_recall = recall;
@@ -169,7 +164,13 @@ mod tests {
         NormBox { cy, cx, h, w }
     }
 
-    fn result(pred_class: usize, conf: f32, pred_box: NormBox, truth: usize, tbox: NormBox) -> DetectionResult {
+    fn result(
+        pred_class: usize,
+        conf: f32,
+        pred_box: NormBox,
+        truth: usize,
+        tbox: NormBox,
+    ) -> DetectionResult {
         DetectionResult {
             prediction: Detection {
                 class: pred_class,
@@ -197,9 +198,8 @@ mod tests {
     #[test]
     fn perfect_detector_has_map_100() {
         let b = nb(0.5, 0.5, 0.3, 0.3);
-        let results: Vec<DetectionResult> = (0..NUM_CLASSES)
-            .map(|c| result(c, 0.9, b, c, b))
-            .collect();
+        let results: Vec<DetectionResult> =
+            (0..NUM_CLASSES).map(|c| result(c, 0.9, b, c, b)).collect();
         assert!((mean_average_precision(&results, 0.5) - 100.0).abs() < 1e-4);
     }
 
@@ -238,17 +238,9 @@ mod tests {
         let good = nb(0.5, 0.5, 0.3, 0.3);
         let bad = nb(0.9, 0.9, 0.05, 0.05);
         // High-confidence hits first → better AP than high-confidence misses.
-        let good_first = vec![
-            result(0, 0.9, good, 0, good),
-            result(0, 0.1, bad, 0, good),
-        ];
-        let bad_first = vec![
-            result(0, 0.9, bad, 0, good),
-            result(0, 0.1, good, 0, good),
-        ];
-        assert!(
-            mean_average_precision(&good_first, 0.5) > mean_average_precision(&bad_first, 0.5)
-        );
+        let good_first = vec![result(0, 0.9, good, 0, good), result(0, 0.1, bad, 0, good)];
+        let bad_first = vec![result(0, 0.9, bad, 0, good), result(0, 0.1, good, 0, good)];
+        assert!(mean_average_precision(&good_first, 0.5) > mean_average_precision(&bad_first, 0.5));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::receptive::ReceptiveField;
-use eva2_tensor::{Shape3, Tensor3};
+use eva2_tensor::{GemmScratch, Shape3, SparseActivation, Tensor3};
 use std::fmt;
 
 /// A feed-forward network: an ordered list of layers.
@@ -117,6 +117,67 @@ impl Network {
         let mut x = activation.clone();
         for layer in &self.layers[target + 1..] {
             x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// [`Network::forward_prefix`] reusing caller-owned GEMM scratch, so a
+    /// frame-loop caller (the AMC executor) does no per-frame im2col
+    /// allocation.
+    pub fn forward_prefix_scratch(
+        &self,
+        input: &Tensor3,
+        target: usize,
+        scratch: &mut GemmScratch,
+    ) -> Tensor3 {
+        assert!(target < self.layers.len(), "target layer out of range");
+        let mut x = input.clone();
+        for layer in &self.layers[..=target] {
+            x = layer.forward_scratch(&x, scratch);
+        }
+        x
+    }
+
+    /// [`Network::forward_suffix`] reusing caller-owned GEMM scratch.
+    pub fn forward_suffix_scratch(
+        &self,
+        activation: &Tensor3,
+        target: usize,
+        scratch: &mut GemmScratch,
+    ) -> Tensor3 {
+        assert!(target < self.layers.len(), "target layer out of range");
+        let mut x = activation.clone();
+        for layer in &self.layers[target + 1..] {
+            x = layer.forward_scratch(&x, scratch);
+        }
+        x
+    }
+
+    /// Runs the suffix directly from a sparse target activation.
+    ///
+    /// The first suffix layer consumes the non-zero entries via
+    /// [`Layer::forward_sparse`] when it has a sparse-aware path
+    /// (convolution, fully-connected) — skipping zero runs instead of
+    /// densify-then-multiply, mirroring the paper's skip-zero hardware
+    /// (§IV). Layers without one (pooling) densify first. Remaining suffix
+    /// layers run dense with shared scratch.
+    pub fn forward_suffix_sparse(
+        &self,
+        activation: &SparseActivation,
+        target: usize,
+        scratch: &mut GemmScratch,
+    ) -> Tensor3 {
+        assert!(target < self.layers.len(), "target layer out of range");
+        let suffix = &self.layers[target + 1..];
+        let Some((first, rest)) = suffix.split_first() else {
+            return activation.to_dense();
+        };
+        let mut x = match first.forward_sparse(activation, scratch) {
+            Some(out) => out,
+            None => first.forward_scratch(&activation.to_dense(), scratch),
+        };
+        for layer in rest {
+            x = layer.forward_scratch(&x, scratch);
         }
         x
     }

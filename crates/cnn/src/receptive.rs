@@ -111,14 +111,30 @@ mod tests {
     #[test]
     fn single_conv() {
         let rf = ReceptiveField::INPUT.then(geom(3, 1, 1));
-        assert_eq!(rf, ReceptiveField { size: 3, stride: 1, padding: 1 });
+        assert_eq!(
+            rf,
+            ReceptiveField {
+                size: 3,
+                stride: 1,
+                padding: 1
+            }
+        );
     }
 
     #[test]
     fn conv_then_pool() {
         // 3x3 s1 p1 conv then 2x2 s2 pool: size 4, stride 2, padding 1.
-        let rf = ReceptiveField::INPUT.then(geom(3, 1, 1)).then(geom(2, 2, 0));
-        assert_eq!(rf, ReceptiveField { size: 4, stride: 2, padding: 1 });
+        let rf = ReceptiveField::INPUT
+            .then(geom(3, 1, 1))
+            .then(geom(2, 2, 0));
+        assert_eq!(
+            rf,
+            ReceptiveField {
+                size: 4,
+                stride: 2,
+                padding: 1
+            }
+        );
     }
 
     #[test]
@@ -127,7 +143,11 @@ mod tests {
         // produced by e.g. conv3 s1 p1, conv3 s2 p1... verify one recipe:
         // conv(k3,s1,p1) → conv(k3,s2,p1) gives size 5... Instead verify a
         // direct construction and the tile arithmetic of the figure.
-        let rf = ReceptiveField { size: 6, stride: 2, padding: 2 };
+        let rf = ReceptiveField {
+            size: 6,
+            stride: 2,
+            padding: 2,
+        };
         assert_eq!(rf.tiles_per_side(), 3);
         assert_eq!(rf.origin(0, 0), (-2, -2));
         assert_eq!(rf.origin(0, 1), (-2, 0));
@@ -142,7 +162,11 @@ mod tests {
 
     #[test]
     fn activation_units_scaling() {
-        let rf = ReceptiveField { size: 8, stride: 4, padding: 0 };
+        let rf = ReceptiveField {
+            size: 8,
+            stride: 4,
+            padding: 0,
+        };
         assert_eq!(rf.to_activation_units(6.0), 1.5);
     }
 
@@ -175,8 +199,8 @@ mod tests {
         let os = out_base.shape();
         for ay in 0..os.height {
             for ax in 0..os.width {
-                let changed = (0..os.channels)
-                    .any(|c| out_base.get(c, ay, ax) != out_poked.get(c, ay, ax));
+                let changed =
+                    (0..os.channels).any(|c| out_base.get(c, ay, ax) != out_poked.get(c, ay, ax));
                 let (oy, ox) = rf.origin(ay, ax);
                 let contains = (py as isize) >= oy
                     && (py as isize) < oy + rf.size as isize

@@ -16,7 +16,9 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
     let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|&v| (v - m).exp()).collect();
     let sum: f32 = exps.iter().sum();
-    exps.iter().map(|&e| e / sum.max(f32::MIN_POSITIVE)).collect()
+    exps.iter()
+        .map(|&e| e / sum.max(f32::MIN_POSITIVE))
+        .collect()
 }
 
 /// Cross-entropy loss and its gradient w.r.t. the logits.
@@ -120,7 +122,12 @@ pub fn train_classifier(net: &mut Network, samples: &[ClsSample], cfg: &TrainCon
 /// plus weighted smooth-L1 on the box coordinates.
 ///
 /// Returns `(loss, grad)` with `grad` shaped like the network output.
-pub fn detection_loss(output: &Tensor3, label: usize, bbox: &[f32; 4], bbox_weight: f32) -> (f32, Tensor3) {
+pub fn detection_loss(
+    output: &Tensor3,
+    label: usize,
+    bbox: &[f32; 4],
+    bbox_weight: f32,
+) -> (f32, Tensor3) {
     let o = output.as_slice();
     assert_eq!(o.len(), DETECTION_OUTPUTS, "detection head size");
     let mut grad = vec![0.0f32; DETECTION_OUTPUTS];
@@ -330,7 +337,11 @@ mod tests {
                 let cy = if label == 0 { 0.3 } else { 0.7 };
                 let input = Tensor3::from_fn(Shape3::new(1, 48, 48), |_, y, x| {
                     let d = (y as f32 / 48.0 - cy).abs() + (x as f32 / 48.0 - 0.5).abs();
-                    if d < 0.2 { 0.9 } else { 0.1 + rng.gen_range(0.0..0.02) }
+                    if d < 0.2 {
+                        0.9
+                    } else {
+                        0.1 + rng.gen_range(0.0..0.02)
+                    }
                 });
                 DetSample {
                     input,

@@ -67,9 +67,19 @@ pub fn tiny_alexnet(seed: u64) -> ZooNet {
     net.push(Box::new(Conv2d::new("conv3", 16, 32, 3, 1, 1, &mut rng))); // 6
     net.push(Box::new(Relu::new("relu3"))); // 7
     net.push(Box::new(MaxPool2d::new("pool3", 2, 2))); // 8 -> 32x4x4
-    net.push(Box::new(FullyConnected::new("fc1", 32 * 4 * 4, 48, &mut rng))); // 9
+    net.push(Box::new(FullyConnected::new(
+        "fc1",
+        32 * 4 * 4,
+        48,
+        &mut rng,
+    ))); // 9
     net.push(Box::new(Relu::new("relu4"))); // 10
-    net.push(Box::new(FullyConnected::new("fc2", 48, NUM_CLASSES, &mut rng))); // 11
+    net.push(Box::new(FullyConnected::new(
+        "fc2",
+        48,
+        NUM_CLASSES,
+        &mut rng,
+    ))); // 11
     ZooNet {
         early_target: 2,
         late_target: 8,
@@ -98,7 +108,12 @@ pub fn tiny_faster16(seed: u64) -> ZooNet {
     net.push(Box::new(Conv2d::new("conv3_2", 24, 24, 3, 1, 1, &mut rng))); // 12
     net.push(Box::new(Relu::new("relu3_2"))); // 13
     net.push(Box::new(MaxPool2d::new("pool3", 2, 2))); // 14 -> 24x6x6
-    net.push(Box::new(FullyConnected::new("fc1", 24 * 6 * 6, 64, &mut rng))); // 15
+    net.push(Box::new(FullyConnected::new(
+        "fc1",
+        24 * 6 * 6,
+        64,
+        &mut rng,
+    ))); // 15
     net.push(Box::new(Relu::new("relu_fc1"))); // 16
     net.push(Box::new(FullyConnected::new(
         "fc2",
@@ -127,7 +142,12 @@ pub fn tiny_fasterm(seed: u64) -> ZooNet {
     net.push(Box::new(Conv2d::new("conv3", 16, 24, 3, 1, 1, &mut rng))); // 5
     net.push(Box::new(Relu::new("relu3"))); // 6
     net.push(Box::new(MaxPool2d::new("pool2", 2, 2))); // 7 -> 24x6x6
-    net.push(Box::new(FullyConnected::new("fc1", 24 * 6 * 6, 48, &mut rng))); // 8
+    net.push(Box::new(FullyConnected::new(
+        "fc1",
+        24 * 6 * 6,
+        48,
+        &mut rng,
+    ))); // 8
     net.push(Box::new(Relu::new("relu_fc1"))); // 9
     net.push(Box::new(FullyConnected::new(
         "fc2",
@@ -185,7 +205,10 @@ mod tests {
     #[test]
     fn alexnet_shapes() {
         let z = tiny_alexnet(0);
-        assert_eq!(z.network.shape_after(z.early_target), Shape3::new(8, 16, 16));
+        assert_eq!(
+            z.network.shape_after(z.early_target),
+            Shape3::new(8, 16, 16)
+        );
         assert_eq!(z.network.shape_after(z.late_target), Shape3::new(32, 4, 4));
         let out = z.network.forward(&Tensor3::zeros(z.input_shape()));
         assert_eq!(out.shape(), Shape3::new(NUM_CLASSES, 1, 1));

@@ -11,7 +11,7 @@
 //! path (Fig 10): four lanes stream four neighbouring activation values and
 //! a min unit lets all four skip their shared zeros in a single step.
 
-use eva2_tensor::{Fixed, Shape3, Tensor3};
+use eva2_tensor::{Fixed, Shape3, SparseActivation, Tensor3};
 use serde::{Deserialize, Serialize};
 
 /// Maximum zero gap representable in one RLE entry. Longer runs insert
@@ -126,6 +126,31 @@ impl RleActivation {
     pub fn channel_stream(&self, c: usize) -> &[RleEntry] {
         &self.channels[c]
     }
+
+    /// Converts to the non-zero `(position, value)` view the sparse-aware
+    /// CNN suffix consumes, **without densifying**: each lane's zero gaps
+    /// are walked exactly once, so the cost is `O(entries)` rather than
+    /// `O(dense size)`. Gap-overflow placeholders contribute positions but
+    /// no values.
+    pub fn to_sparse(&self) -> SparseActivation {
+        let channels = self
+            .channels
+            .iter()
+            .map(|entries| {
+                let mut pos = 0u32;
+                let mut out = Vec::with_capacity(entries.len());
+                for e in entries {
+                    pos += e.zero_gap as u32;
+                    if e.value != 0 {
+                        out.push((pos, Fixed::from_bits(e.value).to_f32()));
+                    }
+                    pos += 1;
+                }
+                out
+            })
+            .collect();
+        SparseActivation::from_channels(self.shape, channels)
+    }
 }
 
 /// One sparsity decoder lane (Fig 10): streams a channel's RLE entries and
@@ -192,9 +217,6 @@ impl SparsityDecoderLane {
         } else {
             // Consume one zero position.
             self.zero_gap -= 1;
-            if self.zero_gap == 0 && false {
-                unreachable!();
-            }
             Fixed::ZERO
         }
     }
@@ -234,7 +256,12 @@ impl LaneGroup {
     ///
     /// The returned tuple is `(values, positions_skipped)`.
     pub fn next_group(&mut self) -> Option<([Fixed; 4], u32)> {
-        let min_gap = self.lanes.iter().map(|l| l.zero_gap()).min().expect("4 lanes");
+        let min_gap = self
+            .lanes
+            .iter()
+            .map(|l| l.zero_gap())
+            .min()
+            .expect("4 lanes");
         if min_gap == u32::MAX {
             return None; // all drained
         }
@@ -356,9 +383,7 @@ mod tests {
     fn drain_lane(vals: &[f32]) -> Vec<f32> {
         let entries = stream_of(vals);
         let mut lane = SparsityDecoderLane::new(&entries);
-        (0..vals.len())
-            .map(|_| lane.advance(0).to_f32())
-            .collect()
+        (0..vals.len()).map(|_| lane.advance(0).to_f32()).collect()
     }
 
     #[test]
@@ -410,7 +435,13 @@ mod tests {
 
     #[test]
     fn lane_group_sparser_streams_take_fewer_cycles() {
-        let sparse = stream_of(&[0.0; 64].iter().enumerate().map(|(i, _)| if i == 60 { 1.0 } else { 0.0 }).collect::<Vec<_>>());
+        let sparse = stream_of(
+            &[0.0; 64]
+                .iter()
+                .enumerate()
+                .map(|(i, _)| if i == 60 { 1.0 } else { 0.0 })
+                .collect::<Vec<_>>(),
+        );
         let mut group = LaneGroup::new([&sparse, &sparse, &sparse, &sparse]);
         let mut n = 0;
         while group.next_group().is_some() {

@@ -313,7 +313,8 @@ mod tests {
         let moved_act = conv.forward(&moved);
         // Stride 1 conv → rf stride 1; gather vector (0, -2).
         let shape = key_act.shape();
-        let field = VectorField::uniform(shape.height, shape.width, 1, MotionVector::new(0.0, -2.0));
+        let field =
+            VectorField::uniform(shape.height, shape.width, 1, MotionVector::new(0.0, -2.0));
         let (warped, _) = warp_activation(&key_act, &field, 1, Interpolation::Bilinear);
         // Compare away from frame borders (translation fill effects).
         for c in 0..shape.channels {

@@ -9,7 +9,7 @@ use eva2_experiments::report::{write_json, Table};
 use eva2_hw::cost::HwModel;
 use eva2_hw::firstorder::{reuse_speedup, rfbme_ops, unoptimized_ops};
 use eva2_hw::nets;
-use eva2_motion::rfbme::{Rfbme, RfGeometry, SearchParams};
+use eva2_motion::rfbme::{RfGeometry, Rfbme, SearchParams};
 use eva2_tensor::GrayImage;
 use serde::Serialize;
 
@@ -66,7 +66,9 @@ fn main() {
     // Empirical cross-check: run the real RFBME implementation on frames
     // with the Faster16 conv5_3 geometry (downscaled 4x to keep the run
     // short; op counts scale linearly with the pixel count).
-    println!("Empirical cross-check (real RFBME on 250x140 frames, conv5_3-like geometry scaled 4x):");
+    println!(
+        "Empirical cross-check (real RFBME on 250x140 frames, conv5_3-like geometry scaled 4x):"
+    );
     let rf = RfGeometry {
         size: 49,
         stride: 4, // 196/16 scaled by 4

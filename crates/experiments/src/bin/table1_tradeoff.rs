@@ -38,7 +38,12 @@ fn main() {
     println!();
     let mut rows = Vec::new();
     let mut t = Table::new([
-        "Network", "Config", "Acc.", "Keys", "Time (ms)", "Energy (mJ)",
+        "Network",
+        "Config",
+        "Acc.",
+        "Keys",
+        "Time (ms)",
+        "Energy (mJ)",
     ]);
     for workload in Workload::ALL {
         eprintln!("[table1] training {} ...", workload.name());
@@ -89,7 +94,11 @@ fn main() {
                 .filter(|(_, drop, _)| *drop < bound)
                 .map(|&(th, _, _)| th)
                 .fold(f32::NAN, f32::max);
-            let threshold = if chosen.is_nan() { THRESHOLDS[0] } else { chosen };
+            let threshold = if chosen.is_nan() {
+                THRESHOLDS[0]
+            } else {
+                chosen
+            };
             let mut cfg = amc_config_for(workload);
             cfg.policy = PolicyConfig::BlockError {
                 threshold,

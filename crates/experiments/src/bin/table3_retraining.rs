@@ -15,7 +15,7 @@ use eva2_core::warp::warp_activation;
 use eva2_experiments::evalproto::{baseline_accuracy, SEARCH};
 use eva2_experiments::report::{pct, write_json, Table};
 use eva2_experiments::workloads::{det_sample, train_workload, Budget, TrainedWorkload};
-use eva2_motion::rfbme::{Rfbme, RfGeometry};
+use eva2_motion::rfbme::{RfGeometry, Rfbme};
 use eva2_tensor::interp::Interpolation;
 use eva2_tensor::Tensor3;
 use serde::Serialize;
@@ -49,7 +49,10 @@ fn warped_samples(
             let key = &clip.frames[t0];
             let pred = &clip.frames[t0 + gap];
             let motion = rfbme.estimate(&key.image, &pred.image);
-            let act = tw.zoo.network.forward_prefix(&key.image.to_tensor(), target);
+            let act = tw
+                .zoo
+                .network
+                .forward_prefix(&key.image.to_tensor(), target);
             let (warped, _) =
                 warp_activation(&act, &motion.field, rf.stride, Interpolation::Bilinear);
             let d = det_sample(pred);

@@ -17,7 +17,10 @@ use eva2_video::frame::{Clip, Frame};
 
 /// RFBME search window used throughout the experiments (chosen to cover the
 /// synthetic dataset's motion range at its longest gaps).
-pub const SEARCH: SearchParams = SearchParams { radius: 12, step: 1 };
+pub const SEARCH: SearchParams = SearchParams {
+    radius: 12,
+    step: 1,
+};
 
 /// The AMC configuration the paper converges on per workload: motion
 /// compensation with bilinear interpolation for the detection networks,
@@ -308,7 +311,10 @@ mod tests {
         let tw = train_workload(Workload::FasterM, &tiny_budget());
         let out = run_policy(&tw.zoo, &tw.test, amc_config_for(Workload::FasterM));
         assert_eq!(out.frames, 3 * 8);
-        assert!(out.key_fraction >= 3.0 / 24.0 - 1e-6, "each clip starts with a key");
+        assert!(
+            out.key_fraction >= 3.0 / 24.0 - 1e-6,
+            "each clip starts with a key"
+        );
     }
 
     #[test]

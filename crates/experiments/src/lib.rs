@@ -34,5 +34,7 @@ pub mod workloads;
 
 /// `true` when `EVA2_QUICK=1` (smaller datasets, faster smoke runs).
 pub fn quick_mode() -> bool {
-    std::env::var("EVA2_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("EVA2_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }

@@ -103,7 +103,12 @@ pub fn det_sample(frame: &Frame) -> DetSample {
     DetSample {
         input: frame.image.to_tensor(),
         label: frame.truth.class,
-        bbox: [cy / h, cx / w, frame.truth.bbox.h / h, frame.truth.bbox.w / w],
+        bbox: [
+            cy / h,
+            cx / w,
+            frame.truth.bbox.h / h,
+            frame.truth.bbox.w / w,
+        ],
     }
 }
 

@@ -9,8 +9,8 @@
 //!   conv layers after the target; EIE runs the FC layers.
 
 use crate::calib::{
-    ConvClass, EIE_ALEXNET_FC, EVA2_ADD_LANES, EVA2_CLOCK_NS, EVA2_MJ_PER_INTERP, EVA2_MJ_PER_OP,
-    EVA2_INTERPS_PER_MS,
+    ConvClass, EIE_ALEXNET_FC, EVA2_ADD_LANES, EVA2_CLOCK_NS, EVA2_INTERPS_PER_MS,
+    EVA2_MJ_PER_INTERP, EVA2_MJ_PER_OP,
 };
 use crate::descriptor::NetDescriptor;
 use crate::firstorder::{rfbme_ops, RfbmeParams};
@@ -67,7 +67,8 @@ impl FrameCost {
     /// Weighted mixture: `key_fraction` of key-frame cost plus the rest of
     /// predicted-frame cost — the paper's "avg" bars in Fig 13.
     pub fn mix(key: &FrameCost, predicted: &FrameCost, key_fraction: f64) -> FrameCost {
-        key.scale(key_fraction).add(&predicted.scale(1.0 - key_fraction))
+        key.scale(key_fraction)
+            .add(&predicted.scale(1.0 - key_fraction))
     }
 }
 
@@ -115,7 +116,9 @@ impl HwModel {
     }
 
     fn target(&self, net: &NetDescriptor) -> usize {
-        self.amc.target.unwrap_or_else(|| Self::canonical_target(net))
+        self.amc
+            .target
+            .unwrap_or_else(|| Self::canonical_target(net))
     }
 
     /// The resolution at which FODLAM's published per-layer anchors exist.
@@ -172,8 +175,8 @@ impl HwModel {
         // Activation sparsity lets the warp engine skip most interpolations;
         // the paper reports ≈80% sparse activations (§III-B).
         let effective_interps = interpolations * 0.25;
-        let ms = ops / EVA2_ADD_LANES * EVA2_CLOCK_NS * 1e-6
-            + effective_interps / EVA2_INTERPS_PER_MS;
+        let ms =
+            ops / EVA2_ADD_LANES * EVA2_CLOCK_NS * 1e-6 + effective_interps / EVA2_INTERPS_PER_MS;
         let mj = ops * EVA2_MJ_PER_OP + effective_interps * EVA2_MJ_PER_INTERP;
         (ms, mj)
     }

@@ -202,9 +202,11 @@ impl NetDescriptor {
                 conv_out(h, kernel, stride, padding),
                 conv_out(w, kernel, stride, padding),
             ),
-            LayerKind::Pool { kernel, stride } => {
-                (c, conv_out(h, kernel, stride, 0), conv_out(w, kernel, stride, 0))
-            }
+            LayerKind::Pool { kernel, stride } => (
+                c,
+                conv_out(h, kernel, stride, 0),
+                conv_out(w, kernel, stride, 0),
+            ),
             LayerKind::Relu => s,
             LayerKind::Fc { out_features } => (out_features, 1, 1),
         }
@@ -351,8 +353,7 @@ mod tests {
     #[test]
     fn grouped_conv_divides_macs() {
         let dense = NetDescriptor::new("d", (96, 27, 27)).conv("c", 96, 256, 5, 1, 2);
-        let grouped =
-            NetDescriptor::new("g", (96, 27, 27)).conv_grouped("c", 96, 256, 5, 1, 2, 2);
+        let grouped = NetDescriptor::new("g", (96, 27, 27)).conv_grouped("c", 96, 256, 5, 1, 2, 2);
         assert_eq!(dense.layer_macs(0), 2 * grouped.layer_macs(0));
     }
 

@@ -50,8 +50,8 @@ pub fn unoptimized_ops(p: &RfbmeParams) -> u64 {
 pub fn rfbme_ops(p: &RfbmeParams) -> u64 {
     let cells = (p.act_h * p.act_w) as f64;
     let tiles = (p.rf_size / p.rf_stride.max(1)) as f64;
-    (unoptimized_ops(p) as f64 / (p.rf_stride * p.rf_stride).max(1) as f64
-        + cells * tiles * tiles) as u64
+    (unoptimized_ops(p) as f64 / (p.rf_stride * p.rf_stride).max(1) as f64 + cells * tiles * tiles)
+        as u64
 }
 
 /// Speedup of RFBME's reuse over the unoptimized search.

@@ -51,6 +51,7 @@ struct SadCounter {
 impl SadCounter {
     /// SAD between the block at `(by, bx)` in `new` and the block at
     /// `(by + dy, bx + dx)` in `key`; `None` when out of bounds.
+    #[allow(clippy::too_many_arguments)] // block geometry spelled out
     fn sad(
         &mut self,
         key: &GrayImage,
@@ -142,6 +143,7 @@ impl BlockMatcher {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // block geometry spelled out
     fn eval_candidates(
         &self,
         key: &GrayImage,
@@ -179,7 +181,7 @@ impl BlockMatcher {
         if let Some(s) = counter.sad(key, new, self.block, by, bx, 0, 0) {
             best = ((0, 0), s);
         }
-        let mut step = ((self.radius + 1) / 2).max(1) as isize;
+        let mut step = (self.radius.div_ceil(2)).max(1) as isize;
         let mut center = (0isize, 0isize);
         loop {
             let pattern: Vec<(isize, isize)> = (-1..=1)
@@ -196,7 +198,10 @@ impl BlockMatcher {
         if best.1 == u64::MAX {
             (MotionVector::ZERO, 0)
         } else {
-            (MotionVector::new(best.0 .0 as f32, best.0 .1 as f32), best.1)
+            (
+                MotionVector::new(best.0 .0 as f32, best.0 .1 as f32),
+                best.1,
+            )
         }
     }
 
@@ -237,7 +242,10 @@ impl BlockMatcher {
         if best.1 == u64::MAX {
             (MotionVector::ZERO, 0)
         } else {
-            (MotionVector::new(best.0 .0 as f32, best.0 .1 as f32), best.1)
+            (
+                MotionVector::new(best.0 .0 as f32, best.0 .1 as f32),
+                best.1,
+            )
         }
     }
 
@@ -318,7 +326,10 @@ mod tests {
             let m = BlockMatcher::codec(8, 4, strat);
             let r = m.run(&img, &img);
             assert_eq!(r.total_error, Some(0), "{strat:?}");
-            assert!(r.field.iter().all(|v| *v == MotionVector::ZERO), "{strat:?}");
+            assert!(
+                r.field.iter().all(|v| *v == MotionVector::ZERO),
+                "{strat:?}"
+            );
         }
     }
 
@@ -366,7 +377,10 @@ mod tests {
             .total_error
             .unwrap();
         for strat in [SearchStrategy::ThreeStep, SearchStrategy::Diamond] {
-            let e = BlockMatcher::codec(8, 4, strat).run(&key, &new).total_error.unwrap();
+            let e = BlockMatcher::codec(8, 4, strat)
+                .run(&key, &new)
+                .total_error
+                .unwrap();
             assert!(ex <= e, "{strat:?}: exhaustive {ex} > {e}");
         }
     }

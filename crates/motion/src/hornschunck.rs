@@ -207,7 +207,8 @@ mod tests {
 
     fn smooth_texture(h: usize, w: usize) -> GrayImage {
         GrayImage::from_fn(h, w, |y, x| {
-            let v = (y as f32 * 0.31).sin() + (x as f32 * 0.23).cos()
+            let v = (y as f32 * 0.31).sin()
+                + (x as f32 * 0.23).cos()
                 + ((2 * y + x) as f32 * 0.11).sin();
             (127.0 + v * 40.0) as u8
         })
@@ -267,13 +268,16 @@ mod tests {
             }
         }
         let mean_jump = jump_sum / n as f32;
-        assert!(mean_jump < 0.5, "mean field jump {mean_jump} too large for HS");
+        assert!(
+            mean_jump < 0.5,
+            "mean field jump {mean_jump} too large for HS"
+        );
     }
 
     #[test]
     fn is_more_expensive_than_block_matching() {
         // Fig 14's premise: the dense baseline costs far more than RFBME.
-        use crate::rfbme::{Rfbme, RfGeometry, SearchParams};
+        use crate::rfbme::{RfGeometry, Rfbme, SearchParams};
         let key = smooth_texture(48, 48);
         let new = key.translate(1, 0, 128);
         let hs = fast().run(&key, &new);

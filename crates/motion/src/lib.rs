@@ -50,7 +50,7 @@ pub mod precomputed;
 pub mod rfbme;
 
 pub use field::{MotionVector, VectorField};
-pub use rfbme::{Rfbme, RfGeometry, SearchParams};
+pub use rfbme::{RfGeometry, Rfbme, SearchParams};
 
 use eva2_tensor::GrayImage;
 

@@ -213,8 +213,8 @@ mod tests {
 
     fn smooth_texture(h: usize, w: usize) -> GrayImage {
         GrayImage::from_fn(h, w, |y, x| {
-            let v = (y as f32 * 0.35).sin() + (x as f32 * 0.27).cos()
-                + ((y + x) as f32 * 0.15).sin();
+            let v =
+                (y as f32 * 0.35).sin() + (x as f32 * 0.27).cos() + ((y + x) as f32 * 0.15).sin();
             (127.0 + v * 40.0) as u8
         })
     }
@@ -224,7 +224,11 @@ mod tests {
         let img = smooth_texture(32, 32);
         let lk = LucasKanade::default();
         let r = lk.run(&img, &img);
-        assert!(r.field.magnitude_mean() < 0.05, "mean {}", r.field.magnitude_mean());
+        assert!(
+            r.field.magnitude_mean() < 0.05,
+            "mean {}",
+            r.field.magnitude_mean()
+        );
     }
 
     #[test]

@@ -98,7 +98,7 @@ mod tests {
     /// translation.
     #[test]
     fn codec_vectors_warp_like_rfbme_vectors() {
-        use crate::rfbme::{Rfbme, RfGeometry, SearchParams};
+        use crate::rfbme::{RfGeometry, Rfbme, SearchParams};
         let key = GrayImage::from_fn(40, 40, |y, x| {
             (120.0 + 60.0 * ((y as f32 * 0.33).sin() * (x as f32 * 0.27).cos())) as u8
         });

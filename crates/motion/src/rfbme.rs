@@ -273,20 +273,20 @@ impl DiffTileConsumer {
                         // unchanged and slid by exactly the reuse pattern.
                         Some((prev, p0, p1)) if tx1 - tx0 == p1 - p0 && tx0 >= p0 && tx0 <= p1 => {
                             let mut sum = prev;
-                            for tx in p0..tx0 {
-                                sum -= colsum[tx];
+                            for &col in &colsum[p0..tx0] {
+                                sum -= col;
                                 ops += 1;
                             }
-                            for tx in p1..tx1 {
-                                sum += colsum[tx];
+                            for &col in &colsum[p1..tx1] {
+                                sum += col;
                                 ops += 1;
                             }
                             sum
                         }
                         _ => {
                             let mut sum = 0u64;
-                            for tx in tx0..tx1 {
-                                sum += colsum[tx];
+                            for &col in &colsum[tx0..tx1] {
+                                sum += col;
                                 ops += 1;
                             }
                             sum
@@ -303,8 +303,7 @@ impl DiffTileConsumer {
                     // Min-check register: strictly-smaller error wins; ties
                     // prefer the smaller displacement (stability).
                     let cand_mag = (ody * ody + odx * odx) as f32;
-                    let best_mag =
-                        b.vector.dy * b.vector.dy + b.vector.dx * b.vector.dx;
+                    let best_mag = b.vector.dy * b.vector.dy + b.vector.dx * b.vector.dx;
                     if err < b.error || (err == b.error && cand_mag < best_mag) {
                         *b = RfMatch {
                             vector: MotionVector::new(ody as f32, odx as f32),
@@ -429,9 +428,7 @@ mod tests {
     use super::*;
 
     fn textured(h: usize, w: usize) -> GrayImage {
-        GrayImage::from_fn(h, w, |y, x| {
-            (((y * 31 + x * 17) ^ (y * x / 3)) % 251) as u8
-        })
+        GrayImage::from_fn(h, w, |y, x| (((y * 31 + x * 17) ^ (y * x / 3)) % 251) as u8)
     }
 
     fn rf_844() -> RfGeometry {

@@ -34,7 +34,9 @@ pub const SCALE: i32 = 1 << FRAC_BITS;
 /// assert_eq!((a * b).to_f32(), 0.375);
 /// assert_eq!((a + b).to_f32(), 1.75);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Fixed(i16);
 
 impl Fixed {

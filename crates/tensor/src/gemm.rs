@@ -1,0 +1,715 @@
+//! Cache-blocked f32 GEMM and im2col/col2im packing — the convolution
+//! engine behind `eva2_cnn::Conv2d`.
+//!
+//! # Why this exists
+//!
+//! EVA²'s performance story rests on the cost asymmetry between full CNN
+//! execution (key frames) and suffix-only execution (predicted frames). For
+//! the software reproduction to *measure* that asymmetry honestly, the
+//! forward pass must be compute-bound rather than interpreter-bound: a naive
+//! six-deep scalar loop with a per-element branch underestimates what any
+//! real layer accelerator (or even a CPU) achieves, inflating apparent AMC
+//! savings. This module lowers convolution to matrix multiplication, the
+//! same transformation Caffe used for the networks the paper evaluates.
+//!
+//! # Lowering
+//!
+//! For an input of shape `C_in × H × W` and a square `K × K` kernel with
+//! stride `S` and padding `P`:
+//!
+//! * [`im2col_into`] unfolds every receptive-field patch into one *column*
+//!   of a `(C_in·K²) × (H_out·W_out)` matrix. Patches are laid out so that
+//!   the weight tensor `[oc][ic][ky][kx]`, flattened row-major, is already
+//!   the left-hand matrix — no weight repacking is needed.
+//! * [`gemm_nn`] computes `C += A·B` with `A = weights (C_out × C_in·K²)`
+//!   and `B = cols`, producing the output activation directly in
+//!   channel-major `Tensor3` layout.
+//! * The backward pass reuses the same packing: `∂W = ∂Y · colsᵀ`
+//!   ([`gemm_nt`]), `∂cols = Wᵀ · ∂Y` ([`gemm_tn`]), and [`col2im_into`]
+//!   scatter-adds `∂cols` back to `∂X`.
+//!
+//! # Blocking scheme
+//!
+//! `gemm_nn` is an AXPY-panel kernel: the innermost operation is
+//! `c_row += a[i][p] * b_row`, a unit-stride multiply-add over `N`-length
+//! rows that the compiler auto-vectorizes (the hot loop is written over
+//! 8-wide `chunks_exact` so no runtime remainder handling sits inside it).
+//! The `p` (depth) dimension is blocked by [`KC`]: one `KC × N` panel of `B`
+//! is streamed against each row of `C` before moving on, so the panel stays
+//! resident in L1/L2 across the `M` output rows. `C` rows are visited
+//! consecutively, making writes streaming. For the activation sizes in this
+//! workspace (`N` up to a few thousand, `K` up to a few thousand) this is
+//! within a small factor of a tuned micro-kernel GEMM while remaining ~100
+//! lines of portable safe Rust.
+//!
+//! With the `parallel` crate feature, the `M` dimension is split across
+//! `std::thread::available_parallelism()` scoped threads (each owns a
+//! disjoint row block of `C`; `B` is shared read-only). No external
+//! dependency is used. Small products stay single-threaded — see
+//! [`PAR_THRESHOLD`].
+//!
+//! # Scratch reuse
+//!
+//! [`GemmScratch`] owns the im2col buffers. Callers that process many
+//! frames (the AMC executor, the training loop) hold one scratch and pass
+//! it to [`conv2d_forward`]/[`conv2d_backward`], so steady-state execution
+//! performs **no** per-frame im2col allocation. One-shot callers can use
+//! [`with_thread_scratch`], which reuses a thread-local scratch.
+//!
+//! # Reproducing the benchmarks
+//!
+//! ```text
+//! cargo bench -p eva2-bench --bench cnn    -- conv_paths   # naive vs GEMM
+//! cargo bench -p eva2-bench --bench sparse -- suffix       # sparse suffix
+//! cargo run --release -p eva2-bench --bin bench_conv       # BENCH_conv.json
+//! ```
+//!
+//! The committed `BENCH_conv.json` at the repository root is the output of
+//! the last command; the acceptance bar is a ≥ 5× naive→GEMM speedup on the
+//! conv-forward benchmark and a sparse-suffix win at ≥ 50% activation
+//! sparsity.
+
+use crate::shape::Shape3;
+use crate::tensor::Tensor3;
+use std::cell::RefCell;
+
+/// Depth-blocking factor: the `KC × N` panel of `B` streamed per `C` row.
+///
+/// 256 rows × (typical `N` ≈ 1–4 K columns) × 4 bytes ≈ 1–4 MB worst case,
+/// but consecutive rows of the panel are touched in order, so the working
+/// set per AXPY is just two `N`-length rows; `KC` bounds how long a panel
+/// stays hot before `C` moves on.
+pub const KC: usize = 256;
+
+/// Minimum `M·N·K` before the `parallel` feature splits the GEMM across
+/// threads; below this the spawn overhead dominates.
+#[cfg(feature = "parallel")]
+pub const PAR_THRESHOLD: usize = 1 << 18;
+
+/// Output spatial length of a convolution along one axis (floor convention,
+/// matching `LayerGeometry::output_len` in `eva2-cnn`).
+pub fn conv_output_len(n: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let padded = n + 2 * padding;
+    if padded < kernel {
+        0
+    } else {
+        (padded - kernel) / stride + 1
+    }
+}
+
+/// Reusable buffers for im2col-lowered convolution.
+///
+/// Holding one `GemmScratch` across frames eliminates steady-state heap
+/// allocation in the convolution engine (the buffers grow to the largest
+/// layer seen, then stabilise).
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    /// im2col patch matrix, `(C_in·K²) × (H_out·W_out)`.
+    cols: Vec<f32>,
+    /// Gradient w.r.t. `cols` in the backward pass.
+    cols_grad: Vec<f32>,
+}
+
+impl GemmScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently held by the scratch buffers.
+    pub fn capacity_bytes(&self) -> usize {
+        (self.cols.capacity() + self.cols_grad.capacity()) * std::mem::size_of::<f32>()
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<GemmScratch> = RefCell::new(GemmScratch::new());
+}
+
+/// Runs `f` with the calling thread's shared [`GemmScratch`].
+///
+/// Lets one-shot conv calls (tests, generic `Layer::forward`) reuse buffers
+/// without threading a scratch through every signature. Re-entrant calls
+/// fall back to a fresh scratch.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut GemmScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut GemmScratch::new()),
+    })
+}
+
+/// The eight-wide AXPY at the bottom of every kernel: `y += alpha * x`.
+///
+/// Public because the sparse-aware layers reuse it: feeding a suffix from
+/// non-zero activation entries turns each survivor into one AXPY over a
+/// transposed weight row, keeping the skip-zero path as vectorizable as the
+/// dense path it replaces.
+///
+/// # Panics
+///
+/// Panics when `x` and `y` lengths differ.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    let n8 = x.len() - x.len() % 8;
+    let (xh, xt) = x.split_at(n8);
+    let (yh, yt) = y.split_at_mut(n8);
+    for (xc, yc) in xh.chunks_exact(8).zip(yh.chunks_exact_mut(8)) {
+        for lane in 0..8 {
+            yc[lane] += alpha * xc[lane];
+        }
+    }
+    for (xv, yv) in xt.iter().zip(yt.iter_mut()) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Dot product with eight-way unrolling (used by [`gemm_nt`]).
+#[inline]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let n8 = x.len() - x.len() % 8;
+    let mut lanes = [0.0f32; 8];
+    for (xc, yc) in x[..n8].chunks_exact(8).zip(y[..n8].chunks_exact(8)) {
+        for lane in 0..8 {
+            lanes[lane] += xc[lane] * yc[lane];
+        }
+    }
+    let mut acc = lanes.iter().sum::<f32>();
+    for (xv, yv) in x[n8..].iter().zip(y[n8..].iter()) {
+        acc += xv * yv;
+    }
+    acc
+}
+
+fn gemm_nn_serial(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for kb in (0..k).step_by(KC) {
+        let kend = (kb + KC).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for p in kb..kend {
+                axpy(a_row[p], &b[p * n..(p + 1) * n], c_row);
+            }
+        }
+    }
+}
+
+/// `C += A · B` for row-major `A: M×K`, `B: K×N`, `C: M×N`.
+///
+/// With the `parallel` feature, large products split the `M` dimension
+/// across scoped threads.
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its matrix dimensions.
+pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nn: A is not M×K");
+    assert_eq!(b.len(), k * n, "gemm_nn: B is not K×N");
+    assert_eq!(c.len(), m * n, "gemm_nn: C is not M×N");
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+        if threads > 1 && m >= 2 * threads && m * n * k >= PAR_THRESHOLD {
+            let rows_per = m.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (ti, c_block) in c.chunks_mut(rows_per * n).enumerate() {
+                    let rows = c_block.len() / n;
+                    let a_block = &a[ti * rows_per * k..ti * rows_per * k + rows * k];
+                    s.spawn(move || gemm_nn_serial(rows, n, k, a_block, b, c_block));
+                }
+            });
+            return;
+        }
+    }
+    gemm_nn_serial(m, n, k, a, b, c);
+}
+
+/// `C += A · Bᵀ` for row-major `A: M×K`, `B: N×K`, `C: M×N`.
+///
+/// Both operands are traversed along their contiguous `K` axis (dot
+/// products), so no transpose is materialised. Used for the weight gradient
+/// `∂W = ∂Y · colsᵀ`.
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its matrix dimensions.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt: A is not M×K");
+    assert_eq!(b.len(), n * k, "gemm_nt: B is not N×K");
+    assert_eq!(c.len(), m * n, "gemm_nt: C is not M×N");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            *cv += dot(a_row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// `C += Aᵀ · B` for row-major `A: M×K`, `B: M×N`, `C: K×N`.
+///
+/// Row `p` of `C` accumulates `a[i][p] · b_row_i` over all `i` — again pure
+/// unit-stride AXPYs. Used for the input gradient `∂cols = Wᵀ · ∂Y`.
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its matrix dimensions.
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_tn: A is not M×K");
+    assert_eq!(b.len(), m * n, "gemm_tn: B is not M×N");
+    assert_eq!(c.len(), k * n, "gemm_tn: C is not K×N");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (p, &apv) in a_row.iter().enumerate() {
+            axpy(apv, b_row, &mut c[p * n..(p + 1) * n]);
+        }
+    }
+}
+
+/// Unfolds `input` into the im2col patch matrix.
+///
+/// `cols` is resized to `(C_in·K²) × (H_out·W_out)` and fully overwritten.
+/// Row `((ic·K) + ky)·K + kx` holds, for every output position `(oy, ox)`,
+/// the input sample at `(ic, oy·S − P + ky, ox·S − P + kx)` (zero outside
+/// the frame). Stride-1 rows are bulk `copy_from_slice` copies.
+///
+/// Returns `(K_dim, N)` = (rows, columns) of the packed matrix.
+pub fn im2col_into(
+    input: &Tensor3,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cols: &mut Vec<f32>,
+) -> (usize, usize) {
+    let shape = input.shape();
+    let out_h = conv_output_len(shape.height, kernel, stride, padding);
+    let out_w = conv_output_len(shape.width, kernel, stride, padding);
+    let k_dim = shape.channels * kernel * kernel;
+    let n = out_h * out_w;
+    cols.clear();
+    cols.resize(k_dim * n, 0.0);
+    let p = padding as isize;
+    for ic in 0..shape.channels {
+        let plane = input.channel(ic);
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let row = ((ic * kernel) + ky) * kernel + kx;
+                let dst_row = &mut cols[row * n..(row + 1) * n];
+                for oy in 0..out_h {
+                    let iy = (oy * stride) as isize - p + ky as isize;
+                    let dst = &mut dst_row[oy * out_w..(oy + 1) * out_w];
+                    if iy < 0 || iy as usize >= shape.height {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let src_row =
+                        &plane[iy as usize * shape.width..(iy as usize + 1) * shape.width];
+                    if stride == 1 {
+                        // ix = ox − P + kx for ox in 0..out_w: one contiguous
+                        // window, zero-filled where it leaves the frame.
+                        let ix0 = kx as isize - p;
+                        let lead = (-ix0).clamp(0, out_w as isize) as usize;
+                        let start = ((ix0 + lead as isize) as usize).min(shape.width);
+                        let body = (shape.width - start).min(out_w - lead);
+                        dst[..lead].fill(0.0);
+                        dst[lead..lead + body].copy_from_slice(&src_row[start..start + body]);
+                        dst[lead + body..].fill(0.0);
+                    } else {
+                        for (ox, dv) in dst.iter_mut().enumerate() {
+                            let ix = (ox * stride) as isize - p + kx as isize;
+                            *dv = if ix >= 0 && (ix as usize) < shape.width {
+                                src_row[ix as usize]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (k_dim, n)
+}
+
+/// Scatter-adds a `cols`-shaped gradient back onto an input-shaped tensor
+/// (the adjoint of [`im2col_into`]).
+pub fn col2im_into(
+    cols_grad: &[f32],
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    grad_in: &mut Tensor3,
+) {
+    let shape = grad_in.shape();
+    let out_h = conv_output_len(shape.height, kernel, stride, padding);
+    let out_w = conv_output_len(shape.width, kernel, stride, padding);
+    let n = out_h * out_w;
+    let p = padding as isize;
+    for ic in 0..shape.channels {
+        let plane = grad_in.channel_mut(ic);
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let row = ((ic * kernel) + ky) * kernel + kx;
+                let src_row = &cols_grad[row * n..(row + 1) * n];
+                for oy in 0..out_h {
+                    let iy = (oy * stride) as isize - p + ky as isize;
+                    if iy < 0 || iy as usize >= shape.height {
+                        continue;
+                    }
+                    let dst =
+                        &mut plane[iy as usize * shape.width..(iy as usize + 1) * shape.width];
+                    let src = &src_row[oy * out_w..(oy + 1) * out_w];
+                    for (ox, &gv) in src.iter().enumerate() {
+                        let ix = (ox * stride) as isize - p + kx as isize;
+                        if ix >= 0 && (ix as usize) < shape.width {
+                            dst[ix as usize] += gv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// im2col + GEMM convolution forward pass.
+///
+/// `weights` is the flattened `[oc][ic][ky][kx]` filter bank, `bias` one
+/// value per output channel. Returns the `C_out × H_out × W_out` output.
+///
+/// # Panics
+///
+/// Panics when `weights`/`bias` lengths are inconsistent with
+/// `out_channels`, `kernel`, and the input channel count.
+#[allow(clippy::too_many_arguments)] // mirrors the conv geometry verbatim
+pub fn conv2d_forward(
+    input: &Tensor3,
+    weights: &[f32],
+    bias: &[f32],
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    scratch: &mut GemmScratch,
+) -> Tensor3 {
+    let shape = input.shape();
+    let k_dim = shape.channels * kernel * kernel;
+    assert_eq!(
+        weights.len(),
+        out_channels * k_dim,
+        "conv2d_forward: weights"
+    );
+    assert_eq!(bias.len(), out_channels, "conv2d_forward: bias");
+    let out_shape = Shape3::new(
+        out_channels,
+        conv_output_len(shape.height, kernel, stride, padding),
+        conv_output_len(shape.width, kernel, stride, padding),
+    );
+    let (_, n) = im2col_into(input, kernel, stride, padding, &mut scratch.cols);
+    let mut out = Tensor3::zeros(out_shape);
+    for (oc, &b) in bias.iter().enumerate() {
+        out.channel_mut(oc).fill(b);
+    }
+    gemm_nn(
+        out_channels,
+        n,
+        k_dim,
+        weights,
+        &scratch.cols,
+        out.as_mut_slice(),
+    );
+    out
+}
+
+/// im2col + GEMM convolution backward pass.
+///
+/// Accumulates the weight gradient into `grad_w` (`∂W += ∂Y·colsᵀ`) and the
+/// bias gradient into `grad_b`, and returns the input gradient
+/// (`col2im(Wᵀ·∂Y)`).
+///
+/// # Panics
+///
+/// Panics when buffer lengths are inconsistent with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward(
+    input: &Tensor3,
+    weights: &[f32],
+    grad_out: &Tensor3,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    scratch: &mut GemmScratch,
+    grad_w: &mut [f32],
+    grad_b: &mut [f32],
+) -> Tensor3 {
+    let shape = input.shape();
+    let k_dim = shape.channels * kernel * kernel;
+    assert_eq!(
+        weights.len(),
+        out_channels * k_dim,
+        "conv2d_backward: weights"
+    );
+    assert_eq!(grad_w.len(), weights.len(), "conv2d_backward: grad_w");
+    assert_eq!(grad_b.len(), out_channels, "conv2d_backward: grad_b");
+    let (_, n) = im2col_into(input, kernel, stride, padding, &mut scratch.cols);
+    assert_eq!(
+        grad_out.shape().len(),
+        out_channels * n,
+        "conv2d_backward: grad_out"
+    );
+    for (oc, gb) in grad_b.iter_mut().enumerate() {
+        *gb += grad_out.channel(oc).iter().sum::<f32>();
+    }
+    gemm_nt(
+        out_channels,
+        k_dim,
+        n,
+        grad_out.as_slice(),
+        &scratch.cols,
+        grad_w,
+    );
+    scratch.cols_grad.clear();
+    scratch.cols_grad.resize(k_dim * n, 0.0);
+    gemm_tn(
+        out_channels,
+        n,
+        k_dim,
+        weights,
+        grad_out.as_slice(),
+        &mut scratch.cols_grad,
+    );
+    let mut grad_in = Tensor3::zeros(shape);
+    col2im_into(&scratch.cols_grad, kernel, stride, padding, &mut grad_in);
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_input(c: usize, h: usize, w: usize) -> Tensor3 {
+        Tensor3::from_fn(Shape3::new(c, h, w), |ci, y, x| {
+            ((ci * 31 + y * 7 + x * 3) % 13) as f32 - 6.0
+        })
+    }
+
+    /// Direct scalar conv used as the test oracle.
+    fn conv_reference(
+        input: &Tensor3,
+        weights: &[f32],
+        bias: &[f32],
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Tensor3 {
+        let s = input.shape();
+        let out_shape = Shape3::new(
+            out_channels,
+            conv_output_len(s.height, kernel, stride, padding),
+            conv_output_len(s.width, kernel, stride, padding),
+        );
+        let k_dim = s.channels * kernel * kernel;
+        Tensor3::from_fn(out_shape, |oc, oy, ox| {
+            let mut acc = bias[oc];
+            for ic in 0..s.channels {
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let iy = (oy * stride) as isize - padding as isize + ky as isize;
+                        let ix = (ox * stride) as isize - padding as isize + kx as isize;
+                        let w = weights[oc * k_dim + (ic * kernel + ky) * kernel + kx];
+                        acc += w * input.get_padded(ic, iy, ix);
+                    }
+                }
+            }
+            acc
+        })
+    }
+
+    fn weights_for(out_c: usize, in_c: usize, kernel: usize) -> (Vec<f32>, Vec<f32>) {
+        let k_dim = in_c * kernel * kernel;
+        let weights: Vec<f32> = (0..out_c * k_dim)
+            .map(|i| ((i * 17 + 5) % 11) as f32 * 0.1 - 0.5)
+            .collect();
+        let bias: Vec<f32> = (0..out_c).map(|i| i as f32 * 0.25 - 0.5).collect();
+        (weights, bias)
+    }
+
+    #[test]
+    fn gemm_nn_matches_schoolbook() {
+        let (m, n, k) = (5, 7, 9);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 5) as f32 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.5 - 1.0).collect();
+        let mut c = vec![0.5f32; m * n];
+        let mut expect = c.clone();
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    expect[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        gemm_nn(m, n, k, &a, &b, &mut c);
+        for (got, want) in c.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn gemm_nt_and_tn_match_schoolbook() {
+        let (m, n, k) = (4, 6, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 4) as f32 - 1.5).collect();
+        let bt: Vec<f32> = (0..n * k).map(|i| (i % 6) as f32 * 0.3).collect();
+        let mut c = vec![0.0f32; m * n];
+        gemm_nt(m, n, k, &a, &bt, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let want: f32 = (0..k).map(|p| a[i * k + p] * bt[j * k + p]).sum();
+                assert!((c[i * n + j] - want).abs() < 1e-4);
+            }
+        }
+        // gemm_tn: C (k×n) += Aᵀ B with A m×k, B m×n.
+        let b: Vec<f32> = (0..m * n).map(|i| (i % 3) as f32 - 1.0).collect();
+        let mut ct = vec![0.0f32; k * n];
+        gemm_tn(m, n, k, &a, &b, &mut ct);
+        for p in 0..k {
+            for j in 0..n {
+                let want: f32 = (0..m).map(|i| a[i * k + p] * b[i * n + j]).sum();
+                assert!((ct[p * n + j] - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_identity_geometry_is_transpose_free_copy() {
+        let input = seq_input(2, 3, 3);
+        let mut cols = Vec::new();
+        let (k_dim, n) = im2col_into(&input, 1, 1, 0, &mut cols);
+        assert_eq!((k_dim, n), (2, 9));
+        assert_eq!(&cols, input.as_slice());
+    }
+
+    #[test]
+    fn conv_forward_matches_reference_across_geometries() {
+        for &(c, h, w, oc, k, s, p) in &[
+            (1usize, 5usize, 5usize, 1usize, 3usize, 1usize, 0usize),
+            (2, 6, 5, 3, 3, 1, 1),
+            (3, 8, 8, 4, 5, 2, 2),
+            (2, 7, 9, 2, 1, 1, 0),
+            (1, 4, 4, 2, 4, 4, 0),
+            (2, 5, 5, 3, 3, 2, 0),
+        ] {
+            let input = seq_input(c, h, w);
+            let (weights, bias) = weights_for(oc, c, k);
+            let want = conv_reference(&input, &weights, &bias, oc, k, s, p);
+            let got = with_thread_scratch(|scratch| {
+                conv2d_forward(&input, &weights, &bias, oc, k, s, p, scratch)
+            });
+            assert_eq!(
+                got.shape(),
+                want.shape(),
+                "shape for {c}x{h}x{w} k{k}s{s}p{p}"
+            );
+            for (a, b) in got.iter().zip(want.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "conv mismatch: {a} vs {b} (k{k}s{s}p{p})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conv_backward_gradcheck() {
+        let (c, h, w, oc, k, s, p) = (2, 5, 5, 3, 3, 1, 1);
+        let input = seq_input(c, h, w).map(|v| (v * 0.37).sin());
+        let (weights, bias) = weights_for(oc, c, k);
+        let mut scratch = GemmScratch::new();
+        let out = conv2d_forward(&input, &weights, &bias, oc, k, s, p, &mut scratch);
+        let grad_out = Tensor3::filled(out.shape(), 1.0);
+        let mut grad_w = vec![0.0f32; weights.len()];
+        let mut grad_b = vec![0.0f32; bias.len()];
+        let grad_in = conv2d_backward(
+            &input,
+            &weights,
+            &grad_out,
+            oc,
+            k,
+            s,
+            p,
+            &mut scratch,
+            &mut grad_w,
+            &mut grad_b,
+        );
+        let eps = 1e-2;
+        // Input gradient.
+        for &(y, x) in &[(0usize, 0usize), (2, 3), (4, 4)] {
+            let mut plus = input.clone();
+            plus.set(1, y, x, input.get(1, y, x) + eps);
+            let mut minus = input.clone();
+            minus.set(1, y, x, input.get(1, y, x) - eps);
+            let lp: f32 = conv2d_forward(&plus, &weights, &bias, oc, k, s, p, &mut scratch)
+                .iter()
+                .sum();
+            let lm: f32 = conv2d_forward(&minus, &weights, &bias, oc, k, s, p, &mut scratch)
+                .iter()
+                .sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.get(1, y, x);
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "grad_in ({y},{x}): numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Weight gradient.
+        for wi in [0usize, 7, weights.len() - 1] {
+            let mut wp = weights.clone();
+            wp[wi] += eps;
+            let mut wm = weights.clone();
+            wm[wi] -= eps;
+            let lp: f32 = conv2d_forward(&input, &wp, &bias, oc, k, s, p, &mut scratch)
+                .iter()
+                .sum();
+            let lm: f32 = conv2d_forward(&input, &wm, &bias, oc, k, s, p, &mut scratch)
+                .iter()
+                .sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_w[wi]).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "grad_w [{wi}]: numeric {numeric} vs analytic {}",
+                grad_w[wi]
+            );
+        }
+        // Bias gradient: dL/db = number of output positions per channel.
+        let n_out = out.shape().plane_len() as f32;
+        for gb in &grad_b {
+            assert!((gb - n_out).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_safe() {
+        let mut scratch = GemmScratch::new();
+        // Large then small: stale tail data must not leak into results.
+        let big = seq_input(3, 10, 10);
+        let (wb, bb) = weights_for(4, 3, 3);
+        let _ = conv2d_forward(&big, &wb, &bb, 4, 3, 1, 1, &mut scratch);
+        let small = seq_input(1, 4, 4);
+        let (ws, bs) = weights_for(2, 1, 3);
+        let got = conv2d_forward(&small, &ws, &bs, 2, 3, 1, 0, &mut scratch);
+        let want = conv_reference(&small, &ws, &bs, 2, 3, 1, 0);
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn output_len_edge_cases() {
+        assert_eq!(conv_output_len(5, 3, 1, 0), 3);
+        assert_eq!(conv_output_len(5, 3, 2, 1), 3);
+        assert_eq!(conv_output_len(2, 5, 1, 0), 0);
+        assert_eq!(conv_output_len(2, 5, 1, 2), 2);
+    }
+}

@@ -140,7 +140,8 @@ impl GrayImage {
     /// Positive `dy`/`dx` move content down/right.
     pub fn translate(&self, dy: isize, dx: isize, fill: u8) -> Self {
         Self::from_fn(self.height, self.width, |y, x| {
-            self.try_get(y as isize - dy, x as isize - dx).unwrap_or(fill)
+            self.try_get(y as isize - dy, x as isize - dx)
+                .unwrap_or(fill)
         })
     }
 

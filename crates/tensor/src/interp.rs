@@ -53,10 +53,7 @@ pub fn sample_bilinear(t: &Tensor3, c: usize, y: f32, x: f32) -> f32 {
     //   SDL_00·(1−u)(1−v) + SDL_01·(1−u)·v + SDL_10·u·(1−v) + SDL_11·u·v
     // with (u, v) the fractional bits of the motion vector. Here the roles of
     // u/v follow (column, row) order to match the figure.
-    p00 * (1.0 - u) * (1.0 - v)
-        + p01 * u * (1.0 - v)
-        + p10 * (1.0 - u) * v
-        + p11 * u * v
+    p00 * (1.0 - u) * (1.0 - v) + p01 * u * (1.0 - v) + p10 * (1.0 - u) * v + p11 * u * v
 }
 
 /// Samples channel `c` of `t` at the fractional position `(y, x)` by rounding

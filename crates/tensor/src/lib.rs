@@ -12,6 +12,11 @@
 //!   datapath width of the EVA² warp engine ("shifts the final result back to
 //!   a 16-bit fixed-point representation", §III-B of the paper).
 //! * [`interp`] — bilinear sampling used by activation warping (§II-C3).
+//! * [`gemm`] — im2col packing and a cache-blocked f32 GEMM, the
+//!   convolution engine behind `eva2_cnn::Conv2d`.
+//! * [`sparse`] — [`SparseActivation`], the non-zero view the sparse-aware
+//!   CNN suffix consumes (the software analogue of the Fig 10 decoder-lane
+//!   output).
 //!
 //! # Example
 //!
@@ -26,12 +31,16 @@
 #![warn(missing_docs)]
 
 pub mod fixed;
+pub mod gemm;
 pub mod image;
 pub mod interp;
 pub mod shape;
+pub mod sparse;
 pub mod tensor;
 
 pub use fixed::Fixed;
+pub use gemm::GemmScratch;
 pub use image::GrayImage;
 pub use shape::Shape3;
+pub use sparse::SparseActivation;
 pub use tensor::Tensor3;

@@ -85,7 +85,8 @@ impl DatasetConfig {
 pub fn build(config: &DatasetConfig, split: Split) -> Vec<Clip> {
     (0..config.clips)
         .map(|i| {
-            let seed = split.seed_base() ^ config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64;
+            let seed =
+                split.seed_base() ^ config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64;
             let mut scene_cfg = config.scene.clone();
             if !config.regime_mix.is_empty() {
                 scene_cfg.regime = config.regime_mix[i % config.regime_mix.len()];

@@ -9,9 +9,10 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// A deterministic motion trajectory sampled at 30 fps frame indices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum MotionScript {
     /// No motion.
+    #[default]
     Static,
     /// Constant velocity in pixels/frame.
     Linear {
@@ -95,16 +96,11 @@ impl MotionScript {
 
     fn segment_velocity(seed: u64, segment: usize, max_speed: f32) -> (f32, f32) {
         use rand::SeedableRng;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (segment as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ (segment as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let angle = rng.gen_range(0.0..std::f32::consts::TAU);
         let speed = rng.gen_range(0.2..max_speed.max(0.21));
         (speed * angle.sin(), speed * angle.cos())
-    }
-}
-
-impl Default for MotionScript {
-    fn default() -> Self {
-        MotionScript::Static
     }
 }
 

@@ -271,9 +271,13 @@ impl Scene {
         }
 
         let (py, px) = self.object_center(&self.primary, t);
-        self.primary
-            .kind
-            .render(&mut image, py, px, self.primary.size, self.primary.intensity);
+        self.primary.kind.render(
+            &mut image,
+            py,
+            px,
+            self.primary.size,
+            self.primary.intensity,
+        );
 
         let full = BoundingBox::from_center(py, px, self.primary.size, self.primary.size);
         let bbox = full.clamped(cfg.height, cfg.width);
@@ -305,7 +309,9 @@ impl Scene {
 
         // Sensor noise: deterministic per (seed, t).
         if cfg.noise_std > 0.0 {
-            let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (t as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                self.seed ^ (t as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            );
             for p in image.as_mut_slice() {
                 // Cheap approximate Gaussian: sum of two uniforms, centred.
                 let n: f32 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);

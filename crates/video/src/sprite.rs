@@ -74,17 +74,17 @@ impl SpriteKind {
             }
             SpriteKind::Triangle => {
                 // Apex at (v=-0.9); base along v=+0.9.
-                v >= -0.9 && v <= 0.9 && au <= (v + 0.9) / 2.0
+                (-0.9..=0.9).contains(&v) && au <= (v + 0.9) / 2.0
             }
-            SpriteKind::Bars => av <= 0.9 && ((-0.8..=-0.3).contains(&u) || (0.3..=0.8).contains(&u)),
+            SpriteKind::Bars => {
+                av <= 0.9 && ((-0.8..=-0.3).contains(&u) || (0.3..=0.8).contains(&u))
+            }
             SpriteKind::Frame => {
                 let inside = av <= 0.9 && au <= 0.9;
                 let hollow = av <= 0.5 && au <= 0.5;
                 inside && !hollow
             }
-            SpriteKind::Stripes => {
-                av <= 0.9 && au <= 0.9 && ((v + u) * 2.5).rem_euclid(2.0) < 1.0
-            }
+            SpriteKind::Stripes => av <= 0.9 && au <= 0.9 && ((v + u) * 2.5).rem_euclid(2.0) < 1.0,
         }
     }
 

@@ -34,10 +34,12 @@ fn segment(regime: MotionRegime, seed: u64, frames: usize) -> Vec<GrayImage> {
 
 fn main() {
     let workload = zoo::tiny_fasterm(3);
-    let mut config = AmcConfig::default();
-    config.policy = PolicyConfig::BlockError {
-        threshold: 2.0,
-        max_gap: 64,
+    let config = AmcConfig {
+        policy: PolicyConfig::BlockError {
+            threshold: 2.0,
+            max_gap: 64,
+        },
+        ..Default::default()
     };
     let mut amc = AmcExecutor::new(&workload.network, config);
 

@@ -24,8 +24,10 @@ fn main() {
         let workload = zoo::tiny_fasterm(5);
         let mut amc = AmcExecutor::new(&workload.network, AmcConfig::default());
         for seed in 0..6 {
-            let mut scene =
-                Scene::new(SceneConfig::detection(48, 48).with_regime(regime), 70 + seed);
+            let mut scene = Scene::new(
+                SceneConfig::detection(48, 48).with_regime(regime),
+                70 + seed,
+            );
             for frame in scene.render_clip(20).frames {
                 amc.process(&frame.image);
             }

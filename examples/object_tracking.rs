@@ -25,7 +25,12 @@ fn main() {
             DetSample {
                 input: frame.image.to_tensor(),
                 label: frame.truth.class,
-                bbox: [cy / h, cx / h, frame.truth.bbox.h / h, frame.truth.bbox.w / h],
+                bbox: [
+                    cy / h,
+                    cx / h,
+                    frame.truth.bbox.h / h,
+                    frame.truth.bbox.w / h,
+                ],
             }
         })
         .collect();

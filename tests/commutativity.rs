@@ -84,7 +84,10 @@ fn pooling_breaks_on_unaligned_translation() {
             any_exact = true;
         }
     }
-    assert!(!any_exact, "sub-stride translation should not be exactly representable");
+    assert!(
+        !any_exact,
+        "sub-stride translation should not be exactly representable"
+    );
 }
 
 /// The full AMC claim: for stride-aligned global motion through a
@@ -119,7 +122,7 @@ fn amc_warp_matches_recomputation_for_aligned_motion() {
 /// new content, and the RFBME block error flags it.
 #[test]
 fn new_pixels_break_exactness_and_raise_block_error() {
-    use eva2::motion::rfbme::{Rfbme, RfGeometry, SearchParams};
+    use eva2::motion::rfbme::{RfGeometry, Rfbme, SearchParams};
     use eva2::tensor::GrayImage;
     let key = GrayImage::from_fn(32, 32, |y, x| {
         (100.0 + 60.0 * ((y as f32 * 0.4).sin() * (x as f32 * 0.3).cos())) as u8
@@ -131,11 +134,18 @@ fn new_pixels_break_exactness_and_raise_block_error() {
         }
     }
     let rfbme = Rfbme::new(
-        RfGeometry { size: 8, stride: 4, padding: 0 },
+        RfGeometry {
+            size: 8,
+            stride: 4,
+            padding: 0,
+        },
         SearchParams { radius: 4, step: 1 },
     );
     let clean = rfbme.estimate(&key, &key).total_error;
     let occluded = rfbme.estimate(&key, &new).total_error;
     assert_eq!(clean, 0);
-    assert!(occluded > 10_000, "block error {occluded} should flag new pixels");
+    assert!(
+        occluded > 10_000,
+        "block error {occluded} should flag new pixels"
+    );
 }

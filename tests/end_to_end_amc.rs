@@ -18,7 +18,12 @@ fn scene_frames(regime: MotionRegime, seed: u64, n: usize) -> Vec<eva2::tensor::
     // it so the object-motion regimes are the only difference between runs.
     cfg.camera_pan = false;
     let mut scene = Scene::new(cfg, seed);
-    scene.render_clip(n).frames.into_iter().map(|f| f.image).collect()
+    scene
+        .render_clip(n)
+        .frames
+        .into_iter()
+        .map(|f| f.image)
+        .collect()
 }
 
 #[test]
@@ -69,15 +74,21 @@ fn amc_saves_most_macs_on_calm_video() {
     let stats = amc.stats();
     let full = workload.network.total_macs() * stats.frames as u64;
     let saved = 1.0 - stats.macs as f64 / full as f64;
-    assert!(saved > 0.7, "saved only {:.2} of MACs on a frozen scene", saved);
+    assert!(
+        saved > 0.7,
+        "saved only {:.2} of MACs on a frozen scene",
+        saved
+    );
 }
 
 #[test]
 fn fixed_point_pipeline_stays_close_to_float() {
     let workload = zoo::tiny_fasterm(4);
     let frames = scene_frames(MotionRegime::Smooth, 21, 8);
-    let mut float_cfg = AmcConfig::default();
-    float_cfg.policy = PolicyConfig::StaticRate { period: 4 };
+    let float_cfg = AmcConfig {
+        policy: PolicyConfig::StaticRate { period: 4 },
+        ..Default::default()
+    };
     let mut fixed_cfg = float_cfg;
     fixed_cfg.fixed_point = true;
     let mut a = AmcExecutor::new(&workload.network, float_cfg);
@@ -101,9 +112,11 @@ fn memoization_and_warping_agree_on_static_scenes() {
     ];
     let mut outputs = Vec::new();
     for warp in configs {
-        let mut cfg = AmcConfig::default();
-        cfg.warp = warp;
-        cfg.policy = PolicyConfig::StaticRate { period: 100 };
+        let cfg = AmcConfig {
+            warp,
+            policy: PolicyConfig::StaticRate { period: 100 },
+            ..Default::default()
+        };
         let mut amc = AmcExecutor::new(&workload.network, cfg);
         let mut last = None;
         for img in &frames {

@@ -2,23 +2,21 @@
 
 use eva2::amc::sparse::RleActivation;
 use eva2::amc::warp::{warp_activation, warp_activation_fixed};
-use eva2::cnn::zoo;
 use eva2::motion::field::{MotionVector, VectorField};
-use eva2::motion::rfbme::{Rfbme, RfGeometry, SearchParams};
+use eva2::motion::rfbme::{RfGeometry, Rfbme, SearchParams};
 use eva2::tensor::interp::Interpolation;
 use eva2::tensor::{fixed, GrayImage, Shape3, Tensor3};
 use proptest::prelude::*;
 
 fn arb_activation() -> impl Strategy<Value = Tensor3> {
-    (1usize..4, 3usize..8, 3usize..8)
-        .prop_flat_map(|(c, h, w)| {
-            let shape = Shape3::new(c, h, w);
-            proptest::collection::vec(
-                prop_oneof![3 => Just(0.0f32), 2 => -20.0f32..20.0],
-                shape.len(),
-            )
-            .prop_map(move |v| Tensor3::from_vec(shape, v))
-        })
+    (1usize..4, 3usize..8, 3usize..8).prop_flat_map(|(c, h, w)| {
+        let shape = Shape3::new(c, h, w);
+        proptest::collection::vec(
+            prop_oneof![3 => Just(0.0f32), 2 => -20.0f32..20.0],
+            shape.len(),
+        )
+        .prop_map(move |v| Tensor3::from_vec(shape, v))
+    })
 }
 
 proptest! {
@@ -147,5 +145,50 @@ proptest! {
         let c_hi = model.average_cost(&net, hi);
         prop_assert!(c_lo.energy_mj <= c_hi.energy_mj + 1e-9);
         prop_assert!(c_lo.latency_ms <= c_hi.latency_ms + 1e-9);
+    }
+
+    /// Golden equivalence of the sparse suffix feed through the Q8.8 warp
+    /// datapath, end to end: quantize → RLE → warp (bit-accurate fixed
+    /// point) → suffix. Feeding the suffix from the warped activation's
+    /// non-zero entries must match the dense reference within 1e-4.
+    #[test]
+    fn fixed_point_warp_sparse_suffix_matches_dense(
+        t in arb_activation(),
+        dy in -4.0f32..4.0,
+        dx in -4.0f32..4.0,
+        seed in 0u64..100,
+    ) {
+        use eva2::cnn::layer::{FullyConnected, Relu};
+        use eva2::cnn::network::Network;
+        use eva2::tensor::gemm::GemmScratch;
+        use eva2::tensor::SparseActivation;
+        use rand::SeedableRng;
+
+        let s = t.shape();
+        // The stored key activation, exactly as the hardware holds it.
+        let rle = RleActivation::encode(&t, 0.0);
+        let decoded = rle.decode();
+        prop_assert_eq!(rle.to_sparse().to_dense(), decoded.clone());
+
+        // Warp through the bit-accurate Q8.8 datapath.
+        let field = VectorField::uniform(s.height, s.width, 4, MotionVector::new(dy, dx));
+        let (warped, _) = warp_activation_fixed(&decoded, &field, 4);
+
+        // Suffix [fc] beyond target layer 0 (the relu standing in for the
+        // prefix's last layer), fed dense vs sparse.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut net = Network::new("suffix", s);
+        net.push(Box::new(Relu::new("target")));
+        net.push(Box::new(FullyConnected::new("fc", s.len(), 6, &mut rng)));
+        let dense_out = net.forward_suffix(&warped, 0);
+        let mut scratch = GemmScratch::new();
+        let sparse_out = net.forward_suffix_sparse(
+            &SparseActivation::from_dense(&warped, 0.0),
+            0,
+            &mut scratch,
+        );
+        for (a, b) in sparse_out.iter().zip(dense_out.iter()) {
+            prop_assert!((a - b).abs() <= 1e-4, "{} vs {}", a, b);
+        }
     }
 }
