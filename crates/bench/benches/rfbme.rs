@@ -33,6 +33,10 @@ fn bench_rfbme_vs_unoptimized(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rfbme", size), &size, |b, _| {
             b.iter(|| black_box(rfbme.estimate(&key, &new)))
         });
+        // The exhaustive two-stage model, without the diff-tile early exit.
+        group.bench_with_input(BenchmarkId::new("rfbme_reference", size), &size, |b, _| {
+            b.iter(|| black_box(rfbme.estimate_reference(&key, &new)))
+        });
         // The unoptimized variant: exhaustive SAD per receptive field with
         // no tile reuse (block = rf size, anchors on the rf grid).
         let unopt = BlockMatcher {

@@ -1,6 +1,7 @@
 //! Produces `BENCH_conv.json` — the committed performance trajectory of the
-//! convolution engine (naive vs im2col+GEMM) and the sparse-aware suffix
-//! (skip-zero vs densify-then-dense).
+//! convolution engine (naive vs im2col+GEMM), the sparse-aware suffix
+//! (skip-zero vs densify-then-dense), the RFBME early-exit fast path, and
+//! the serial vs pipelined AMC executors.
 //!
 //! Run from the workspace root:
 //!
@@ -8,203 +9,21 @@
 //! cargo run --release -p eva2-bench --bin bench_conv
 //! ```
 //!
-//! Timing method matches the criterion shim: calibrate iterations so one
-//! sample takes ~5 ms, take 15 samples, report the median per-iteration
-//! time (median is robust to scheduler noise).
+//! Set `EVA2_BENCH_QUICK=1` for a seconds-long reduced-sampling run (noisier
+//! absolute numbers; the tracked ratios stay meaningful). The measurement
+//! methodology lives in [`eva2_bench::trajectory`].
 
-use eva2_cnn::layer::{Conv2d, Layer};
-use eva2_cnn::zoo;
-use eva2_core::sparse::RleActivation;
-use eva2_tensor::gemm::GemmScratch;
-use eva2_tensor::{Shape3, Tensor3};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use std::fmt::Write as _;
-use std::hint::black_box;
-use std::time::Instant;
-
-const TARGET_SAMPLE_NS: u64 = 5_000_000;
-const SAMPLES: usize = 15;
-
-/// Median ns/iter of `f` (same methodology as the criterion shim).
-fn time_ns(mut f: impl FnMut()) -> f64 {
-    let start = Instant::now();
-    f();
-    let once = start.elapsed().as_nanos().max(1) as u64;
-    let iters = (TARGET_SAMPLE_NS / once).clamp(1, 1 << 20);
-    // Warmup.
-    for _ in 0..iters {
-        f();
-    }
-    let mut per_iter: Vec<f64> = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
-        let start = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
-    }
-    per_iter.sort_by(|a, b| a.total_cmp(b));
-    per_iter[per_iter.len() / 2]
-}
-
-struct Entry {
-    name: String,
-    median_ns: f64,
-}
+use eva2_bench::trajectory::{measure, Mode};
 
 fn main() {
-    let mut entries: Vec<Entry> = Vec::new();
-    let mut record = |name: &str, ns: f64| {
-        println!("{name:<44} {:>12.1} ns/iter", ns);
-        entries.push(Entry {
-            name: name.to_string(),
-            median_ns: ns,
-        });
+    let mode = if std::env::var_os("EVA2_BENCH_QUICK").is_some() {
+        Mode::Quick
+    } else {
+        Mode::Full
     };
-
-    // ------------------------------------------------------------------
-    // Conv forward: naive vs GEMM on a representative mid-network layer.
-    // ------------------------------------------------------------------
-    let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let conv = Conv2d::new("bench", 16, 32, 3, 1, 1, &mut rng);
-    let input = Tensor3::from_fn(Shape3::new(16, 32, 32), |c, y, x| {
-        (((c * 31 + y * 7 + x) % 23) as f32 - 11.0) * 0.1
-    });
-    let naive = time_ns(|| {
-        black_box(conv.forward_naive(black_box(&input)));
-    });
-    record("conv_forward/naive/16x32x32_k3", naive);
-    let gemm = time_ns(|| {
-        black_box(conv.forward(black_box(&input)));
-    });
-    record("conv_forward/gemm/16x32x32_k3", gemm);
-    let mut scratch = GemmScratch::new();
-    let gemm_scratch = time_ns(|| {
-        black_box(conv.forward_scratch(black_box(&input), &mut scratch));
-    });
-    record("conv_forward/gemm_scratch/16x32x32_k3", gemm_scratch);
-    let conv_speedup = naive / gemm_scratch;
-    println!("conv speedup (naive / gemm_scratch): {conv_speedup:.2}x");
-
-    // A strided large-kernel geometry (AlexNet-like first layer shape).
-    let conv2 = Conv2d::new("bench2", 3, 24, 5, 2, 2, &mut rng);
-    let input2 = Tensor3::from_fn(Shape3::new(3, 48, 48), |c, y, x| {
-        (((c * 7 + y * 3 + x) % 17) as f32 - 8.0) * 0.1
-    });
-    let naive2 = time_ns(|| {
-        black_box(conv2.forward_naive(black_box(&input2)));
-    });
-    record("conv_forward/naive/3x48x48_k5s2", naive2);
-    let gemm2 = time_ns(|| {
-        black_box(conv2.forward_scratch(black_box(&input2), &mut scratch));
-    });
-    record("conv_forward/gemm_scratch/3x48x48_k5s2", gemm2);
-
-    // ------------------------------------------------------------------
-    // Suffix from the RLE store: densify-then-dense vs sparse-aware.
-    // ------------------------------------------------------------------
-    let z = zoo::tiny_fasterm(0);
-    let target = z.late_target;
-    let shape = z.network.shape_after(target);
-    let mut suffix_speedups: Vec<(f32, f64)> = Vec::new();
-    for sparsity in [0.5f32, 0.8, 0.95] {
-        let act = Tensor3::from_fn(shape, |c, y, x| {
-            let i = (c * 131 + y * 17 + x * 3) % 1000;
-            if (i as f32) < sparsity * 1000.0 {
-                0.0
-            } else {
-                (i as f32) * 0.004
-            }
-        });
-        let rle = RleActivation::encode(&act, 0.0);
-        let pct = (sparsity * 100.0) as u32;
-        let densify = time_ns(|| {
-            let dense = rle.decode();
-            black_box(z.network.forward_suffix(&dense, target));
-        });
-        record(&format!("suffix/densify_dense/{pct}pct"), densify);
-        let sparse = time_ns(|| {
-            let s = rle.to_sparse();
-            black_box(z.network.forward_suffix_sparse(&s, target, &mut scratch));
-        });
-        record(&format!("suffix/sparse_aware/{pct}pct"), sparse);
-        suffix_speedups.push((sparsity, densify / sparse));
-        println!(
-            "suffix speedup at {pct}% sparsity: {:.2}x",
-            densify / sparse
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // End-to-end AMC frames (FasterM analogue).
-    // ------------------------------------------------------------------
-    use eva2_core::executor::{AmcConfig, AmcExecutor};
-    use eva2_core::policy::PolicyConfig;
-    use eva2_tensor::GrayImage;
-    let frame = |shift: usize| {
-        GrayImage::from_fn(48, 48, |y, x| {
-            (125.0 + 50.0 * ((y as f32 * 0.29).sin() + ((x + shift) as f32 * 0.21).cos())) as u8
-        })
-    };
-    let f0 = frame(0);
-    let f1 = frame(1);
-    let always_key = AmcConfig {
-        policy: PolicyConfig::AlwaysKey,
-        ..Default::default()
-    };
-    let mut amc = AmcExecutor::new(&z.network, always_key);
-    amc.process(&f0);
-    let key_ns = time_ns(|| {
-        black_box(amc.process(black_box(&f1)));
-    });
-    record("pipeline/key_frame/fasterm", key_ns);
-    let never_key = AmcConfig {
-        policy: PolicyConfig::BlockError {
-            threshold: f32::INFINITY,
-            max_gap: usize::MAX,
-        },
-        ..Default::default()
-    };
-    let mut amc = AmcExecutor::new(&z.network, never_key);
-    amc.process(&f0);
-    let pred_ns = time_ns(|| {
-        black_box(amc.process(black_box(&f1)));
-    });
-    record("pipeline/predicted_frame/fasterm", pred_ns);
-    println!("key/predicted frame ratio: {:.2}x", key_ns / pred_ns);
-
-    // ------------------------------------------------------------------
-    // JSON dump.
-    // ------------------------------------------------------------------
-    let mut body = String::from("{\n  \"bench\": \"conv_engine\",\n  \"entries\": [\n");
-    for (i, e) in entries.iter().enumerate() {
-        let _ = write!(
-            body,
-            "    {{\"name\": \"{}\", \"median_ns\": {:.1}}}",
-            e.name, e.median_ns
-        );
-        body.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
-    }
-    let _ = write!(
-        body,
-        "  ],\n  \"conv_speedup_naive_over_gemm\": {conv_speedup:.2},\n  \"suffix_speedup_sparse_over_densify\": {{\n"
-    );
-    for (i, (s, x)) in suffix_speedups.iter().enumerate() {
-        let _ = write!(body, "    \"{:.0}pct\": {x:.2}", s * 100.0);
-        body.push_str(if i + 1 < suffix_speedups.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
-    }
-    let _ = write!(
-        body,
-        "  }},\n  \"key_over_predicted_frame\": {:.2}\n}}\n",
-        key_ns / pred_ns
-    );
+    let m = measure(mode);
     let path = "BENCH_conv.json";
-    match std::fs::write(path, &body) {
+    match std::fs::write(path, m.to_json()) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

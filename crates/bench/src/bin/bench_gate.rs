@@ -1,0 +1,143 @@
+//! CI bench-regression gate.
+//!
+//! Re-measures the tracked speedup ratios (conv GEMM speedup, sparse-suffix
+//! speedups, key/predicted frame ratio, RFBME fast-path speedup) on a
+//! reduced sampling plan and compares them against the committed
+//! `BENCH_conv.json`. Exits nonzero when any ratio regressed by more than
+//! the tolerance (default 30%), so a PR that quietly loses an optimization
+//! fails CI instead of merging.
+//!
+//! Ratios — not absolute nanoseconds — are compared because they divide out
+//! how fast the CI machine happens to be; each ratio pits two in-process
+//! implementations against each other under identical noise.
+//!
+//! ```text
+//! cargo run --release -p eva2-bench --bin bench_gate [-- OPTIONS]
+//!
+//! OPTIONS:
+//!   --baseline <path>   committed trajectory to gate against [BENCH_conv.json]
+//!   --out <path>        where to write the fresh measurements (uploaded as a
+//!                       CI artifact) [BENCH_gate_fresh.json]
+//!   --tolerance <frac>  allowed fractional regression [0.30]
+//!   --inject <factor>   multiply every fresh ratio by <factor> before
+//!                       comparing — a self-test hook to demonstrate the gate
+//!                       fails on a real regression (e.g. --inject 0.5)
+//! ```
+//!
+//! The full-sampling trajectory writer is `bench_conv`; see
+//! `eva2_core::pipeline` for when to regenerate the committed file.
+
+use eva2_bench::trajectory::{extract_number, measure, Mode};
+use std::process::ExitCode;
+
+struct Options {
+    baseline: String,
+    out: String,
+    tolerance: f64,
+    inject: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        baseline: "BENCH_conv.json".into(),
+        out: "BENCH_gate_fresh.json".into(),
+        tolerance: 0.30,
+        inject: 1.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => opts.baseline = value("--baseline")?,
+            "--out" => opts.out = value("--out")?,
+            "--tolerance" => {
+                opts.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--inject" => {
+                opts.inject = value("--inject")?
+                    .parse()
+                    .map_err(|e| format!("--inject: {e}"))?
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match std::fs::read_to_string(&opts.baseline) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read baseline {}: {e}", opts.baseline);
+            return ExitCode::from(2);
+        }
+    };
+
+    let fresh = measure(Mode::Quick);
+    if let Err(e) = std::fs::write(&opts.out, fresh.to_json()) {
+        eprintln!("bench_gate: could not write {}: {e}", opts.out);
+    } else {
+        println!("bench_gate: wrote fresh measurements to {}", opts.out);
+    }
+    if opts.inject != 1.0 {
+        println!(
+            "bench_gate: INJECTING artificial factor {} into fresh ratios (self-test)",
+            opts.inject
+        );
+    }
+
+    let mut failed = false;
+    println!(
+        "\n{:<44} {:>10} {:>10} {:>8}  verdict",
+        "tracked ratio", "committed", "fresh", "delta"
+    );
+    for (key, fresh_value) in fresh.tracked_ratios() {
+        let fresh_value = fresh_value * opts.inject;
+        let Some(committed) = extract_number(&baseline, &key) else {
+            // A newly tracked ratio has no baseline yet; it starts gating
+            // once bench_conv commits it.
+            println!("{key:<44} {:>10} {fresh_value:>10.2} {:>8}  NEW", "-", "-");
+            continue;
+        };
+        let delta = fresh_value / committed - 1.0;
+        let regressed = fresh_value < committed * (1.0 - opts.tolerance);
+        println!(
+            "{key:<44} {committed:>10.2} {fresh_value:>10.2} {:>+7.1}%  {}",
+            delta * 100.0,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        failed |= regressed;
+    }
+
+    if failed {
+        eprintln!(
+            "\nbench_gate: FAIL — ratio(s) regressed more than {:.0}% vs {}",
+            opts.tolerance * 100.0,
+            opts.baseline
+        );
+        eprintln!(
+            "If the regression is intended, regenerate the baseline with \
+             `cargo run --release -p eva2-bench --bin bench_conv` and commit it."
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "\nbench_gate: OK — all tracked ratios within {:.0}% of {}",
+            opts.tolerance * 100.0,
+            opts.baseline
+        );
+        ExitCode::SUCCESS
+    }
+}

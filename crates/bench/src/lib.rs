@@ -1,1 +1,5 @@
-//! Criterion micro-benchmarks for the EVA2 reproduction (see `benches/`).
+//! Criterion micro-benchmarks (see `benches/`) and the shared measurement
+//! suite behind the committed `BENCH_conv.json` trajectory and the CI
+//! bench-regression gate (see [`trajectory`]).
+
+pub mod trajectory;

@@ -1,0 +1,384 @@
+//! The `BENCH_conv.json` measurement suite, shared by the `bench_conv`
+//! trajectory writer and the `bench_gate` CI regression gate.
+//!
+//! Timing methodology matches the criterion shim: calibrate iterations so
+//! one sample takes a target wall-clock duration, take N samples, report
+//! the median per-iteration time (median is robust to scheduler noise).
+//! [`Mode::Quick`] shrinks both knobs so a full suite run finishes in a few
+//! seconds — absolute numbers get noisier, but the *ratios* the gate tracks
+//! (speedups of one in-process implementation over another) stay stable
+//! because both sides of each ratio see the same machine and the same
+//! noise.
+
+use eva2_cnn::layer::{Conv2d, Layer};
+use eva2_cnn::zoo;
+use eva2_core::executor::{AmcConfig, AmcExecutor};
+use eva2_core::pipeline::PipelinedExecutor;
+use eva2_core::policy::PolicyConfig;
+use eva2_core::sparse::RleActivation;
+use eva2_motion::rfbme::{Rfbme, SearchParams};
+use eva2_tensor::gemm::GemmScratch;
+use eva2_tensor::{GrayImage, Shape3, Tensor3};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Measurement effort: the committed trajectory uses [`Mode::Full`]; CI's
+/// regression gate uses [`Mode::Quick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// ~5 ms samples × 15 — the committed-trajectory methodology.
+    Full,
+    /// ~1 ms samples × 5 — finishes the whole suite in seconds.
+    Quick,
+}
+
+impl Mode {
+    fn target_sample_ns(self) -> u64 {
+        match self {
+            Mode::Full => 5_000_000,
+            Mode::Quick => 1_000_000,
+        }
+    }
+
+    fn samples(self) -> usize {
+        match self {
+            Mode::Full => 15,
+            Mode::Quick => 5,
+        }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// `group/path/id` benchmark name.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+/// The full measurement set backing `BENCH_conv.json`.
+#[derive(Debug, Clone)]
+pub struct Measurements {
+    /// Every timed benchmark, in measurement order.
+    pub entries: Vec<Entry>,
+    /// Conv forward: naive over im2col+GEMM (scratch path).
+    pub conv_speedup: f64,
+    /// Suffix-from-RLE: densify-then-dense over sparse-aware, per sparsity.
+    pub suffix_speedups: Vec<(f32, f64)>,
+    /// End-to-end AMC: key frame over predicted frame (serial executor).
+    pub key_over_predicted: f64,
+    /// RFBME: exhaustive reference over the early-exit fast path.
+    pub rfbme_reference_over_fast: f64,
+    /// Predicted frame: serial executor over the streaming pipeline.
+    pub predicted_serial_over_pipelined: f64,
+}
+
+/// Median ns/iter of `f` under the mode's sampling plan.
+fn time_ns(mode: Mode, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().as_nanos().max(1) as u64;
+    let iters = (mode.target_sample_ns() / once).clamp(1, 1 << 20);
+    // Warmup.
+    for _ in 0..iters {
+        f();
+    }
+    let samples = mode.samples();
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    per_iter[per_iter.len() / 2]
+}
+
+/// The 48×48 drifting test pattern every end-to-end entry uses.
+fn frame(shift: usize) -> GrayImage {
+    GrayImage::from_fn(48, 48, |y, x| {
+        (125.0 + 50.0 * ((y as f32 * 0.29).sin() + ((x + shift) as f32 * 0.21).cos())) as u8
+    })
+}
+
+/// Runs the whole suite, printing one line per entry.
+pub fn measure(mode: Mode) -> Measurements {
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut record = |name: &str, ns: f64| {
+        println!("{name:<44} {ns:>12.1} ns/iter");
+        entries.push(Entry {
+            name: name.to_string(),
+            median_ns: ns,
+        });
+    };
+
+    // ------------------------------------------------------------------
+    // Conv forward: naive vs GEMM on a representative mid-network layer.
+    // ------------------------------------------------------------------
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let conv = Conv2d::new("bench", 16, 32, 3, 1, 1, &mut rng);
+    let input = Tensor3::from_fn(Shape3::new(16, 32, 32), |c, y, x| {
+        (((c * 31 + y * 7 + x) % 23) as f32 - 11.0) * 0.1
+    });
+    let naive = time_ns(mode, || {
+        black_box(conv.forward_naive(black_box(&input)));
+    });
+    record("conv_forward/naive/16x32x32_k3", naive);
+    let gemm = time_ns(mode, || {
+        black_box(conv.forward(black_box(&input)));
+    });
+    record("conv_forward/gemm/16x32x32_k3", gemm);
+    let mut scratch = GemmScratch::new();
+    let gemm_scratch = time_ns(mode, || {
+        black_box(conv.forward_scratch(black_box(&input), &mut scratch));
+    });
+    record("conv_forward/gemm_scratch/16x32x32_k3", gemm_scratch);
+    let conv_speedup = naive / gemm_scratch;
+    println!("conv speedup (naive / gemm_scratch): {conv_speedup:.2}x");
+
+    // A strided large-kernel geometry (AlexNet-like first layer shape).
+    let conv2 = Conv2d::new("bench2", 3, 24, 5, 2, 2, &mut rng);
+    let input2 = Tensor3::from_fn(Shape3::new(3, 48, 48), |c, y, x| {
+        (((c * 7 + y * 3 + x) % 17) as f32 - 8.0) * 0.1
+    });
+    let naive2 = time_ns(mode, || {
+        black_box(conv2.forward_naive(black_box(&input2)));
+    });
+    record("conv_forward/naive/3x48x48_k5s2", naive2);
+    let gemm2 = time_ns(mode, || {
+        black_box(conv2.forward_scratch(black_box(&input2), &mut scratch));
+    });
+    record("conv_forward/gemm_scratch/3x48x48_k5s2", gemm2);
+
+    // ------------------------------------------------------------------
+    // Suffix from the RLE store: densify-then-dense vs sparse-aware.
+    // ------------------------------------------------------------------
+    let z = zoo::tiny_fasterm(0);
+    let target = z.late_target;
+    let shape = z.network.shape_after(target);
+    let mut suffix_speedups: Vec<(f32, f64)> = Vec::new();
+    for sparsity in [0.5f32, 0.8, 0.95] {
+        let act = Tensor3::from_fn(shape, |c, y, x| {
+            let i = (c * 131 + y * 17 + x * 3) % 1000;
+            if (i as f32) < sparsity * 1000.0 {
+                0.0
+            } else {
+                (i as f32) * 0.004
+            }
+        });
+        let rle = RleActivation::encode(&act, 0.0);
+        let pct = (sparsity * 100.0) as u32;
+        let densify = time_ns(mode, || {
+            let dense = rle.decode();
+            black_box(z.network.forward_suffix(&dense, target));
+        });
+        record(&format!("suffix/densify_dense/{pct}pct"), densify);
+        let sparse = time_ns(mode, || {
+            let s = rle.to_sparse();
+            black_box(z.network.forward_suffix_sparse(&s, target, &mut scratch));
+        });
+        record(&format!("suffix/sparse_aware/{pct}pct"), sparse);
+        suffix_speedups.push((sparsity, densify / sparse));
+        println!(
+            "suffix speedup at {pct}% sparsity: {:.2}x",
+            densify / sparse
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // RFBME at the executor's geometry: early-exit fast path vs the
+    // exhaustive two-stage reference.
+    // ------------------------------------------------------------------
+    let f0 = frame(0);
+    let f1 = frame(1);
+    let probe = AmcExecutor::new(&z.network, AmcConfig::default());
+    let rfbme = Rfbme::new(probe.rf_geometry(), SearchParams { radius: 8, step: 1 });
+    drop(probe);
+    let rfbme_fast = time_ns(mode, || {
+        black_box(rfbme.estimate(black_box(&f0), black_box(&f1)));
+    });
+    record("rfbme/fast/48x48_r8s1", rfbme_fast);
+    let rfbme_reference = time_ns(mode, || {
+        black_box(rfbme.estimate_reference(black_box(&f0), black_box(&f1)));
+    });
+    record("rfbme/reference/48x48_r8s1", rfbme_reference);
+    let rfbme_reference_over_fast = rfbme_reference / rfbme_fast;
+    println!("rfbme speedup (reference / fast): {rfbme_reference_over_fast:.2}x");
+
+    // ------------------------------------------------------------------
+    // End-to-end AMC frames (FasterM analogue), serial and pipelined.
+    // ------------------------------------------------------------------
+    let always_key = AmcConfig {
+        policy: PolicyConfig::AlwaysKey,
+        ..Default::default()
+    };
+    let mut amc = AmcExecutor::new(&z.network, always_key);
+    amc.process(&f0);
+    let key_ns = time_ns(mode, || {
+        black_box(amc.process(black_box(&f1)));
+    });
+    record("pipeline/key_frame/fasterm", key_ns);
+    let never_key = AmcConfig {
+        policy: PolicyConfig::BlockError {
+            threshold: f32::INFINITY,
+            max_gap: usize::MAX,
+        },
+        ..Default::default()
+    };
+    let mut amc = AmcExecutor::new(&z.network, never_key);
+    amc.process(&f0);
+    let pred_ns = time_ns(mode, || {
+        black_box(amc.process(black_box(&f1)));
+    });
+    record("pipeline/predicted_frame/fasterm", pred_ns);
+    println!("key/predicted frame ratio: {:.2}x", key_ns / pred_ns);
+
+    // Steady-state streaming throughput: each push returns the previous
+    // frame's result while the worker estimates the next frame's motion.
+    let mut pipe = PipelinedExecutor::new(AmcExecutor::new(&z.network, never_key));
+    pipe.push(&f0);
+    let pred_pipe_ns = time_ns(mode, || {
+        black_box(pipe.push(black_box(&f1)));
+    });
+    record("pipeline/predicted_frame/pipelined", pred_pipe_ns);
+    let predicted_serial_over_pipelined = pred_ns / pred_pipe_ns;
+    println!("predicted frame serial/pipelined: {predicted_serial_over_pipelined:.2}x");
+
+    Measurements {
+        entries,
+        conv_speedup,
+        suffix_speedups,
+        key_over_predicted: key_ns / pred_ns,
+        rfbme_reference_over_fast,
+        predicted_serial_over_pipelined,
+    }
+}
+
+impl Measurements {
+    /// Renders the `BENCH_conv.json` document.
+    pub fn to_json(&self) -> String {
+        let mut body = String::from("{\n  \"bench\": \"conv_engine\",\n  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                body,
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}}}",
+                e.name, e.median_ns
+            );
+            body.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = write!(
+            body,
+            "  ],\n  \"conv_speedup_naive_over_gemm\": {:.2},\n  \"suffix_speedup_sparse_over_densify\": {{\n",
+            self.conv_speedup
+        );
+        for (i, (s, x)) in self.suffix_speedups.iter().enumerate() {
+            let _ = write!(body, "    \"{:.0}pct\": {x:.2}", s * 100.0);
+            body.push_str(if i + 1 < self.suffix_speedups.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = write!(
+            body,
+            "  }},\n  \"key_over_predicted_frame\": {:.2},\n  \"rfbme_reference_over_fast\": {:.2},\n  \"predicted_serial_over_pipelined\": {:.2}\n}}\n",
+            self.key_over_predicted, self.rfbme_reference_over_fast, self.predicted_serial_over_pipelined
+        );
+        body
+    }
+
+    /// The speedup ratios the CI gate tracks, as `(json_key, value)` pairs.
+    /// Ratios (not absolute times) are tracked because they divide out the
+    /// host machine's speed.
+    pub fn tracked_ratios(&self) -> Vec<(String, f64)> {
+        let mut v = vec![(
+            "conv_speedup_naive_over_gemm".to_string(),
+            self.conv_speedup,
+        )];
+        for (s, x) in &self.suffix_speedups {
+            v.push((
+                format!("suffix_speedup_sparse_over_densify.{:.0}pct", s * 100.0),
+                *x,
+            ));
+        }
+        v.push((
+            "key_over_predicted_frame".to_string(),
+            self.key_over_predicted,
+        ));
+        v.push((
+            "rfbme_reference_over_fast".to_string(),
+            self.rfbme_reference_over_fast,
+        ));
+        v
+    }
+}
+
+/// Extracts `"key": <number>` from a JSON document, addressing nested keys
+/// with dots (`"suffix_speedup_sparse_over_densify.50pct"`). Minimal by
+/// design: it only needs to read back the flat documents this module
+/// writes.
+pub fn extract_number(json: &str, dotted_key: &str) -> Option<f64> {
+    let leaf = dotted_key.rsplit('.').next()?;
+    let needle = format!("\"{leaf}\":");
+    let mut search_from = 0;
+    while let Some(pos) = json[search_from..].find(&needle) {
+        let after = search_from + pos + needle.len();
+        let rest = json[after..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(rest.len());
+        if end > 0 {
+            if let Ok(x) = rest[..end].parse::<f64>() {
+                return Some(x);
+            }
+        }
+        search_from = after;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_number_reads_flat_and_nested_keys() {
+        let doc = "{\n  \"a\": 16.62,\n  \"nest\": {\n    \"50pct\": 4.48,\n    \"80pct\": 11.63\n  },\n  \"z\": -2.5\n}\n";
+        assert_eq!(extract_number(doc, "a"), Some(16.62));
+        assert_eq!(extract_number(doc, "nest.50pct"), Some(4.48));
+        assert_eq!(extract_number(doc, "nest.80pct"), Some(11.63));
+        assert_eq!(extract_number(doc, "z"), Some(-2.5));
+        assert_eq!(extract_number(doc, "missing"), None);
+    }
+
+    #[test]
+    fn json_roundtrips_through_extract_number() {
+        let m = Measurements {
+            entries: vec![Entry {
+                name: "x/y".into(),
+                median_ns: 123.4,
+            }],
+            conv_speedup: 17.25,
+            suffix_speedups: vec![(0.5, 4.5), (0.8, 11.0)],
+            key_over_predicted: 1.21,
+            rfbme_reference_over_fast: 6.8,
+            predicted_serial_over_pipelined: 1.15,
+        };
+        let json = m.to_json();
+        for (key, value) in m.tracked_ratios() {
+            let read =
+                extract_number(&json, &key).unwrap_or_else(|| panic!("{key} missing from {json}"));
+            assert!((read - value).abs() < 0.01, "{key}: {read} vs {value}");
+        }
+    }
+}

@@ -17,6 +17,16 @@ pub struct Network {
     layers: Vec<Box<dyn Layer>>,
 }
 
+// `Layer: Send + Sync` makes networks shareable by reference across
+// threads: the pipelined executor keeps `&Network` on the main thread while
+// a worker estimates motion, and batched executors can fan frames out over
+// scoped threads. Enforce the property where the type is defined.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Network>();
+    assert_send_sync::<Tensor3>();
+};
+
 impl Network {
     /// Creates an empty network expecting `input_shape` tensors.
     pub fn new(name: impl Into<String>, input_shape: Shape3) -> Self {

@@ -12,7 +12,7 @@ use crate::sparse::RleActivation;
 use crate::target::TargetSelection;
 use crate::warp::{warp_activation, warp_activation_fixed, WarpStats};
 use eva2_cnn::network::Network;
-use eva2_motion::rfbme::{RfGeometry, Rfbme, SearchParams};
+use eva2_motion::rfbme::{RfGeometry, Rfbme, RfbmeResult, SearchParams};
 use eva2_tensor::interp::Interpolation;
 use eva2_tensor::{GemmScratch, GrayImage, SparseActivation, Tensor3};
 use serde::{Deserialize, Serialize};
@@ -241,6 +241,18 @@ impl<'n> AmcExecutor<'n> {
         self.state.as_ref().map(|s| &s.rle)
     }
 
+    /// The stored key-frame pixel buffer, if any — the reference input
+    /// every RFBME estimate is computed against.
+    pub fn key_image(&self) -> Option<&GrayImage> {
+        self.state.as_ref().map(|s| &s.image)
+    }
+
+    /// The RFBME estimator this executor runs (copied by the pipelined
+    /// executor's worker thread so both compute bit-identical estimates).
+    pub fn rfbme(&self) -> Rfbme {
+        self.rfbme
+    }
+
     fn run_key_frame(&mut self, image: &GrayImage, input: &Tensor3) -> (Tensor3, Option<f32>) {
         let act = self
             .net
@@ -268,10 +280,6 @@ impl<'n> AmcExecutor<'n> {
 
     /// Processes one frame through AMC.
     pub fn process(&mut self, image: &GrayImage) -> AmcFrameResult {
-        let input = image.to_tensor();
-        self.stats.frames += 1;
-        self.frames_since_key += 1;
-
         // Motion estimation against the stored key frame (when one exists):
         // EVA² always runs RFBME — its block errors drive the key-frame
         // choice module even when warping is disabled (memoization mode).
@@ -279,6 +287,39 @@ impl<'n> AmcExecutor<'n> {
             .state
             .as_ref()
             .map(|state| self.rfbme.estimate(&state.image, image));
+        self.process_with_motion(image, motion)
+    }
+
+    /// Processes one frame with an externally computed motion estimate.
+    ///
+    /// `motion` must be what [`AmcExecutor::rfbme`] would produce from the
+    /// stored key image to `image` (and `None` exactly when no key state is
+    /// stored) for results to match [`AmcExecutor::process`]. This is the
+    /// entry point for executors that compute motion elsewhere — the
+    /// pipelined executor's worker thread, or replayed codec vectors.
+    pub fn process_with_motion(
+        &mut self,
+        image: &GrayImage,
+        motion: Option<RfbmeResult>,
+    ) -> AmcFrameResult {
+        self.process_with_motion_hook(image, motion, |_| {})
+    }
+
+    /// [`AmcExecutor::process_with_motion`] with a hook invoked right after
+    /// the key-frame decision, *before* any CNN or warp work. The pipelined
+    /// executor uses the hook to dispatch the next frame's motion estimate
+    /// (whose reference image is final once the decision is known) so it
+    /// overlaps with this frame's execution.
+    pub(crate) fn process_with_motion_hook(
+        &mut self,
+        image: &GrayImage,
+        motion: Option<RfbmeResult>,
+        after_decision: impl FnOnce(FrameKind),
+    ) -> AmcFrameResult {
+        let input = image.to_tensor();
+        self.stats.frames += 1;
+        self.frames_since_key += 1;
+
         let metrics = motion
             .as_ref()
             .map(|m| FrameMetrics::from_rfbme(m, self.frames_since_key));
@@ -289,6 +330,7 @@ impl<'n> AmcExecutor<'n> {
             None => FrameKind::Key,
             Some(m) => self.policy.decide(m),
         };
+        after_decision(kind);
 
         match kind {
             FrameKind::Key => {

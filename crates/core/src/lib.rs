@@ -17,6 +17,9 @@
 //!   compensation error, total motion magnitude).
 //! * §II-C5 target layer choice → [`target`].
 //! * §II-A the full pipeline → [`executor`] ([`AmcExecutor`]).
+//! * §III / Fig 6's decoupled EVA² unit, as a software pipeline →
+//!   [`pipeline`] ([`pipeline::PipelinedExecutor`] overlaps the next
+//!   frame's RFBME with the current frame's CNN work on a worker thread).
 //!
 //! # Example
 //!
@@ -40,12 +43,14 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod pipeline;
 pub mod policy;
 pub mod sparse;
 pub mod target;
 pub mod warp;
 
 pub use executor::{AmcConfig, AmcExecutor, AmcFrameResult, WarpMode};
+pub use pipeline::{FrameExecutor, PipelinedExecutor};
 pub use policy::{FrameMetrics, KeyFramePolicy};
 pub use sparse::RleActivation;
 pub use target::TargetSelection;

@@ -1,0 +1,444 @@
+//! Streaming two-thread pipeline: overlap RFBME with CNN execution.
+//!
+//! The serial [`AmcExecutor`](crate::executor::AmcExecutor) runs each frame's
+//! stages back to back: RFBME, key-frame decision, then either the full CNN
+//! or warp + sparse suffix. But motion estimation for frame *t + 1* only
+//! depends on the *pixels* of the stored key frame — which are final the
+//! moment frame *t*'s key-frame decision is made, before any CNN work runs.
+//! [`PipelinedExecutor`] exploits that: a worker thread computes RFBME for
+//! the next frame while the main thread executes the current frame's CNN
+//! work, the hardware-style decoupling the paper's EVA² unit achieves by
+//! being a separate block in front of the layer accelerators (Fig 6).
+//!
+//! # The two-thread hand-off
+//!
+//! ```text
+//! main thread                         worker thread (rfbme-worker)
+//! ───────────                         ────────────────────────────
+//! push(fₜ):
+//!   recv motion(fₜ₋₁)  ◄───────────── estimate(key, fₜ₋₁) done earlier
+//!   decide key/predicted for fₜ₋₁
+//!   send Estimate{fₜ, new key?} ────► estimate(key, fₜ) starts
+//!   run CNN / warp+suffix for fₜ₋₁      … runs concurrently …
+//!   return result(fₜ₋₁)
+//! ```
+//!
+//! Both directions use a **bounded** channel
+//! ([`std::sync::mpsc::sync_channel`] of capacity 1): at most one estimate
+//! is ever in flight, so the worker can never run ahead of the key-frame
+//! state and a dropped executor never leaves the worker blocked. The worker
+//! owns a *copy* of the key-frame pixels, refreshed via the same message
+//! that requests an estimate, so no locking is involved anywhere.
+//!
+//! Results are **bit-identical** to the serial executor's: the worker runs
+//! the exact same [`Rfbme`] the serial path would (same inputs, same code,
+//! same floats), and the main thread consumes the estimate through
+//! [`AmcExecutor::process_with_motion`]. The only observable difference is
+//! latency: [`PipelinedExecutor::push`] returns the result of the *previous*
+//! frame (`None` on the first), and [`PipelinedExecutor::flush`] drains the
+//! last one.
+//!
+//! The overlap needs ≥ 2 hardware threads to convert into wall-clock time;
+//! on a single-CPU host the two threads time-slice and the pipeline
+//! gracefully degrades to serial cost plus a few microseconds of hand-off
+//! per frame (still bit-identical). The win is largest on key-frame-heavy
+//! streams, where a full CNN pass hides the whole of the next frame's
+//! RFBME.
+//!
+//! [`FrameExecutor`] abstracts over both executors so benches and
+//! experiments can drive either interchangeably; see
+//! `crates/bench/benches/pipeline.rs` for the overlap measurement. To
+//! regenerate the committed performance trajectory after touching this
+//! module or the motion kernels, run:
+//!
+//! ```text
+//! cargo run --release -p eva2-bench --bin bench_conv
+//! ```
+//!
+//! which rewrites `BENCH_conv.json` (including the
+//! `pipeline/predicted_frame/pipelined` and `rfbme/*` entries) with
+//! measurements from your machine; `cargo run --release -p eva2-bench --bin
+//! bench_gate` then cross-checks the tracked speedup ratios against it.
+
+use crate::executor::{AmcExecutor, AmcFrameResult, ExecStats};
+use crate::policy::FrameKind;
+use eva2_motion::rfbme::{Rfbme, RfbmeResult};
+use eva2_tensor::GrayImage;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Common interface over frame executors, so callers (benches, experiment
+/// protocols) can swap the serial and pipelined implementations freely.
+pub trait FrameExecutor {
+    /// Short name for reports (`"serial"`, `"pipelined"`).
+    fn name(&self) -> &'static str;
+
+    /// Accepts the next frame of a stream, returning a completed result
+    /// when one is available: the same frame immediately for the serial
+    /// executor, the *previous* frame for the pipelined one.
+    fn push_frame(&mut self, frame: &GrayImage) -> Option<AmcFrameResult>;
+
+    /// Executes and returns any frame still in flight, emptying the
+    /// pipeline (`None` when nothing is pending — always for the serial
+    /// executor).
+    fn finish(&mut self) -> Option<AmcFrameResult>;
+
+    /// Processes a clip, returning one result per frame in order. Key-frame
+    /// state persists across calls (like the serial executor's); call
+    /// [`FrameExecutor::reset`] between independent clips.
+    fn process_clip(&mut self, frames: &[GrayImage]) -> Vec<AmcFrameResult> {
+        let mut out = Vec::with_capacity(frames.len());
+        for frame in frames {
+            if let Some(r) = self.push_frame(frame) {
+                out.push(r);
+            }
+        }
+        if let Some(r) = self.finish() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Aggregate statistics over every frame processed so far.
+    fn stats(&self) -> ExecStats;
+
+    /// Drops stored state, forcing the next frame to be a key frame.
+    fn reset(&mut self);
+}
+
+impl FrameExecutor for AmcExecutor<'_> {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn push_frame(&mut self, frame: &GrayImage) -> Option<AmcFrameResult> {
+        Some(self.process(frame))
+    }
+
+    fn finish(&mut self) -> Option<AmcFrameResult> {
+        None
+    }
+
+    fn stats(&self) -> ExecStats {
+        AmcExecutor::stats(self)
+    }
+
+    fn reset(&mut self) {
+        AmcExecutor::reset(self)
+    }
+}
+
+/// A motion-estimation request: the frame to match, plus the new key-frame
+/// pixels when the previous frame's decision refreshed them. Frames are
+/// `Arc`-shared with the executor's own pending slot, so a request is two
+/// pointer copies — no pixel copies cross the channel.
+struct EstimateRequest {
+    new_key: Option<Arc<GrayImage>>,
+    frame: Arc<GrayImage>,
+}
+
+/// The streaming pipelined executor: an [`AmcExecutor`] whose RFBME stage
+/// runs one frame ahead on a worker thread. See the [module docs](self) for
+/// the hand-off protocol and the bit-identity argument.
+pub struct PipelinedExecutor<'n> {
+    amc: AmcExecutor<'n>,
+    to_worker: Option<SyncSender<EstimateRequest>>,
+    from_worker: Receiver<RfbmeResult>,
+    worker: Option<JoinHandle<()>>,
+    /// The frame accepted by the last `push`, not yet executed (shared
+    /// with the estimate request the worker holds for it).
+    pending: Option<Arc<GrayImage>>,
+    /// Whether the worker owes us an estimate for `pending`.
+    in_flight: bool,
+}
+
+impl<'n> PipelinedExecutor<'n> {
+    /// Wraps a (fresh or mid-stream) serial executor, spawning the RFBME
+    /// worker thread.
+    pub fn new(amc: AmcExecutor<'n>) -> Self {
+        let rfbme: Rfbme = amc.rfbme();
+        let (to_worker, request_rx) = sync_channel::<EstimateRequest>(1);
+        let (result_tx, from_worker) = sync_channel::<RfbmeResult>(1);
+        let worker = std::thread::Builder::new()
+            .name("rfbme-worker".into())
+            .spawn(move || {
+                let mut key: Option<Arc<GrayImage>> = None;
+                while let Ok(req) = request_rx.recv() {
+                    if let Some(k) = req.new_key {
+                        key = Some(k);
+                    }
+                    let key = key
+                        .as_ref()
+                        .expect("estimate requested before any key frame");
+                    if result_tx.send(rfbme.estimate(key, &req.frame)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("failed to spawn rfbme-worker thread");
+        Self {
+            amc,
+            to_worker: Some(to_worker),
+            from_worker,
+            worker: Some(worker),
+            pending: None,
+            in_flight: false,
+        }
+    }
+
+    /// The wrapped serial executor (e.g. for `target()` / `rf_geometry()`).
+    ///
+    /// Note that [`PipelinedExecutor::stats`] lag the pushed frames by one:
+    /// the latest frame is only counted once its successor (or a flush)
+    /// triggers its execution.
+    pub fn inner(&self) -> &AmcExecutor<'n> {
+        &self.amc
+    }
+
+    /// Accepts the next frame of the stream, returning the completed result
+    /// of the *previous* frame (`None` on the first push after creation,
+    /// [`PipelinedExecutor::flush`], or [`PipelinedExecutor::reset`]).
+    ///
+    /// The frame's pixels are copied exactly once, into an [`Arc`] shared
+    /// between the pending slot and the worker's estimate request.
+    pub fn push(&mut self, frame: &GrayImage) -> Option<AmcFrameResult> {
+        let frame = Arc::new(frame.clone());
+        match self.pending.take() {
+            None => {
+                // Nothing to execute yet. If key state already exists (a
+                // push after flush), start this frame's estimate now.
+                if let Some(key) = self.amc.key_image() {
+                    let key = Arc::new(key.clone());
+                    self.send(EstimateRequest {
+                        new_key: Some(key),
+                        frame: Arc::clone(&frame),
+                    });
+                    self.in_flight = true;
+                } else {
+                    self.in_flight = false;
+                }
+                self.pending = Some(frame);
+                None
+            }
+            Some(prev) => {
+                let motion = self.take_motion();
+                let sender = self.to_worker.as_ref().expect("worker channel open");
+                let result = self
+                    .amc
+                    .process_with_motion_hook(prev.as_ref(), motion, |kind| {
+                        // The key image is final here: `prev` itself on a
+                        // key frame, unchanged otherwise. Dispatch the next
+                        // estimate before the CNN work below overlaps it.
+                        let new_key = (kind == FrameKind::Key).then(|| Arc::clone(&prev));
+                        sender
+                            .send(EstimateRequest {
+                                new_key,
+                                frame: Arc::clone(&frame),
+                            })
+                            .expect("rfbme-worker thread died");
+                    });
+                self.in_flight = true;
+                self.pending = Some(frame);
+                Some(result)
+            }
+        }
+    }
+
+    /// Executes and returns the last pushed frame's result, emptying the
+    /// pipeline (`None` if no frame is pending).
+    pub fn flush(&mut self) -> Option<AmcFrameResult> {
+        let prev = self.pending.take()?;
+        let motion = self.take_motion();
+        Some(self.amc.process_with_motion(prev.as_ref(), motion))
+    }
+
+    fn take_motion(&mut self) -> Option<RfbmeResult> {
+        if !self.in_flight {
+            return None;
+        }
+        self.in_flight = false;
+        Some(self.from_worker.recv().expect("rfbme-worker thread died"))
+    }
+
+    fn send(&self, req: EstimateRequest) {
+        self.to_worker
+            .as_ref()
+            .expect("worker channel open")
+            .send(req)
+            .expect("rfbme-worker thread died");
+    }
+}
+
+impl FrameExecutor for PipelinedExecutor<'_> {
+    fn name(&self) -> &'static str {
+        "pipelined"
+    }
+
+    fn push_frame(&mut self, frame: &GrayImage) -> Option<AmcFrameResult> {
+        self.push(frame)
+    }
+
+    fn finish(&mut self) -> Option<AmcFrameResult> {
+        self.flush()
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.amc.stats()
+    }
+
+    fn reset(&mut self) {
+        // Discard any in-flight estimate and pending frame, then drop the
+        // stored key state like the serial executor.
+        let _ = self.take_motion();
+        self.pending = None;
+        self.amc.reset();
+    }
+}
+
+impl std::fmt::Debug for PipelinedExecutor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PipelinedExecutor({:?}, pending={}, in_flight={})",
+            self.amc,
+            self.pending.is_some(),
+            self.in_flight
+        )
+    }
+}
+
+impl Drop for PipelinedExecutor<'_> {
+    fn drop(&mut self) {
+        // Closing the request channel ends the worker's recv loop; its
+        // result channel has capacity for the one estimate possibly in
+        // flight, so it can never block on the way out.
+        self.to_worker.take();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::AmcConfig;
+    use crate::policy::PolicyConfig;
+    use eva2_cnn::zoo;
+
+    fn clip(n: usize) -> Vec<GrayImage> {
+        (0..n)
+            .map(|t| {
+                GrayImage::from_fn(48, 48, |y, x| {
+                    let xs = (x + t) as f32;
+                    (120.0 + 45.0 * ((y as f32 * 0.31).sin() + (xs * 0.22).cos())) as u8
+                })
+            })
+            .collect()
+    }
+
+    fn exec_pair(
+        config: AmcConfig,
+        net: &eva2_cnn::network::Network,
+    ) -> (AmcExecutor<'_>, PipelinedExecutor<'_>) {
+        (
+            AmcExecutor::new(net, config),
+            PipelinedExecutor::new(AmcExecutor::new(net, config)),
+        )
+    }
+
+    fn lenient() -> AmcConfig {
+        AmcConfig {
+            policy: PolicyConfig::BlockError {
+                threshold: f32::INFINITY,
+                max_gap: usize::MAX,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn push_returns_previous_frame_with_one_frame_latency() {
+        let z = zoo::tiny_fasterm(0);
+        let mut pipe = PipelinedExecutor::new(AmcExecutor::new(&z.network, lenient()));
+        let frames = clip(3);
+        assert!(pipe.push(&frames[0]).is_none());
+        let r0 = pipe.push(&frames[1]).expect("frame 0 completes");
+        assert!(r0.is_key);
+        let r1 = pipe.push(&frames[2]).expect("frame 1 completes");
+        assert!(!r1.is_key);
+        let r2 = pipe.flush().expect("frame 2 completes");
+        assert!(!r2.is_key);
+        assert!(pipe.flush().is_none(), "pipeline already drained");
+        assert_eq!(pipe.stats().frames, 3);
+    }
+
+    #[test]
+    fn pipelined_matches_serial_bit_for_bit() {
+        let z = zoo::tiny_fasterm(2);
+        let (mut serial, mut pipe) = exec_pair(AmcConfig::default(), &z.network);
+        let frames = clip(8);
+        let a = FrameExecutor::process_clip(&mut serial, &frames);
+        let b = FrameExecutor::process_clip(&mut pipe, &frames);
+        assert_eq!(a.len(), b.len());
+        for (t, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.is_key, y.is_key, "frame {t} kind");
+            assert_eq!(
+                x.output.as_slice(),
+                y.output.as_slice(),
+                "frame {t} output bits"
+            );
+            assert_eq!(x.rfbme_ops, y.rfbme_ops, "frame {t} rfbme ops");
+        }
+        assert_eq!(serial.stats(), FrameExecutor::stats(&pipe));
+    }
+
+    #[test]
+    fn state_persists_across_clips_and_reset_forces_key() {
+        let z = zoo::tiny_fasterm(0);
+        let mut pipe = PipelinedExecutor::new(AmcExecutor::new(&z.network, lenient()));
+        let frames = clip(4);
+        let first = FrameExecutor::process_clip(&mut pipe, &frames);
+        assert_eq!(
+            first.iter().filter(|r| r.is_key).count(),
+            1,
+            "one key frame in the first clip"
+        );
+        // A second clip of the same scene continues predicting.
+        let second = FrameExecutor::process_clip(&mut pipe, &frames);
+        assert!(second.iter().all(|r| !r.is_key));
+        FrameExecutor::reset(&mut pipe);
+        let third = FrameExecutor::process_clip(&mut pipe, &frames[..1]);
+        assert!(third[0].is_key, "reset forces a key frame");
+    }
+
+    #[test]
+    fn forced_key_frames_refresh_the_worker_key_copy() {
+        // StaticRate(2) alternates key/predicted; every key frame must
+        // update the worker's key image or subsequent estimates drift.
+        let z = zoo::tiny_fasterm(1);
+        let config = AmcConfig {
+            policy: PolicyConfig::StaticRate { period: 2 },
+            ..Default::default()
+        };
+        let (mut serial, mut pipe) = exec_pair(config, &z.network);
+        let frames = clip(7);
+        let a = FrameExecutor::process_clip(&mut serial, &frames);
+        let b = FrameExecutor::process_clip(&mut pipe, &frames);
+        let kinds: Vec<bool> = a.iter().map(|r| r.is_key).collect();
+        assert_eq!(kinds, vec![true, false, true, false, true, false, true]);
+        for (t, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.is_key, y.is_key, "frame {t}");
+            assert_eq!(x.output.as_slice(), y.output.as_slice(), "frame {t}");
+        }
+    }
+
+    #[test]
+    fn executors_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<AmcExecutor<'static>>();
+        assert_send::<PipelinedExecutor<'static>>();
+        assert_send::<AmcFrameResult>();
+    }
+}

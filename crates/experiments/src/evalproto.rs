@@ -4,6 +4,7 @@ use eva2_cnn::metrics::{self, Detection, DetectionResult, NormBox};
 use eva2_cnn::network::Network;
 use eva2_cnn::zoo::{Task, Workload, ZooNet};
 use eva2_core::executor::{AmcConfig, AmcExecutor, WarpMode};
+use eva2_core::pipeline::{FrameExecutor, PipelinedExecutor};
 use eva2_core::policy::PolicyConfig;
 use eva2_core::target::TargetSelection;
 use eva2_core::warp::warp_activation;
@@ -221,16 +222,55 @@ pub struct PolicyOutcome {
     pub frames: usize,
 }
 
+/// Which frame executor a protocol drives. Both produce bit-identical
+/// outputs (see `eva2_core::pipeline`); pipelined overlaps each frame's
+/// RFBME with its predecessor's CNN work on a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// The serial [`AmcExecutor`].
+    #[default]
+    Serial,
+    /// The two-thread streaming [`PipelinedExecutor`].
+    Pipelined,
+}
+
+impl ExecutorKind {
+    /// Builds the chosen executor over `net`.
+    pub fn build<'n>(self, net: &'n Network, config: AmcConfig) -> Box<dyn FrameExecutor + 'n> {
+        match self {
+            ExecutorKind::Serial => Box::new(AmcExecutor::new(net, config)),
+            ExecutorKind::Pipelined => {
+                Box::new(PipelinedExecutor::new(AmcExecutor::new(net, config)))
+            }
+        }
+    }
+}
+
 /// Runs the full AMC executor over each clip (state resets between clips,
 /// like the paper's per-video evaluation) and scores every frame's output.
 pub fn run_policy(zoo: &ZooNet, clips: &[Clip], config: AmcConfig) -> PolicyOutcome {
+    run_policy_with(zoo, clips, config, ExecutorKind::Serial)
+}
+
+/// [`run_policy`] parameterised on the executor implementation.
+pub fn run_policy_with(
+    zoo: &ZooNet,
+    clips: &[Clip],
+    config: AmcConfig,
+    kind: ExecutorKind,
+) -> PolicyOutcome {
     let mut outputs: Vec<(Tensor3, &Frame)> = Vec::new();
     let mut keys = 0usize;
     let mut frames = 0usize;
     for clip in clips {
-        let mut amc = AmcExecutor::new(&zoo.network, config);
+        // A fresh executor per clip, like the paper's per-video evaluation.
+        let mut exec = kind.build(&zoo.network, config);
+        let mut results = Vec::with_capacity(clip.len());
         for frame in &clip.frames {
-            let r = amc.process(&frame.image);
+            results.extend(exec.push_frame(&frame.image));
+        }
+        results.extend(exec.finish());
+        for (r, frame) in results.into_iter().zip(&clip.frames) {
             keys += r.is_key as usize;
             frames += 1;
             outputs.push((r.output, frame));
@@ -315,6 +355,15 @@ mod tests {
             out.key_fraction >= 3.0 / 24.0 - 1e-6,
             "each clip starts with a key"
         );
+    }
+
+    #[test]
+    fn pipelined_executor_reproduces_serial_policy_outcome() {
+        let tw = train_workload(Workload::FasterM, &tiny_budget());
+        let cfg = amc_config_for(Workload::FasterM);
+        let serial = run_policy_with(&tw.zoo, &tw.test, cfg, ExecutorKind::Serial);
+        let pipelined = run_policy_with(&tw.zoo, &tw.test, cfg, ExecutorKind::Pipelined);
+        assert_eq!(serial, pipelined, "executors must be interchangeable");
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod hornschunck;
 pub mod lucas_kanade;
 pub mod precomputed;
 pub mod rfbme;
+pub mod sad;
 
 pub use field::{MotionVector, VectorField};
 pub use rfbme::{RfGeometry, Rfbme, SearchParams};

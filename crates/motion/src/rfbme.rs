@@ -19,6 +19,7 @@
 //! prefix cost.
 
 use crate::field::{MotionVector, VectorField};
+use crate::sad::{sad_window, IntegralImage};
 use crate::{MotionEstimator, MotionResult};
 use eva2_tensor::GrayImage;
 use serde::{Deserialize, Serialize};
@@ -314,17 +315,9 @@ impl DiffTileConsumer {
                 }
             }
         }
-        // Receptive fields that never saw a valid offset report zero motion
-        // and zero error (no evidence either way).
-        for b in &mut best {
-            if b.error == u32::MAX {
-                *b = RfMatch {
-                    vector: MotionVector::ZERO,
-                    error: 0,
-                    pixels: 0,
-                };
-            }
-        }
+        // Receptive fields that never saw a valid offset keep the
+        // `u32::MAX` sentinel; `Rfbme::result_from_matches` maps them to
+        // zero motion / zero error (no evidence either way).
         (best, ops)
     }
 }
@@ -376,8 +369,13 @@ impl Rfbme {
         self.rf
     }
 
-    /// Runs RFBME from `key` to `new`.
-    pub fn estimate(&self, key: &GrayImage, new: &GrayImage) -> RfbmeResult {
+    /// Runs RFBME from `key` to `new` through the two-stage hardware
+    /// reference model ([`DiffTileProducer`] + [`DiffTileConsumer`]), with
+    /// no early exit: every in-bounds `(tile, offset)` SAD is computed.
+    ///
+    /// This is the bit-faithful model of Fig 6/Fig 8 and the golden
+    /// reference the fast path ([`Rfbme::estimate`]) is tested against.
+    pub fn estimate_reference(&self, key: &GrayImage, new: &GrayImage) -> RfbmeResult {
         let producer = DiffTileProducer {
             tile: self.rf.stride,
             params: self.params,
@@ -387,11 +385,238 @@ impl Rfbme {
         let grid_w = self.rf.grid_len(new.width());
         let consumer = DiffTileConsumer { rf: self.rf };
         let (matches, consumer_ops) = consumer.consume(&tiles, grid_h, grid_w);
-        let mut field = VectorField::zeros(grid_h, grid_w, self.rf.stride);
+        Self::result_from_matches(self.rf, &matches, grid_h, grid_w, tiles.ops, consumer_ops)
+    }
+
+    /// Runs RFBME from `key` to `new` on the fast path: fused
+    /// producer/consumer with diff-tile early-exit and per-receptive-field
+    /// running-minimum pruning.
+    ///
+    /// Candidate offsets are visited in order of ascending displacement
+    /// magnitude (zero first). For each offset, every tile first gets a
+    /// cheap *lower bound* on its SAD — `|Σ new_tile − Σ key_window|`, two
+    /// O(1) window sums via [`IntegralImage`] — and the bounds are
+    /// aggregated per receptive field with the same rolling column reuse as
+    /// the hardware consumer. A receptive field whose aggregated bound
+    /// already reaches its running-minimum error cannot improve at this
+    /// offset, so the SAD refinement for its tiles is skipped; only tiles
+    /// needed by a still-improvable field are refined (chunked kernels from
+    /// [`crate::sad`]).
+    ///
+    /// Because the bound never exceeds the true SAD, skipping is *exact*:
+    /// the returned per-field minimum error equals the exhaustive search's
+    /// (and therefore so do `errors`, `total_error`, and `total_pixels`).
+    /// The ascending-magnitude visit order with a strictly-smaller
+    /// min-check update also reproduces the reference tie-break (ties in
+    /// error keep the smaller displacement), so the vectors match
+    /// [`Rfbme::estimate_reference`] exactly as well. Only the operation
+    /// counts differ — they *are* the early-exit savings.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two frames differ in size.
+    pub fn estimate(&self, key: &GrayImage, new: &GrayImage) -> RfbmeResult {
+        assert_eq!(
+            (key.height(), key.width()),
+            (new.height(), new.width()),
+            "frame size mismatch"
+        );
+        let s = self.rf.stride.max(1);
+        let (h, w) = (new.height(), new.width());
+        let tiles_y = h / s;
+        let tiles_x = w / s;
+        let n_tiles = tiles_y * tiles_x;
+        let grid_h = self.rf.grid_len(h);
+        let grid_w = self.rf.grid_len(w);
+        let n_rf = grid_h * grid_w;
+        let consumer = DiffTileConsumer { rf: self.rf };
+        let row_range: Vec<(usize, usize)> = (0..grid_h)
+            .map(|a| consumer.tile_range(a, tiles_y))
+            .collect();
+        let col_range: Vec<(usize, usize)> = (0..grid_w)
+            .map(|a| consumer.tile_range(a, tiles_x))
+            .collect();
+
+        // Ascending-magnitude visit order, stable within equal magnitude
+        // (preserves row-major order there, matching the reference
+        // tie-break as described above).
+        let axis = self.params.offsets();
+        let mut offsets: Vec<(isize, isize)> = Vec::with_capacity(axis.len() * axis.len());
+        for &dy in &axis {
+            for &dx in &axis {
+                offsets.push((dy, dx));
+            }
+        }
+        offsets.sort_by_key(|&(dy, dx)| dy * dy + dx * dx);
+
+        let mut producer_ops: u64 = 0;
+        let mut consumer_ops: u64 = 0;
+
+        // O(1) window sums over the key frame; per-tile sums of the new
+        // frame. Both are one pass over the pixels.
+        let key_sat = IntegralImage::new(key);
+        let new_sat = IntegralImage::new(new);
+        producer_ops += 2 * (h * w) as u64;
+        let mut new_sums = vec![0u64; n_tiles];
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                new_sums[ty * tiles_x + tx] = new_sat.window_sum(ty * s, tx * s, s, s);
+            }
+        }
+
+        let s2 = (s * s) as u32;
+        let mut best = vec![
+            RfMatch {
+                vector: MotionVector::ZERO,
+                error: u32::MAX,
+                pixels: 0,
+            };
+            n_rf
+        ];
+        let mut lb = vec![0u64; n_tiles];
+        let mut tile_valid = vec![false; n_tiles];
+        let mut exact = vec![0u32; n_tiles];
+        let mut needed = vec![false; n_tiles];
+        let mut improvable: Vec<usize> = Vec::with_capacity(n_rf);
+        let mut colsum = vec![0u64; tiles_x];
+        let mut colvalid = vec![true; tiles_x];
+
+        for &(dy, dx) in &offsets {
+            // Stage 1: per-tile validity + SAD lower bound (O(1) per tile).
+            for ty in 0..tiles_y {
+                let ky = (ty * s) as isize + dy;
+                let row_ok = ky >= 0 && ky + s as isize <= h as isize;
+                for tx in 0..tiles_x {
+                    let t = ty * tiles_x + tx;
+                    let kx = (tx * s) as isize + dx;
+                    if !row_ok || kx < 0 || kx + s as isize > w as isize {
+                        tile_valid[t] = false;
+                        continue;
+                    }
+                    tile_valid[t] = true;
+                    let key_sum = key_sat.window_sum(ky as usize, kx as usize, s, s);
+                    lb[t] = new_sums[t].abs_diff(key_sum);
+                }
+            }
+            consumer_ops += n_tiles as u64;
+
+            // Stage 2: aggregate bounds per receptive field (rolling column
+            // reuse, as in the hardware consumer) and collect the fields
+            // this offset could still improve.
+            improvable.clear();
+            let mut any_needed = false;
+            for (ay, &(ty0, ty1)) in row_range.iter().enumerate() {
+                if ty0 >= ty1 {
+                    continue;
+                }
+                for tx in 0..tiles_x {
+                    let mut sum = 0u64;
+                    let mut valid = true;
+                    for ty in ty0..ty1 {
+                        let t = ty * tiles_x + tx;
+                        if !tile_valid[t] {
+                            valid = false;
+                            break;
+                        }
+                        sum += lb[t];
+                    }
+                    consumer_ops += (ty1 - ty0) as u64;
+                    colsum[tx] = sum;
+                    colvalid[tx] = valid;
+                }
+                for (ax, &(tx0, tx1)) in col_range.iter().enumerate() {
+                    if tx0 >= tx1 || colvalid[tx0..tx1].iter().any(|&v| !v) {
+                        continue;
+                    }
+                    let mut lb_sum = 0u64;
+                    for &c in &colsum[tx0..tx1] {
+                        lb_sum += c;
+                    }
+                    consumer_ops += (tx1 - tx0) as u64;
+                    let idx = ay * grid_w + ax;
+                    if lb_sum < best[idx].error as u64 {
+                        improvable.push(idx);
+                        for ty in ty0..ty1 {
+                            for tx in tx0..tx1 {
+                                needed[ty * tiles_x + tx] = true;
+                            }
+                        }
+                        any_needed = true;
+                    }
+                }
+            }
+            if !any_needed {
+                continue; // diff-tile early exit: no field can improve here
+            }
+
+            // Stage 3: SAD refinement, only for tiles a still-improvable
+            // field covers.
+            for ty in 0..tiles_y {
+                for tx in 0..tiles_x {
+                    let t = ty * tiles_x + tx;
+                    if !needed[t] {
+                        continue;
+                    }
+                    needed[t] = false;
+                    let ky = ((ty * s) as isize + dy) as usize;
+                    let kx = ((tx * s) as isize + dx) as usize;
+                    exact[t] = sad_window(new, key, (ty * s, tx * s), (ky, kx), s, s);
+                    producer_ops += s2 as u64;
+                }
+            }
+
+            // Stage 4: exact aggregation + min-check update (strictly
+            // smaller wins; visit order provides the tie-break).
+            for &idx in &improvable {
+                let (ty0, ty1) = row_range[idx / grid_w.max(1)];
+                let (tx0, tx1) = col_range[idx % grid_w.max(1)];
+                let mut sum = 0u64;
+                for ty in ty0..ty1 {
+                    for tx in tx0..tx1 {
+                        sum += exact[ty * tiles_x + tx] as u64;
+                    }
+                }
+                let n = ((ty1 - ty0) * (tx1 - tx0)) as u64;
+                consumer_ops += n;
+                let err = sum.min(u32::MAX as u64 - 1) as u32;
+                let b = &mut best[idx];
+                if err < b.error {
+                    *b = RfMatch {
+                        vector: MotionVector::new(dy as f32, dx as f32),
+                        error: err,
+                        pixels: n as u32 * s2,
+                    };
+                }
+            }
+        }
+
+        Self::result_from_matches(self.rf, &best, grid_h, grid_w, producer_ops, consumer_ops)
+    }
+
+    /// Finalises per-field matches into an [`RfbmeResult`], mapping fields
+    /// that never saw a valid offset to zero motion / zero error.
+    fn result_from_matches(
+        rf: RfGeometry,
+        matches: &[RfMatch],
+        grid_h: usize,
+        grid_w: usize,
+        producer_ops: u64,
+        consumer_ops: u64,
+    ) -> RfbmeResult {
+        let mut field = VectorField::zeros(grid_h, grid_w, rf.stride);
         let mut errors = Vec::with_capacity(matches.len());
         let mut total: u64 = 0;
         let mut total_pixels: u64 = 0;
         for (i, m) in matches.iter().enumerate() {
+            let m = if m.error == u32::MAX {
+                RfMatch {
+                    vector: MotionVector::ZERO,
+                    error: 0,
+                    pixels: 0,
+                }
+            } else {
+                *m
+            };
             field.set(i / grid_w.max(1), i % grid_w.max(1), m.vector);
             errors.push(m.error);
             total += m.error as u64;
@@ -402,7 +627,7 @@ impl Rfbme {
             errors,
             total_error: total,
             total_pixels,
-            producer_ops: tiles.ops,
+            producer_ops,
             consumer_ops,
         }
     }
@@ -526,12 +751,10 @@ mod tests {
                         best_err = best_err.min(sum as u32);
                     }
                 }
+                // Never-valid fields keep the sentinel here; the result
+                // finaliser maps them to zero.
                 let got = matches[ay * grid + ax].error;
-                if best_err == u32::MAX {
-                    assert_eq!(got, 0);
-                } else {
-                    assert_eq!(got, best_err, "rf ({ay},{ax})");
-                }
+                assert_eq!(got, best_err, "rf ({ay},{ax})");
             }
         }
     }
@@ -620,6 +843,87 @@ mod tests {
         // (32 + 4 - 8)/4 + 1 = 8
         assert_eq!(rf.grid_len(32), 8);
         assert_eq!(rf_844().grid_len(32), 7);
+    }
+
+    fn assert_same_result(fast: &RfbmeResult, reference: &RfbmeResult, label: &str) {
+        assert_eq!(fast.errors, reference.errors, "{label}: errors differ");
+        assert_eq!(
+            fast.total_error, reference.total_error,
+            "{label}: total_error differs"
+        );
+        assert_eq!(
+            fast.total_pixels, reference.total_pixels,
+            "{label}: total_pixels differs"
+        );
+        assert_eq!(fast.field, reference.field, "{label}: vector fields differ");
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_translations() {
+        let key = textured(48, 48);
+        let rfs = [
+            rf_844(),
+            RfGeometry {
+                size: 16,
+                stride: 8,
+                padding: 0,
+            },
+            RfGeometry {
+                size: 27,
+                stride: 8,
+                padding: 10,
+            },
+        ];
+        for rf in rfs {
+            let rfbme = Rfbme::new(rf, SearchParams { radius: 6, step: 1 });
+            for (dy, dx) in [(0isize, 0isize), (0, 1), (2, -3), (-5, 4), (8, 8)] {
+                let new = key.translate(dy, dx, 31);
+                let fast = rfbme.estimate(&key, &new);
+                let reference = rfbme.estimate_reference(&key, &new);
+                assert_same_result(&fast, &reference, &format!("rf {rf:?} shift ({dy},{dx})"));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_occlusion_and_noise() {
+        let key = textured(40, 40);
+        let mut new = key.translate(1, 1, 0);
+        for y in 10..22 {
+            for x in 14..26 {
+                new.set(y, x, 240);
+            }
+        }
+        for step in [1usize, 2, 3] {
+            let rfbme = Rfbme::new(rf_844(), SearchParams { radius: 5, step });
+            let fast = rfbme.estimate(&key, &new);
+            let reference = rfbme.estimate_reference(&key, &new);
+            assert_same_result(&fast, &reference, &format!("step {step}"));
+        }
+    }
+
+    #[test]
+    fn fast_path_early_exit_skips_refinement_on_static_scenes() {
+        // An identical frame pair: the zero offset matches exactly, so every
+        // other candidate's SAD refinement must be pruned and the producer
+        // op count collapses toward a single pass (plus the O(pixels)
+        // window-sum precomputation).
+        let img = textured(64, 64);
+        let rf = RfGeometry {
+            size: 16,
+            stride: 8,
+            padding: 0,
+        };
+        let rfbme = Rfbme::new(rf, SearchParams { radius: 8, step: 1 });
+        let fast = rfbme.estimate(&img, &img);
+        let reference = rfbme.estimate_reference(&img, &img);
+        assert_same_result(&fast, &reference, "static scene");
+        assert!(
+            fast.producer_ops * 4 < reference.producer_ops,
+            "early exit should skip most SAD work: fast {} vs reference {}",
+            fast.producer_ops,
+            reference.producer_ops
+        );
     }
 
     #[test]

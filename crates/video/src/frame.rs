@@ -79,6 +79,17 @@ impl<'a> IntoIterator for &'a Clip {
     }
 }
 
+// Frames move across threads in the pipelined executor (main thread →
+// RFBME worker) and in any future batched/sharded front-end; keep the
+// hand-off types thread-safe by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GrayImage>();
+    assert_send_sync::<Frame>();
+    assert_send_sync::<Clip>();
+    assert_send_sync::<GroundTruth>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

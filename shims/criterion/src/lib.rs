@@ -15,7 +15,9 @@
 //!
 //! A positional command-line filter (as passed by `cargo bench -- <filter>`)
 //! restricts execution to benchmarks whose `group/id` contains the filter
-//! substring.
+//! substring. Setting the `EVA2_BENCH_QUICK` environment variable shrinks
+//! the sampling plan (3 samples of ~0.5 ms) so CI bench smoke finishes in
+//! seconds.
 
 use std::fmt::Write as _;
 use std::hint::black_box as std_black_box;
@@ -63,6 +65,7 @@ pub struct Criterion {
     records: Vec<BenchRecord>,
     filter: Option<String>,
     default_sample_size: usize,
+    target_sample_nanos: u64,
 }
 
 impl Default for Criterion {
@@ -70,10 +73,15 @@ impl Default for Criterion {
         // cargo passes `--bench` (and sometimes other flags) to harness=false
         // bench binaries; the first non-flag argument is the user's filter.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        // Quick mode (CI bench smoke): shrink the sampling plan so a whole
+        // bench binary finishes in seconds. Numbers get noisier; smoke runs
+        // only check that the harness still executes.
+        let quick = std::env::var_os("EVA2_BENCH_QUICK").is_some();
         Self {
             records: Vec::new(),
             filter,
-            default_sample_size: 20,
+            default_sample_size: if quick { 3 } else { 20 },
+            target_sample_nanos: if quick { 500_000 } else { TARGET_SAMPLE_NANOS },
         }
     }
 }
@@ -113,14 +121,14 @@ impl Criterion {
                 return;
             }
         }
-        // Calibration: find iters/sample targeting TARGET_SAMPLE_NANOS.
+        // Calibration: find iters/sample targeting the sample duration.
         let mut bencher = Bencher {
             iters: 1,
             elapsed: Duration::ZERO,
         };
         f(&mut bencher);
         let once = bencher.elapsed.as_nanos().max(1) as u64;
-        let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, MAX_ITERS_PER_SAMPLE);
+        let iters = (self.target_sample_nanos / once).clamp(1, MAX_ITERS_PER_SAMPLE);
         // Warmup.
         bencher.iters = iters;
         f(&mut bencher);
@@ -355,6 +363,7 @@ mod tests {
             records: Vec::new(),
             filter: None,
             default_sample_size: 5,
+            target_sample_nanos: 100_000,
         };
         tiny_bench(&mut c);
         assert_eq!(c.records().len(), 2);
@@ -368,6 +377,7 @@ mod tests {
             records: Vec::new(),
             filter: Some("nomatch".into()),
             default_sample_size: 5,
+            target_sample_nanos: 100_000,
         };
         tiny_bench(&mut c);
         assert!(c.records().is_empty());
