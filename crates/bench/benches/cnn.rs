@@ -5,11 +5,43 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eva2_cnn::layer::{Conv2d, Layer};
 use eva2_cnn::zoo::{self, Workload};
-use eva2_tensor::gemm::GemmScratch;
+use eva2_tensor::gemm::{gemm_nn, gemm_nn_axpy, GemmScratch};
 use eva2_tensor::{Shape3, Tensor3};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
+
+/// Register-blocked micro-kernel vs the PR-1 AXPY-panel kernel on the
+/// product the conv benchmark lowers to (M=32, N=1024, K=144 — the
+/// key-frame prefix critical-path shape). The trajectory tracks the same
+/// pair as the `gemm_micro_over_axpy` ratio.
+fn bench_gemm_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_micro");
+    group.sample_size(20);
+    let (m, n, k) = (32usize, 1024usize, 144usize);
+    let a: Vec<f32> = (0..m * k)
+        .map(|i| ((i * 17) % 23) as f32 * 0.1 - 1.1)
+        .collect();
+    let b: Vec<f32> = (0..k * n)
+        .map(|i| ((i * 13) % 19) as f32 * 0.1 - 0.9)
+        .collect();
+    let mut out = vec![0.0f32; m * n];
+    group.bench_function("microkernel", |bch| {
+        bch.iter(|| {
+            out.fill(0.0);
+            gemm_nn(m, n, k, black_box(&a), black_box(&b), &mut out);
+            black_box(&out);
+        })
+    });
+    group.bench_function("axpy", |bch| {
+        bch.iter(|| {
+            out.fill(0.0);
+            gemm_nn_axpy(m, n, k, black_box(&a), black_box(&b), &mut out);
+            black_box(&out);
+        })
+    });
+    group.finish();
+}
 
 /// Naive-vs-GEMM conv forward on a representative mid-network layer
 /// (16→32 channels, 3×3, 32×32 spatial). The acceptance bar for the
@@ -80,6 +112,7 @@ fn bench_training_step(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_gemm_micro,
     bench_conv_paths,
     bench_prefix_vs_suffix,
     bench_training_step

@@ -11,6 +11,14 @@
 //! how fast the CI machine happens to be; each ratio pits two in-process
 //! implementations against each other under identical noise.
 //!
+//! Ratios flagged *advisory* (machine-topology-dependent, e.g. the serial
+//! vs pipelined executor ratio, whose committed value depends on the
+//! measuring host's core count) are reported but never fail the gate
+//! unless the `EVA2_BENCH_STRICT=1` environment variable is set — a
+//! multi-core CI runner comparing against a trajectory committed from a
+//! single-CPU container (or vice versa) would otherwise trip the tolerance
+//! with no code change at all.
+//!
 //! ```text
 //! cargo run --release -p eva2-bench --bin bench_gate [-- OPTIONS]
 //!
@@ -98,13 +106,18 @@ fn main() -> ExitCode {
         );
     }
 
+    // Advisory (machine-topology-dependent) ratios only gate when the
+    // operator explicitly opts in, e.g. on a host matching the committed
+    // trajectory's topology.
+    let strict = std::env::var_os("EVA2_BENCH_STRICT").is_some_and(|v| v == "1");
     let mut failed = false;
     println!(
         "\n{:<44} {:>10} {:>10} {:>8}  verdict",
         "tracked ratio", "committed", "fresh", "delta"
     );
-    for (key, fresh_value) in fresh.tracked_ratios() {
-        let fresh_value = fresh_value * opts.inject;
+    for ratio in fresh.tracked_ratios() {
+        let key = ratio.key;
+        let fresh_value = ratio.value * opts.inject;
         let Some(committed) = extract_number(&baseline, &key) else {
             // A newly tracked ratio has no baseline yet; it starts gating
             // once bench_conv commits it.
@@ -113,12 +126,17 @@ fn main() -> ExitCode {
         };
         let delta = fresh_value / committed - 1.0;
         let regressed = fresh_value < committed * (1.0 - opts.tolerance);
+        let gating = !ratio.advisory || strict;
+        let verdict = match (regressed, gating) {
+            (false, _) => "ok",
+            (true, true) => "REGRESSED",
+            (true, false) => "regressed (advisory, not gating)",
+        };
         println!(
-            "{key:<44} {committed:>10.2} {fresh_value:>10.2} {:>+7.1}%  {}",
+            "{key:<44} {committed:>10.2} {fresh_value:>10.2} {:>+7.1}%  {verdict}",
             delta * 100.0,
-            if regressed { "REGRESSED" } else { "ok" }
         );
-        failed |= regressed;
+        failed |= regressed && gating;
     }
 
     if failed {

@@ -17,7 +17,7 @@ use eva2_core::pipeline::PipelinedExecutor;
 use eva2_core::policy::PolicyConfig;
 use eva2_core::sparse::RleActivation;
 use eva2_motion::rfbme::{Rfbme, SearchParams};
-use eva2_tensor::gemm::GemmScratch;
+use eva2_tensor::gemm::{gemm_nn, gemm_nn_axpy, GemmScratch};
 use eva2_tensor::{GrayImage, Shape3, Tensor3};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -49,6 +49,15 @@ impl Mode {
             Mode::Quick => 5,
         }
     }
+
+    /// Warmup budget, deliberately identical in both modes: entries with
+    /// microsecond bodies need on the order of a thousand iterations before
+    /// caches and branch predictors reach steady state, and a mode-skewed
+    /// warmup would bias Quick-vs-Full *ratios* — exactly what the gate
+    /// compares — rather than just widening their noise.
+    fn warmup_ns(self) -> u64 {
+        5_000_000
+    }
 }
 
 /// One measured benchmark.
@@ -67,8 +76,14 @@ pub struct Measurements {
     pub entries: Vec<Entry>,
     /// Conv forward: naive over im2col+GEMM (scratch path).
     pub conv_speedup: f64,
+    /// Raw GEMM on the key-frame prefix critical-path shape: AXPY-panel
+    /// kernel over the register-blocked micro-kernel.
+    pub gemm_micro_over_axpy: f64,
     /// Suffix-from-RLE: densify-then-dense over sparse-aware, per sparsity.
     pub suffix_speedups: Vec<(f32, f64)>,
+    /// Early-target (conv-head) suffix at 50% sparsity: densify-then-dense
+    /// over the transposed-weight gather path.
+    pub convhead_sparse_over_densify: f64,
     /// End-to-end AMC: key frame over predicted frame (serial executor).
     pub key_over_predicted: f64,
     /// RFBME: exhaustive reference over the early-exit fast path.
@@ -77,14 +92,30 @@ pub struct Measurements {
     pub predicted_serial_over_pipelined: f64,
 }
 
+/// One speedup ratio the CI gate compares against the committed trajectory.
+#[derive(Debug, Clone)]
+pub struct TrackedRatio {
+    /// Dotted JSON key in `BENCH_conv.json`.
+    pub key: String,
+    /// The freshly measured value.
+    pub value: f64,
+    /// Machine-topology-dependent ratios (serial vs pipelined executor —
+    /// the committed value depends on the measuring host's core count, and
+    /// ROADMAP notes the committed file came from a single-CPU container)
+    /// are *advisory*: `bench_gate` warns on regression instead of failing
+    /// unless `EVA2_BENCH_STRICT=1` is set. In-process algorithm-vs-
+    /// algorithm ratios divide out the host and stay strict.
+    pub advisory: bool,
+}
+
 /// Median ns/iter of `f` under the mode's sampling plan.
 fn time_ns(mode: Mode, mut f: impl FnMut()) -> f64 {
     let start = Instant::now();
     f();
     let once = start.elapsed().as_nanos().max(1) as u64;
     let iters = (mode.target_sample_ns() / once).clamp(1, 1 << 20);
-    // Warmup.
-    for _ in 0..iters {
+    // Warmup (same budget in every mode — see [`Mode::warmup_ns`]).
+    for _ in 0..(mode.warmup_ns() / once).clamp(1, 1 << 20) {
         f();
     }
     let samples = mode.samples();
@@ -142,6 +173,35 @@ pub fn measure(mode: Mode) -> Measurements {
     let conv_speedup = naive / gemm_scratch;
     println!("conv speedup (naive / gemm_scratch): {conv_speedup:.2}x");
 
+    // ------------------------------------------------------------------
+    // Raw GEMM: register-blocked micro-kernel vs the PR-1 AXPY-panel
+    // kernel, on the exact product the conv benchmark lowers to (the
+    // key-frame prefix critical-path shape).
+    // ------------------------------------------------------------------
+    let (gm, gn, gk) = (32usize, 1024usize, 144usize);
+    let ga: Vec<f32> = (0..gm * gk)
+        .map(|i| ((i * 17) % 23) as f32 * 0.1 - 1.1)
+        .collect();
+    let gb: Vec<f32> = (0..gk * gn)
+        .map(|i| ((i * 13) % 19) as f32 * 0.1 - 0.9)
+        .collect();
+    let mut gc = vec![0.0f32; gm * gn];
+    let micro_ns = time_ns(mode, || {
+        gc.fill(0.0);
+        gemm_nn(gm, gn, gk, black_box(&ga), black_box(&gb), &mut gc);
+        black_box(&gc);
+    });
+    record("gemm_micro/microkernel/32x1024x144", micro_ns);
+    let axpy_ns = time_ns(mode, || {
+        gc.fill(0.0);
+        gemm_nn_axpy(gm, gn, gk, black_box(&ga), black_box(&gb), &mut gc);
+        black_box(&gc);
+    });
+    record("gemm_micro/axpy/32x1024x144", axpy_ns);
+    let gemm_micro_over_axpy = axpy_ns / micro_ns;
+    let gflops = (2 * gm * gn * gk) as f64 / micro_ns;
+    println!("gemm speedup (axpy / microkernel): {gemm_micro_over_axpy:.2}x ({gflops:.1} GFLOP/s)");
+
     // A strided large-kernel geometry (AlexNet-like first layer shape).
     let conv2 = Conv2d::new("bench2", 3, 24, 5, 2, 2, &mut rng);
     let input2 = Tensor3::from_fn(Shape3::new(3, 48, 48), |c, y, x| {
@@ -190,6 +250,45 @@ pub fn measure(mode: Mode) -> Measurements {
             densify / sparse
         );
     }
+
+    // ------------------------------------------------------------------
+    // Early-target conv head: the first suffix layer is a *convolution*.
+    // Its transposed-weight gather path (fed straight from the RLE store)
+    // vs densify-then-dense through the GEMM engine, measured at the layer
+    // the restructure changed so the ratio is directly attributable.
+    // ------------------------------------------------------------------
+    let early = z.early_target;
+    let early_shape = z.network.shape_after(early);
+    let convhead_sparse_over_densify = {
+        let head = &z.network.layers()[early + 1];
+        let act = Tensor3::from_fn(early_shape, |c, y, x| {
+            let i = (c * 131 + y * 17 + x * 3) % 1000;
+            if i < 500 {
+                0.0
+            } else {
+                (i as f32) * 0.004
+            }
+        });
+        let rle = RleActivation::encode(&act, 0.0);
+        let densify = time_ns(mode, || {
+            let dense = rle.decode();
+            black_box(head.forward_scratch(&dense, &mut scratch));
+        });
+        record("convhead/densify_dense/50pct", densify);
+        let sparse = time_ns(mode, || {
+            let s = rle.to_sparse();
+            black_box(
+                head.forward_sparse(&s, &mut scratch)
+                    .expect("conv head has a sparse path"),
+            );
+        });
+        record("convhead/sparse_gather/50pct", sparse);
+        println!(
+            "conv-head speedup at 50% sparsity: {:.2}x",
+            densify / sparse
+        );
+        densify / sparse
+    };
 
     // ------------------------------------------------------------------
     // RFBME at the executor's geometry: early-exit fast path vs the
@@ -253,7 +352,9 @@ pub fn measure(mode: Mode) -> Measurements {
     Measurements {
         entries,
         conv_speedup,
+        gemm_micro_over_axpy,
         suffix_speedups,
+        convhead_sparse_over_densify,
         key_over_predicted: key_ns / pred_ns,
         rfbme_reference_over_fast,
         predicted_serial_over_pipelined,
@@ -278,8 +379,8 @@ impl Measurements {
         }
         let _ = write!(
             body,
-            "  ],\n  \"conv_speedup_naive_over_gemm\": {:.2},\n  \"suffix_speedup_sparse_over_densify\": {{\n",
-            self.conv_speedup
+            "  ],\n  \"conv_speedup_naive_over_gemm\": {:.2},\n  \"gemm_micro_over_axpy\": {:.2},\n  \"suffix_speedup_sparse_over_densify\": {{\n",
+            self.conv_speedup, self.gemm_micro_over_axpy
         );
         for (i, (s, x)) in self.suffix_speedups.iter().enumerate() {
             let _ = write!(body, "    \"{:.0}pct\": {x:.2}", s * 100.0);
@@ -291,34 +392,53 @@ impl Measurements {
         }
         let _ = write!(
             body,
-            "  }},\n  \"key_over_predicted_frame\": {:.2},\n  \"rfbme_reference_over_fast\": {:.2},\n  \"predicted_serial_over_pipelined\": {:.2}\n}}\n",
-            self.key_over_predicted, self.rfbme_reference_over_fast, self.predicted_serial_over_pipelined
+            "  }},\n  \"convhead_sparse_over_densify_50pct\": {:.2},\n  \"key_over_predicted_frame\": {:.2},\n  \"rfbme_reference_over_fast\": {:.2},\n  \"predicted_serial_over_pipelined\": {:.2}\n}}\n",
+            self.convhead_sparse_over_densify,
+            self.key_over_predicted,
+            self.rfbme_reference_over_fast,
+            self.predicted_serial_over_pipelined
         );
         body
     }
 
-    /// The speedup ratios the CI gate tracks, as `(json_key, value)` pairs.
-    /// Ratios (not absolute times) are tracked because they divide out the
-    /// host machine's speed.
-    pub fn tracked_ratios(&self) -> Vec<(String, f64)> {
-        let mut v = vec![(
-            "conv_speedup_naive_over_gemm".to_string(),
-            self.conv_speedup,
-        )];
+    /// The speedup ratios the CI gate tracks. Ratios (not absolute times)
+    /// are tracked because they divide out the host machine's speed; the
+    /// ones that *don't* fully divide it out (they depend on the host's
+    /// core topology) carry `advisory: true` — see [`TrackedRatio`].
+    pub fn tracked_ratios(&self) -> Vec<TrackedRatio> {
+        let strict = |key: &str, value: f64| TrackedRatio {
+            key: key.to_string(),
+            value,
+            advisory: false,
+        };
+        let mut v = vec![
+            strict("conv_speedup_naive_over_gemm", self.conv_speedup),
+            strict("gemm_micro_over_axpy", self.gemm_micro_over_axpy),
+        ];
         for (s, x) in &self.suffix_speedups {
-            v.push((
-                format!("suffix_speedup_sparse_over_densify.{:.0}pct", s * 100.0),
+            v.push(strict(
+                &format!("suffix_speedup_sparse_over_densify.{:.0}pct", s * 100.0),
                 *x,
             ));
         }
-        v.push((
-            "key_over_predicted_frame".to_string(),
-            self.key_over_predicted,
+        v.push(strict(
+            "convhead_sparse_over_densify_50pct",
+            self.convhead_sparse_over_densify,
         ));
-        v.push((
-            "rfbme_reference_over_fast".to_string(),
+        v.push(strict("key_over_predicted_frame", self.key_over_predicted));
+        v.push(strict(
+            "rfbme_reference_over_fast",
             self.rfbme_reference_over_fast,
         ));
+        // Serial-vs-pipelined pits one thread against two: its committed
+        // value is a property of the measuring machine's core count, not of
+        // the code, so a multi-core↔single-core CI mismatch would trip the
+        // tolerance spuriously.
+        v.push(TrackedRatio {
+            key: "predicted_serial_over_pipelined".to_string(),
+            value: self.predicted_serial_over_pipelined,
+            advisory: true,
+        });
         v
     }
 }
@@ -369,16 +489,44 @@ mod tests {
                 median_ns: 123.4,
             }],
             conv_speedup: 17.25,
+            gemm_micro_over_axpy: 2.4,
             suffix_speedups: vec![(0.5, 4.5), (0.8, 11.0)],
+            convhead_sparse_over_densify: 1.3,
             key_over_predicted: 1.21,
             rfbme_reference_over_fast: 6.8,
             predicted_serial_over_pipelined: 1.15,
         };
         let json = m.to_json();
-        for (key, value) in m.tracked_ratios() {
-            let read =
-                extract_number(&json, &key).unwrap_or_else(|| panic!("{key} missing from {json}"));
-            assert!((read - value).abs() < 0.01, "{key}: {read} vs {value}");
+        for ratio in m.tracked_ratios() {
+            let read = extract_number(&json, &ratio.key)
+                .unwrap_or_else(|| panic!("{} missing from {json}", ratio.key));
+            assert!(
+                (read - ratio.value).abs() < 0.01,
+                "{}: {read} vs {}",
+                ratio.key,
+                ratio.value
+            );
         }
+    }
+
+    #[test]
+    fn only_topology_dependent_ratios_are_advisory() {
+        let m = Measurements {
+            entries: Vec::new(),
+            conv_speedup: 1.0,
+            gemm_micro_over_axpy: 1.0,
+            suffix_speedups: vec![(0.5, 1.0)],
+            convhead_sparse_over_densify: 1.0,
+            key_over_predicted: 1.0,
+            rfbme_reference_over_fast: 1.0,
+            predicted_serial_over_pipelined: 1.0,
+        };
+        let advisory: Vec<String> = m
+            .tracked_ratios()
+            .into_iter()
+            .filter(|r| r.advisory)
+            .map(|r| r.key)
+            .collect();
+        assert_eq!(advisory, vec!["predicted_serial_over_pipelined"]);
     }
 }

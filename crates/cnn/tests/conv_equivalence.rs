@@ -123,6 +123,14 @@ proptest! {
             .forward_sparse(&sparse, &mut scratch)
             .expect("conv has a sparse path");
         assert_close(&via_sparse, &conv.forward_naive(&input), "sparse conv");
+        // The transposed-weight gather must agree with the scalar scatter
+        // it replaced (independent oracle: different weight layout,
+        // different accumulation order).
+        assert_close(
+            &via_sparse,
+            &conv.forward_sparse_scatter(&sparse),
+            "sparse conv gather vs scatter",
+        );
     }
 
     /// Sparse FC forward == dense FC forward.

@@ -511,48 +511,67 @@ mod tests {
 
     #[test]
     fn panning_scene_with_warp_tracks_translation() {
-        // Seed chosen for a decisive warp-vs-memoization margin under the
-        // vendored rand shim's ChaCha8 stream (the warp/memo race is
-        // seed-marginal at this tiny scale: warp wins on most seeds, ties
-        // within noise on a few).
-        let z = zoo::tiny_fasterm(5);
-        // Force predicted frames so we measure pure warp quality.
-        let cfg = AmcConfig {
-            policy: PolicyConfig::BlockError {
-                threshold: f32::INFINITY,
-                max_gap: 1000,
-            },
-            ..Default::default()
-        };
-        let mut amc = AmcExecutor::new(&z.network, cfg);
-        let f0 = textured_frame(48, 48, 0);
-        // A full receptive-field stride of pan (8 px): stride-aligned motion
-        // is the regime where warping is near-exact (§II-B) while
-        // memoization is off by a whole activation cell.
-        let f1 = textured_frame(48, 48, 8);
-        amc.process(&f0);
-        let warped = amc.process(&f1);
-        // Compare against ground truth: full CNN on f1.
-        let truth_act = z.network.forward_prefix(&f1.to_tensor(), amc.target());
-        let truth_out = z.network.forward_suffix(&truth_act, amc.target());
-        let with_warp = warped.output.rms_distance(&truth_out);
+        // The warp-vs-memoization race is seed-marginal at this tiny scale:
+        // measured over seeds 0..16, warp beats memoization by ~15% on
+        // average but loses by up to ~30% on individual RNG streams (PR 1
+        // reseeded 3→5 to dodge exactly such a loss). A single-seed strict
+        // win is therefore a lucky-seed assertion. Instead, assert the
+        // *aggregate* margin over a seed basket with explicit tolerances —
+        // a property of the warp physics (stride-aligned pan is the regime
+        // where warping is near-exact, §II-B, while memoization is off by a
+        // whole activation cell) rather than of one weight draw — so the
+        // test survives RNG-shim stream changes.
 
-        // Memoized baseline (no warp) for the same pan.
-        let cfg2 = AmcConfig {
+        /// Aggregate RMS error of warping must undercut memoization by at
+        /// least this relative margin (measured headroom: ~0.85 vs the 0.98
+        /// bound).
+        const AGGREGATE_MARGIN: f32 = 0.98;
+        /// No single seed may show warping worse than memoization beyond
+        /// this factor (measured worst case ~1.30).
+        const PER_SEED_BOUND: f32 = 1.5;
+        const SEEDS: [u64; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+
+        let make = |warp| AmcConfig {
+            // Force predicted frames so we measure pure warp quality.
             policy: PolicyConfig::BlockError {
                 threshold: f32::INFINITY,
                 max_gap: 1000,
             },
-            warp: WarpMode::Memoize,
+            warp,
             ..Default::default()
         };
-        let mut amc2 = AmcExecutor::new(&z.network, cfg2);
-        amc2.process(&f0);
-        let memo = amc2.process(&f1);
-        let with_memo = memo.output.rms_distance(&truth_out);
+        let f0 = textured_frame(48, 48, 0);
+        // A full receptive-field stride of pan (8 px).
+        let f1 = textured_frame(48, 48, 8);
+        let (mut warp_sum, mut memo_sum) = (0.0f32, 0.0f32);
+        for seed in SEEDS {
+            let z = zoo::tiny_fasterm(seed);
+            let mut amc = AmcExecutor::new(&z.network, make(WarpMode::default()));
+            amc.process(&f0);
+            let warped = amc.process(&f1);
+            // Ground truth: full CNN on f1.
+            let truth_act = z.network.forward_prefix(&f1.to_tensor(), amc.target());
+            let truth_out = z.network.forward_suffix(&truth_act, amc.target());
+            let with_warp = warped.output.rms_distance(&truth_out);
+
+            // Memoized baseline (no warp) for the same pan.
+            let mut amc2 = AmcExecutor::new(&z.network, make(WarpMode::Memoize));
+            amc2.process(&f0);
+            let memo = amc2.process(&f1);
+            let with_memo = memo.output.rms_distance(&truth_out);
+
+            assert!(
+                with_warp <= with_memo * PER_SEED_BOUND,
+                "seed {seed}: warp ({with_warp}) catastrophically worse than \
+                 memoization ({with_memo})"
+            );
+            warp_sum += with_warp;
+            memo_sum += with_memo;
+        }
         assert!(
-            with_warp <= with_memo + 1e-6,
-            "warp ({with_warp}) should not be worse than memoization ({with_memo}) under pan"
+            warp_sum <= memo_sum * AGGREGATE_MARGIN,
+            "aggregate warp error ({warp_sum}) does not undercut memoization \
+             ({memo_sum}) by the required margin over seeds {SEEDS:?}"
         );
     }
 

@@ -1,4 +1,4 @@
-//! Cache-blocked f32 GEMM and im2col/col2im packing — the convolution
+//! Packed, register-blocked f32 GEMM and im2col/col2im — the convolution
 //! engine behind `eva2_cnn::Conv2d`.
 //!
 //! # Why this exists
@@ -6,11 +6,13 @@
 //! EVA²'s performance story rests on the cost asymmetry between full CNN
 //! execution (key frames) and suffix-only execution (predicted frames). For
 //! the software reproduction to *measure* that asymmetry honestly, the
-//! forward pass must be compute-bound rather than interpreter-bound: a naive
-//! six-deep scalar loop with a per-element branch underestimates what any
-//! real layer accelerator (or even a CPU) achieves, inflating apparent AMC
-//! savings. This module lowers convolution to matrix multiplication, the
-//! same transformation Caffe used for the networks the paper evaluates.
+//! forward pass must be compute-bound rather than interpreter-bound: with
+//! RFBME's fast path in place, key frames — dominated by the prefix GEMM —
+//! are the pipeline's critical path, so every GFLOP/s left on the table
+//! here inflates the apparent AMC savings. This module lowers convolution
+//! to matrix multiplication, the same transformation Caffe used for the
+//! networks the paper evaluates, and drives it with a register-blocked
+//! micro-kernel.
 //!
 //! # Lowering
 //!
@@ -30,59 +32,84 @@
 //!
 //! # Blocking scheme
 //!
-//! `gemm_nn` is an AXPY-panel kernel: the innermost operation is
-//! `c_row += a[i][p] * b_row`, a unit-stride multiply-add over `N`-length
-//! rows that the compiler auto-vectorizes (the hot loop is written over
-//! 8-wide `chunks_exact` so no runtime remainder handling sits inside it).
-//! The `p` (depth) dimension is blocked by [`KC`]: one `KC × N` panel of `B`
-//! is streamed against each row of `C` before moving on, so the panel stays
-//! resident in L1/L2 across the `M` output rows. `C` rows are visited
-//! consecutively, making writes streaming. For the activation sizes in this
-//! workspace (`N` up to a few thousand, `K` up to a few thousand) this is
-//! within a small factor of a tuned micro-kernel GEMM while remaining ~100
-//! lines of portable safe Rust.
+//! All three transpose variants run one loop nest (BLIS-style):
 //!
-//! With the `parallel` crate feature, the `M` dimension is split across
-//! `std::thread::available_parallelism()` scoped threads (each owns a
-//! disjoint row block of `C`; `B` is shared read-only). No external
-//! dependency is used. Small products stay single-threaded — see
-//! [`PAR_THRESHOLD`].
+//! 1. `A` is packed once into [`MR`]-row panels in *kernel order* — the
+//!    `MR` values needed at depth step `p` are contiguous (`pack.rs`).
+//! 2. For each [`NC`]-wide column block and [`KC`]-deep depth block, the
+//!    corresponding `B` panel is packed into [`NR`]-column panels
+//!    (`KC × NC × 4 B ≈ 256 KB`, sized to stay L2-resident while every row
+//!    panel of `A` streams against it).
+//! 3. The inner loops walk `MR × NR` tiles of `C`, each computed by the
+//!    register-blocked micro-kernel (`microkernel.rs`): `MR·NR = 64`
+//!    accumulators held in registers across the whole depth block, `MR`
+//!    independent 16-wide FMAs per depth step, zero loads from `C` until
+//!    the block completes.
+//!
+//! Ragged `M`/`N` edges are zero-padded during packing so the micro-kernel
+//! never branches on tile shape; ragged `K` tails just shorten the depth
+//! loop. Transposed operands (`gemm_nt`, `gemm_tn`) are handled by the
+//! *packers* through strided views, so no transpose is ever materialised
+//! and the hot loop is identical for all variants.
+//!
+//! The packed panels live in [`GemmScratch`] (`pack_a`/`pack_b`), so
+//! steady-state frame processing packs into the same allocations every
+//! frame. The PR-1 AXPY-panel kernel survives as [`gemm_nn_axpy`]: it is
+//! the measured baseline for the `gemm_micro_over_axpy` trajectory ratio
+//! and an independent reference for equivalence tests.
+//!
+//! With the `parallel` crate feature, large [`gemm_nn`] products split the
+//! `N` dimension across scoped threads: `A` is packed once and shared
+//! read-only, each thread packs its own `B` column stripe (so packing cost
+//! is amortised, not duplicated per row block) and accumulates into its own
+//! output stripe, which the caller folds back into `C` after the join —
+//! per-thread writes stay disjoint without locking. Small products stay
+//! single-threaded — see [`PAR_THRESHOLD`].
 //!
 //! # Scratch reuse
 //!
-//! [`GemmScratch`] owns the im2col buffers. Callers that process many
-//! frames (the AMC executor, the training loop) hold one scratch and pass
-//! it to [`conv2d_forward`]/[`conv2d_backward`], so steady-state execution
-//! performs **no** per-frame im2col allocation. One-shot callers can use
-//! [`with_thread_scratch`], which reuses a thread-local scratch.
+//! [`GemmScratch`] owns the im2col buffers and the packed GEMM panels.
+//! Callers that process many frames (the AMC executor, the training loop)
+//! hold one scratch and pass it to [`conv2d_forward`]/[`conv2d_backward`],
+//! so steady-state execution performs **no** per-frame allocation in the
+//! convolution engine. One-shot callers can use [`with_thread_scratch`],
+//! which reuses a thread-local scratch.
 //!
 //! # Reproducing the benchmarks
 //!
 //! ```text
-//! cargo bench -p eva2-bench --bench cnn    -- conv_paths   # naive vs GEMM
-//! cargo bench -p eva2-bench --bench sparse -- suffix       # sparse suffix
-//! cargo run --release -p eva2-bench --bin bench_conv       # BENCH_conv.json
+//! cargo bench -p eva2-bench --bench cnn -- gemm_micro   # micro-kernel vs AXPY
+//! cargo bench -p eva2-bench --bench cnn -- conv_paths   # naive vs GEMM
+//! cargo bench -p eva2-bench --bench sparse -- suffix    # sparse suffix
+//! cargo run --release -p eva2-bench --bin bench_conv    # BENCH_conv.json
 //! ```
 //!
-//! The committed `BENCH_conv.json` at the repository root is the output of
-//! the last command; the acceptance bar is a ≥ 5× naive→GEMM speedup on the
-//! conv-forward benchmark and a sparse-suffix win at ≥ 50% activation
-//! sparsity.
+//! GFLOP/s for a `M×N×K` product is `2·M·N·K / median_ns`; the committed
+//! `BENCH_conv.json` at the repository root records the `gemm_micro/*`
+//! entries (micro-kernel vs AXPY on the key-frame prefix GEMM shape) and
+//! the `gemm_micro_over_axpy` ratio the CI gate tracks. Re-measure after
+//! touching this module — the numbers depend on `.cargo/config.toml`'s
+//! `target-cpu=native`.
 
+use crate::microkernel::{add_tile, microkernel};
+use crate::pack::{pack_a_block, pack_b_block, MatRef};
 use crate::shape::Shape3;
 use crate::tensor::Tensor3;
 use std::cell::RefCell;
 
-/// Depth-blocking factor: the `KC × N` panel of `B` streamed per `C` row.
-///
-/// 256 rows × (typical `N` ≈ 1–4 K columns) × 4 bytes ≈ 1–4 MB worst case,
-/// but consecutive rows of the panel are touched in order, so the working
-/// set per AXPY is just two `N`-length rows; `KC` bounds how long a panel
-/// stays hot before `C` moves on.
+pub use crate::pack::{MR, NR};
+
+/// Depth-blocking factor: the `K` extent of one packed `B` panel (and of
+/// one micro-kernel accumulation run).
 pub const KC: usize = 256;
 
-/// Minimum `M·N·K` before the `parallel` feature splits the GEMM across
-/// threads; below this the spawn overhead dominates.
+/// Column-blocking factor: the `N` extent of one packed `B` panel.
+/// `KC × NC` f32 ≈ 256 KB, sized to stay L2-resident while every `MR`-row
+/// panel of `A` streams against it.
+pub const NC: usize = 256;
+
+/// Minimum `M·N·K` before the `parallel` feature splits [`gemm_nn`]'s
+/// packed B-panels across threads; below this the spawn overhead dominates.
 #[cfg(feature = "parallel")]
 pub const PAR_THRESHOLD: usize = 1 << 18;
 
@@ -97,17 +124,33 @@ pub fn conv_output_len(n: usize, kernel: usize, stride: usize, padding: usize) -
     }
 }
 
-/// Reusable buffers for im2col-lowered convolution.
+/// Packed-panel scratch for the GEMM driver (kernel-ordered A row-panels
+/// and B column-panels — see `pack.rs` for the layout).
+#[derive(Debug, Default)]
+pub(crate) struct PackBufs {
+    /// All of `A`, packed per [`KC`] depth block into [`MR`]-row panels.
+    a: Vec<f32>,
+    /// One `KC × NC` block of `B`, packed into [`NR`]-column panels.
+    b: Vec<f32>,
+}
+
+/// Reusable buffers for the im2col-lowered convolution engine.
 ///
 /// Holding one `GemmScratch` across frames eliminates steady-state heap
-/// allocation in the convolution engine (the buffers grow to the largest
-/// layer seen, then stabilise).
+/// allocation (the buffers grow to the largest layer seen, then stabilise):
+/// `cols`/`cols_grad` hold the im2col patch matrices, `packs` the
+/// kernel-ordered GEMM panels, and `sparse_out` the position-major
+/// accumulator of the sparse conv-head gather path.
 #[derive(Debug, Default)]
 pub struct GemmScratch {
     /// im2col patch matrix, `(C_in·K²) × (H_out·W_out)`.
     cols: Vec<f32>,
     /// Gradient w.r.t. `cols` in the backward pass.
     cols_grad: Vec<f32>,
+    /// Packed GEMM panels.
+    packs: PackBufs,
+    /// Position-major (`H·W × C_out`) accumulator for sparse conv gathers.
+    sparse_out: Vec<f32>,
 }
 
 impl GemmScratch {
@@ -118,7 +161,24 @@ impl GemmScratch {
 
     /// Total bytes currently held by the scratch buffers.
     pub fn capacity_bytes(&self) -> usize {
-        (self.cols.capacity() + self.cols_grad.capacity()) * std::mem::size_of::<f32>()
+        (self.cols.capacity()
+            + self.cols_grad.capacity()
+            + self.packs.a.capacity()
+            + self.packs.b.capacity()
+            + self.sparse_out.capacity())
+            * std::mem::size_of::<f32>()
+    }
+
+    /// Borrows the position-major sparse-gather accumulator, resized to
+    /// `len` and **zero-filled** — callers accumulate (`+=`) into it, so
+    /// the zeroing is part of the contract, not an implementation detail.
+    ///
+    /// Exposed for `eva2_cnn`'s sparse conv-head path, which accumulates
+    /// transposed-weight gathers here before the final channel-major store.
+    pub fn sparse_out_buffer(&mut self, len: usize) -> &mut [f32] {
+        self.sparse_out.clear();
+        self.sparse_out.resize(len, 0.0);
+        &mut self.sparse_out
     }
 }
 
@@ -138,12 +198,11 @@ pub fn with_thread_scratch<R>(f: impl FnOnce(&mut GemmScratch) -> R) -> R {
     })
 }
 
-/// The eight-wide AXPY at the bottom of every kernel: `y += alpha * x`.
+/// The eight-wide AXPY used by the sparse-aware layers: `y += alpha * x`.
 ///
-/// Public because the sparse-aware layers reuse it: feeding a suffix from
-/// non-zero activation entries turns each survivor into one AXPY over a
-/// transposed weight row, keeping the skip-zero path as vectorizable as the
-/// dense path it replaces.
+/// Feeding a suffix from non-zero activation entries turns each survivor
+/// into one AXPY over a transposed weight row, keeping the skip-zero path
+/// as vectorizable as the dense path it replaces.
 ///
 /// # Panics
 ///
@@ -164,25 +223,221 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
-/// Dot product with eight-way unrolling (used by [`gemm_nt`]).
-#[inline]
-fn dot(x: &[f32], y: &[f32]) -> f32 {
-    debug_assert_eq!(x.len(), y.len());
-    let n8 = x.len() - x.len() % 8;
-    let mut lanes = [0.0f32; 8];
-    for (xc, yc) in x[..n8].chunks_exact(8).zip(y[..n8].chunks_exact(8)) {
-        for lane in 0..8 {
-            lanes[lane] += xc[lane] * yc[lane];
-        }
+// ---------------------------------------------------------------------------
+// Packed micro-kernel driver
+// ---------------------------------------------------------------------------
+
+/// Packs all of `a` (an `m × k` strided view) into `buf`, kernel-ordered:
+/// depth block starting at `kb` lives at offset `kb * m_panels * MR`.
+fn pack_a_full(a: MatRef<'_>, m: usize, k: usize, buf: &mut Vec<f32>) {
+    let m_panels = m.div_ceil(MR);
+    buf.resize(k * m_panels * MR, 0.0);
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        pack_a_block(a, m, kb, kc, &mut buf[kb * m_panels * MR..]);
     }
-    let mut acc = lanes.iter().sum::<f32>();
-    for (xv, yv) in x[n8..].iter().zip(y[n8..].iter()) {
-        acc += xv * yv;
-    }
-    acc
 }
 
-fn gemm_nn_serial(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+/// The packed loop nest over columns `jc0..jc0+nc_total` of `b`, writing
+/// into `c` (row-major, leading dimension `ldc`, whose column 0 maps to
+/// `b` column `jc0`). `packed_a` must come from [`pack_a_full`].
+#[allow(clippy::too_many_arguments)] // the full blocking state, spelled out
+fn packed_loop(
+    m: usize,
+    k: usize,
+    packed_a: &[f32],
+    b: MatRef<'_>,
+    jc0: usize,
+    nc_total: usize,
+    c: &mut [f32],
+    ldc: usize,
+    pack_b: &mut Vec<f32>,
+) {
+    let m_panels = m.div_ceil(MR);
+    for jc in (0..nc_total).step_by(NC) {
+        let nc = NC.min(nc_total - jc);
+        let n_panels = nc.div_ceil(NR);
+        for kb in (0..k).step_by(KC) {
+            let kc = KC.min(k - kb);
+            pack_b.resize(n_panels * NR * kc, 0.0);
+            pack_b_block(b, kb, kc, jc0 + jc, nc, pack_b);
+            let a_block = &packed_a[kb * m_panels * MR..];
+            for ip in 0..m_panels {
+                let mr = MR.min(m - ip * MR);
+                let a_panel = &a_block[ip * MR * kc..(ip + 1) * MR * kc];
+                for jp in 0..n_panels {
+                    let nr = NR.min(nc - jp * NR);
+                    let b_panel = &pack_b[jp * NR * kc..(jp + 1) * NR * kc];
+                    let tile = microkernel(kc, a_panel, b_panel);
+                    add_tile(&tile, c, ldc, ip * MR, jc + jp * NR, mr, nr);
+                }
+            }
+        }
+    }
+}
+
+/// Serial packed GEMM over strided operand views: `C += A·B`.
+fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &mut [f32],
+    packs: &mut PackBufs,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    pack_a_full(a, m, k, &mut packs.a);
+    packed_loop(m, k, &packs.a, b, 0, n, c, n, &mut packs.b);
+}
+
+/// N-split parallel [`gemm_nn`]: `A` packed once and shared, each thread
+/// packs and multiplies its own column stripe of `B` into a private output
+/// stripe, folded back into `C` after the join.
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)] // mirrors gemm_nn plus the thread count
+fn gemm_nn_split(
+    threads: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    packs: &mut PackBufs,
+) {
+    let a_view = MatRef::new(a, k, 1);
+    let b_view = MatRef::new(b, n, 1);
+    let threads = threads.min(n.div_ceil(NR));
+    if threads <= 1 || m == 0 || n == 0 || k == 0 {
+        gemm_packed(m, n, k, a_view, b_view, c, packs);
+        return;
+    }
+    pack_a_full(a_view, m, k, &mut packs.a);
+    let packed_a: &[f32] = &packs.a;
+    // Stripe widths are NR-aligned so no tile straddles two threads.
+    let stripe = n.div_ceil(NR).div_ceil(threads) * NR;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        let mut j0 = 0;
+        while j0 < n {
+            let w = stripe.min(n - j0);
+            handles.push(s.spawn(move || {
+                let mut out = vec![0.0f32; m * w];
+                let mut pack_b = Vec::new();
+                packed_loop(m, k, packed_a, b_view, j0, w, &mut out, w, &mut pack_b);
+                (j0, w, out)
+            }));
+            j0 += w;
+        }
+        for handle in handles {
+            let (j0, w, out) = handle.join().expect("gemm worker panicked");
+            for (c_row, o_row) in c.chunks_exact_mut(n).zip(out.chunks_exact(w)) {
+                for (cv, ov) in c_row[j0..j0 + w].iter_mut().zip(o_row) {
+                    *cv += ov;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(feature = "parallel")]
+fn auto_threads(m: usize, n: usize, k: usize) -> usize {
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    if threads > 1 && m * n * k >= PAR_THRESHOLD && n >= 2 * NR * threads {
+        threads
+    } else {
+        1
+    }
+}
+
+fn gemm_nn_scratch(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    packs: &mut PackBufs,
+) {
+    #[cfg(feature = "parallel")]
+    {
+        let threads = auto_threads(m, n, k);
+        if threads > 1 {
+            gemm_nn_split(threads, m, n, k, a, b, c, packs);
+            return;
+        }
+    }
+    gemm_packed(
+        m,
+        n,
+        k,
+        MatRef::new(a, k, 1),
+        MatRef::new(b, n, 1),
+        c,
+        packs,
+    );
+}
+
+fn assert_nn_dims(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &[f32], who: &str) {
+    assert_eq!(a.len(), m * k, "{who}: A is not M×K");
+    assert_eq!(b.len(), k * n, "{who}: B is not K×N");
+    assert_eq!(c.len(), m * n, "{who}: C is not M×N");
+}
+
+/// `C += A · B` for row-major `A: M×K`, `B: K×N`, `C: M×N`.
+///
+/// Runs the packed [`MR`]`×`[`NR`] micro-kernel; with the `parallel`
+/// feature, large products split `B`'s packed column panels across scoped
+/// threads (see the module docs).
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its matrix dimensions.
+pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_nn_dims(m, n, k, a, b, c, "gemm_nn");
+    with_thread_scratch(|s| gemm_nn_scratch(m, n, k, a, b, c, &mut s.packs));
+}
+
+/// [`gemm_nn`] with an explicit worker-thread count.
+///
+/// Exists so equivalence tests (and tuning runs) can exercise the N-split
+/// code path on hosts where `available_parallelism` is 1; production
+/// callers should use [`gemm_nn`], which picks the count itself. `threads`
+/// is clamped so every worker owns at least one [`NR`]-column panel.
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its matrix dimensions.
+#[cfg(feature = "parallel")]
+pub fn gemm_nn_threads(
+    threads: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    assert_nn_dims(m, n, k, a, b, c, "gemm_nn_threads");
+    with_thread_scratch(|s| gemm_nn_split(threads.max(1), m, n, k, a, b, c, &mut s.packs));
+}
+
+/// The PR-1 AXPY-panel `C += A·B` kernel.
+///
+/// Kept (single-threaded, unchanged) as the measured baseline for the
+/// `gemm_micro_over_axpy` trajectory ratio and as an independent reference
+/// implementation for equivalence tests. The innermost operation is
+/// `c_row += a[i][p] * b_row`, a unit-stride AXPY the compiler
+/// auto-vectorizes, with the depth dimension blocked by [`KC`].
+///
+/// # Panics
+///
+/// Panics when a buffer length does not match its matrix dimensions.
+pub fn gemm_nn_axpy(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_nn_dims(m, n, k, a, b, c, "gemm_nn_axpy");
     for kb in (0..k).step_by(KC) {
         let kend = (kb + KC).min(k);
         for i in 0..m {
@@ -195,41 +450,11 @@ fn gemm_nn_serial(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f
     }
 }
 
-/// `C += A · B` for row-major `A: M×K`, `B: K×N`, `C: M×N`.
-///
-/// With the `parallel` feature, large products split the `M` dimension
-/// across scoped threads.
-///
-/// # Panics
-///
-/// Panics when a buffer length does not match its matrix dimensions.
-pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    assert_eq!(a.len(), m * k, "gemm_nn: A is not M×K");
-    assert_eq!(b.len(), k * n, "gemm_nn: B is not K×N");
-    assert_eq!(c.len(), m * n, "gemm_nn: C is not M×N");
-    #[cfg(feature = "parallel")]
-    {
-        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-        if threads > 1 && m >= 2 * threads && m * n * k >= PAR_THRESHOLD {
-            let rows_per = m.div_ceil(threads);
-            std::thread::scope(|s| {
-                for (ti, c_block) in c.chunks_mut(rows_per * n).enumerate() {
-                    let rows = c_block.len() / n;
-                    let a_block = &a[ti * rows_per * k..ti * rows_per * k + rows * k];
-                    s.spawn(move || gemm_nn_serial(rows, n, k, a_block, b, c_block));
-                }
-            });
-            return;
-        }
-    }
-    gemm_nn_serial(m, n, k, a, b, c);
-}
-
 /// `C += A · Bᵀ` for row-major `A: M×K`, `B: N×K`, `C: M×N`.
 ///
-/// Both operands are traversed along their contiguous `K` axis (dot
-/// products), so no transpose is materialised. Used for the weight gradient
-/// `∂W = ∂Y · colsᵀ`.
+/// `Bᵀ` is handled by the packer through a strided view — no transpose is
+/// materialised, and the micro-kernel path is identical to [`gemm_nn`].
+/// Used for the weight gradient `∂W = ∂Y · colsᵀ`.
 ///
 /// # Panics
 ///
@@ -238,19 +463,34 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert_eq!(a.len(), m * k, "gemm_nt: A is not M×K");
     assert_eq!(b.len(), n * k, "gemm_nt: B is not N×K");
     assert_eq!(c.len(), m * n, "gemm_nt: C is not M×N");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            *cv += dot(a_row, &b[j * k..(j + 1) * k]);
-        }
-    }
+    with_thread_scratch(|s| gemm_nt_scratch(m, n, k, a, b, c, &mut s.packs));
+}
+
+fn gemm_nt_scratch(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    packs: &mut PackBufs,
+) {
+    // Product-B = Bᵀ: element (p, j) = b[j*k + p] ⇒ strides (1, k).
+    gemm_packed(
+        m,
+        n,
+        k,
+        MatRef::new(a, k, 1),
+        MatRef::new(b, 1, k),
+        c,
+        packs,
+    );
 }
 
 /// `C += Aᵀ · B` for row-major `A: M×K`, `B: M×N`, `C: K×N`.
 ///
-/// Row `p` of `C` accumulates `a[i][p] · b_row_i` over all `i` — again pure
-/// unit-stride AXPYs. Used for the input gradient `∂cols = Wᵀ · ∂Y`.
+/// `Aᵀ` is handled by the packer through a strided view. Used for the
+/// input gradient `∂cols = Wᵀ · ∂Y`.
 ///
 /// # Panics
 ///
@@ -259,13 +499,29 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert_eq!(a.len(), m * k, "gemm_tn: A is not M×K");
     assert_eq!(b.len(), m * n, "gemm_tn: B is not M×N");
     assert_eq!(c.len(), k * n, "gemm_tn: C is not K×N");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let b_row = &b[i * n..(i + 1) * n];
-        for (p, &apv) in a_row.iter().enumerate() {
-            axpy(apv, b_row, &mut c[p * n..(p + 1) * n]);
-        }
-    }
+    with_thread_scratch(|s| gemm_tn_scratch(m, n, k, a, b, c, &mut s.packs));
+}
+
+fn gemm_tn_scratch(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    packs: &mut PackBufs,
+) {
+    // Product dims: C (k×n) += Aᵀ (k×m) · B (m×n); product-A element
+    // (i, p) = a[p*k + i] ⇒ strides (1, k).
+    gemm_packed(
+        k,
+        n,
+        m,
+        MatRef::new(a, 1, k),
+        MatRef::new(b, n, 1),
+        c,
+        packs,
+    );
 }
 
 /// Unfolds `input` into the im2col patch matrix.
@@ -411,13 +667,14 @@ pub fn conv2d_forward(
     for (oc, &b) in bias.iter().enumerate() {
         out.channel_mut(oc).fill(b);
     }
-    gemm_nn(
+    gemm_nn_scratch(
         out_channels,
         n,
         k_dim,
         weights,
         &scratch.cols,
         out.as_mut_slice(),
+        &mut scratch.packs,
     );
     out
 }
@@ -462,23 +719,25 @@ pub fn conv2d_backward(
     for (oc, gb) in grad_b.iter_mut().enumerate() {
         *gb += grad_out.channel(oc).iter().sum::<f32>();
     }
-    gemm_nt(
+    gemm_nt_scratch(
         out_channels,
         k_dim,
         n,
         grad_out.as_slice(),
         &scratch.cols,
         grad_w,
+        &mut scratch.packs,
     );
     scratch.cols_grad.clear();
     scratch.cols_grad.resize(k_dim * n, 0.0);
-    gemm_tn(
+    gemm_tn_scratch(
         out_channels,
         n,
         k_dim,
         weights,
         grad_out.as_slice(),
         &mut scratch.cols_grad,
+        &mut scratch.packs,
     );
     let mut grad_in = Tensor3::zeros(shape);
     col2im_into(&scratch.cols_grad, kernel, stride, padding, &mut grad_in);
@@ -554,6 +813,29 @@ mod tests {
         gemm_nn(m, n, k, &a, &b, &mut c);
         for (got, want) in c.iter().zip(&expect) {
             assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn gemm_nn_matches_axpy_reference_across_blocks() {
+        // Spans multiple KC depth blocks and NC column blocks plus ragged
+        // tails in every dimension.
+        let (m, n, k) = (MR + 3, NC + NR + 5, KC + 17);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7) % 23) as f32 * 0.1 - 1.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 5) % 19) as f32 * 0.1 - 0.9)
+            .collect();
+        let mut c_micro = vec![0.25f32; m * n];
+        let mut c_axpy = c_micro.clone();
+        gemm_nn(m, n, k, &a, &b, &mut c_micro);
+        gemm_nn_axpy(m, n, k, &a, &b, &mut c_axpy);
+        for (got, want) in c_micro.iter().zip(&c_axpy) {
+            assert!(
+                (got - want).abs() < 2e-2 * (1.0 + want.abs()),
+                "{got} vs {want}"
+            );
         }
     }
 

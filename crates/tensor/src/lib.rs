@@ -12,8 +12,9 @@
 //!   datapath width of the EVA² warp engine ("shifts the final result back to
 //!   a 16-bit fixed-point representation", §III-B of the paper).
 //! * [`interp`] — bilinear sampling used by activation warping (§II-C3).
-//! * [`gemm`] — im2col packing and a cache-blocked f32 GEMM, the
-//!   convolution engine behind `eva2_cnn::Conv2d`.
+//! * [`gemm`] — im2col packing and a packed, register-blocked f32 GEMM
+//!   (4×16 FMA micro-kernel), the convolution engine behind
+//!   `eva2_cnn::Conv2d`.
 //! * [`sparse`] — [`SparseActivation`], the non-zero view the sparse-aware
 //!   CNN suffix consumes (the software analogue of the Fig 10 decoder-lane
 //!   output).
@@ -34,6 +35,8 @@ pub mod fixed;
 pub mod gemm;
 pub mod image;
 pub mod interp;
+pub(crate) mod microkernel;
+pub(crate) mod pack;
 pub mod shape;
 pub mod sparse;
 pub mod tensor;
