@@ -65,6 +65,44 @@ fn bench_conv_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cross-stream batched key-frame prefix (batch 4) vs four single prefix
+/// runs — the serving engine's amortization seam. The trajectory tracks
+/// the same pair as the `batched_prefix_over_single` ratio.
+fn bench_batched_prefix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_prefix");
+    group.sample_size(20);
+    let z = zoo::tiny_fasterm(0);
+    let target = z.late_target;
+    let frames: Vec<Tensor3> = (0..4)
+        .map(|f| {
+            Tensor3::from_fn(z.input_shape(), |_, y, x| {
+                ((y * 13 + x * 7 + f * 31) % 97) as f32 / 97.0
+            })
+        })
+        .collect();
+    let mut scratch = GemmScratch::new();
+    group.bench_function("single_x4", |b| {
+        b.iter(|| {
+            for frame in &frames {
+                black_box(
+                    z.network
+                        .forward_prefix_scratch(black_box(frame), target, &mut scratch),
+                );
+            }
+        })
+    });
+    group.bench_function("batched_b4", |b| {
+        b.iter(|| {
+            black_box(z.network.forward_prefix_batched(
+                black_box(frames.clone()),
+                target,
+                &mut scratch,
+            ))
+        })
+    });
+    group.finish();
+}
+
 fn bench_prefix_vs_suffix(c: &mut Criterion) {
     let mut group = c.benchmark_group("cnn_split");
     group.sample_size(20);
@@ -114,6 +152,7 @@ criterion_group!(
     benches,
     bench_gemm_micro,
     bench_conv_paths,
+    bench_batched_prefix,
     bench_prefix_vs_suffix,
     bench_training_step
 );

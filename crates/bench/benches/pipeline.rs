@@ -30,7 +30,7 @@ fn bench_amc_frames(c: &mut Criterion) {
         ..Default::default()
     };
     group.bench_function("key_frame", |b| {
-        let mut amc = AmcExecutor::new(&z.network, always_key);
+        let mut amc = AmcExecutor::try_new(&z.network, always_key).unwrap();
         amc.process(&f0);
         b.iter(|| black_box(amc.process(&f1)))
     });
@@ -44,7 +44,7 @@ fn bench_amc_frames(c: &mut Criterion) {
         ..Default::default()
     };
     group.bench_function("predicted_frame", |b| {
-        let mut amc = AmcExecutor::new(&z.network, never_key);
+        let mut amc = AmcExecutor::try_new(&z.network, never_key).unwrap();
         amc.process(&f0);
         b.iter(|| black_box(amc.process(&f1)))
     });
@@ -53,7 +53,7 @@ fn bench_amc_frames(c: &mut Criterion) {
     let mut fixed = never_key;
     fixed.fixed_point = true;
     group.bench_function("predicted_frame_q88", |b| {
-        let mut amc = AmcExecutor::new(&z.network, fixed);
+        let mut amc = AmcExecutor::try_new(&z.network, fixed).unwrap();
         amc.process(&f0);
         b.iter(|| black_box(amc.process(&f1)))
     });
@@ -63,7 +63,7 @@ fn bench_amc_frames(c: &mut Criterion) {
     let mut memo = never_key;
     memo.warp = eva2_core::executor::WarpMode::Memoize;
     group.bench_function("predicted_frame_memoize", |b| {
-        let mut amc = AmcExecutor::new(&z.network, memo);
+        let mut amc = AmcExecutor::try_new(&z.network, memo).unwrap();
         amc.process(&f0);
         b.iter(|| black_box(amc.process(&f1)))
     });
@@ -72,7 +72,7 @@ fn bench_amc_frames(c: &mut Criterion) {
     // previous frame's result while the worker estimates the next frame's
     // motion.
     group.bench_function("predicted_frame_pipelined", |b| {
-        let mut pipe = PipelinedExecutor::new(AmcExecutor::new(&z.network, never_key));
+        let mut pipe = PipelinedExecutor::new(AmcExecutor::try_new(&z.network, never_key).unwrap());
         pipe.push(&f0);
         b.iter(|| black_box(pipe.push(&f1)))
     });
@@ -99,14 +99,14 @@ fn bench_pipeline_overlap(c: &mut Criterion) {
         ..Default::default()
     };
     group.bench_function("clip12_serial", |b| {
-        let mut amc = AmcExecutor::new(&z.network, config);
+        let mut amc = AmcExecutor::try_new(&z.network, config).unwrap();
         b.iter(|| {
             FrameExecutor::reset(&mut amc);
             black_box(FrameExecutor::process_clip(&mut amc, &clip))
         })
     });
     group.bench_function("clip12_pipelined", |b| {
-        let mut pipe = PipelinedExecutor::new(AmcExecutor::new(&z.network, config));
+        let mut pipe = PipelinedExecutor::new(AmcExecutor::try_new(&z.network, config).unwrap());
         b.iter(|| {
             FrameExecutor::reset(&mut pipe);
             black_box(FrameExecutor::process_clip(&mut pipe, &clip))

@@ -79,6 +79,11 @@ pub struct Measurements {
     /// Raw GEMM on the key-frame prefix critical-path shape: AXPY-panel
     /// kernel over the register-blocked micro-kernel.
     pub gemm_micro_over_axpy: f64,
+    /// Key-frame prefix: four single `forward_prefix_scratch` runs over
+    /// one batch-4 `forward_prefix_batched` call (the serving engine's
+    /// cross-stream batching seam; amortized A-packing, direct-B kernel,
+    /// single-pass bias store).
+    pub batched_prefix_over_single: f64,
     /// Suffix-from-RLE: densify-then-dense over sparse-aware, per sparsity.
     pub suffix_speedups: Vec<(f32, f64)>,
     /// Early-target (conv-head) suffix at 50% sparsity: densify-then-dense
@@ -217,10 +222,45 @@ pub fn measure(mode: Mode) -> Measurements {
     record("conv_forward/gemm_scratch/3x48x48_k5s2", gemm2);
 
     // ------------------------------------------------------------------
-    // Suffix from the RLE store: densify-then-dense vs sparse-aware.
+    // Cross-stream batched key-frame prefix (serving engine seam):
+    // batch-4 `forward_prefix_batched` vs four single prefix runs on the
+    // FasterM analogue. Packing amortization and the direct-B kernel show
+    // even on a single CPU — no thread-level parallelism is involved.
     // ------------------------------------------------------------------
     let z = zoo::tiny_fasterm(0);
     let target = z.late_target;
+    let batched_prefix_over_single = {
+        let frames: Vec<Tensor3> = (0..4).map(|i| frame(i * 3).to_tensor()).collect();
+        let single = time_ns(mode, || {
+            for f in &frames {
+                black_box(
+                    z.network
+                        .forward_prefix_scratch(black_box(f), target, &mut scratch),
+                );
+            }
+        });
+        record("prefix_batch/single_x4/fasterm", single);
+        let batched = time_ns(mode, || {
+            // The clone mirrors the engine's per-batch `to_tensor` inputs
+            // (the API consumes its batch); the single side clones each
+            // input internally, so the comparison stays like-for-like.
+            black_box(z.network.forward_prefix_batched(
+                black_box(frames.clone()),
+                target,
+                &mut scratch,
+            ));
+        });
+        record("prefix_batch/batched_b4/fasterm", batched);
+        println!(
+            "batched prefix speedup (4 singles / batch-4): {:.2}x",
+            single / batched
+        );
+        single / batched
+    };
+
+    // ------------------------------------------------------------------
+    // Suffix from the RLE store: densify-then-dense vs sparse-aware.
+    // ------------------------------------------------------------------
     let shape = z.network.shape_after(target);
     let mut suffix_speedups: Vec<(f32, f64)> = Vec::new();
     for sparsity in [0.5f32, 0.8, 0.95] {
@@ -296,7 +336,7 @@ pub fn measure(mode: Mode) -> Measurements {
     // ------------------------------------------------------------------
     let f0 = frame(0);
     let f1 = frame(1);
-    let probe = AmcExecutor::new(&z.network, AmcConfig::default());
+    let probe = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
     let rfbme = Rfbme::new(probe.rf_geometry(), SearchParams { radius: 8, step: 1 });
     drop(probe);
     let rfbme_fast = time_ns(mode, || {
@@ -317,7 +357,7 @@ pub fn measure(mode: Mode) -> Measurements {
         policy: PolicyConfig::AlwaysKey,
         ..Default::default()
     };
-    let mut amc = AmcExecutor::new(&z.network, always_key);
+    let mut amc = AmcExecutor::try_new(&z.network, always_key).unwrap();
     amc.process(&f0);
     let key_ns = time_ns(mode, || {
         black_box(amc.process(black_box(&f1)));
@@ -330,7 +370,7 @@ pub fn measure(mode: Mode) -> Measurements {
         },
         ..Default::default()
     };
-    let mut amc = AmcExecutor::new(&z.network, never_key);
+    let mut amc = AmcExecutor::try_new(&z.network, never_key).unwrap();
     amc.process(&f0);
     let pred_ns = time_ns(mode, || {
         black_box(amc.process(black_box(&f1)));
@@ -340,7 +380,7 @@ pub fn measure(mode: Mode) -> Measurements {
 
     // Steady-state streaming throughput: each push returns the previous
     // frame's result while the worker estimates the next frame's motion.
-    let mut pipe = PipelinedExecutor::new(AmcExecutor::new(&z.network, never_key));
+    let mut pipe = PipelinedExecutor::new(AmcExecutor::try_new(&z.network, never_key).unwrap());
     pipe.push(&f0);
     let pred_pipe_ns = time_ns(mode, || {
         black_box(pipe.push(black_box(&f1)));
@@ -353,6 +393,7 @@ pub fn measure(mode: Mode) -> Measurements {
         entries,
         conv_speedup,
         gemm_micro_over_axpy,
+        batched_prefix_over_single,
         suffix_speedups,
         convhead_sparse_over_densify,
         key_over_predicted: key_ns / pred_ns,
@@ -379,8 +420,8 @@ impl Measurements {
         }
         let _ = write!(
             body,
-            "  ],\n  \"conv_speedup_naive_over_gemm\": {:.2},\n  \"gemm_micro_over_axpy\": {:.2},\n  \"suffix_speedup_sparse_over_densify\": {{\n",
-            self.conv_speedup, self.gemm_micro_over_axpy
+            "  ],\n  \"conv_speedup_naive_over_gemm\": {:.2},\n  \"gemm_micro_over_axpy\": {:.2},\n  \"batched_prefix_over_single\": {:.2},\n  \"suffix_speedup_sparse_over_densify\": {{\n",
+            self.conv_speedup, self.gemm_micro_over_axpy, self.batched_prefix_over_single
         );
         for (i, (s, x)) in self.suffix_speedups.iter().enumerate() {
             let _ = write!(body, "    \"{:.0}pct\": {x:.2}", s * 100.0);
@@ -414,6 +455,10 @@ impl Measurements {
         let mut v = vec![
             strict("conv_speedup_naive_over_gemm", self.conv_speedup),
             strict("gemm_micro_over_axpy", self.gemm_micro_over_axpy),
+            strict(
+                "batched_prefix_over_single",
+                self.batched_prefix_over_single,
+            ),
         ];
         for (s, x) in &self.suffix_speedups {
             v.push(strict(
@@ -490,6 +535,7 @@ mod tests {
             }],
             conv_speedup: 17.25,
             gemm_micro_over_axpy: 2.4,
+            batched_prefix_over_single: 1.3,
             suffix_speedups: vec![(0.5, 4.5), (0.8, 11.0)],
             convhead_sparse_over_densify: 1.3,
             key_over_predicted: 1.21,
@@ -515,6 +561,7 @@ mod tests {
             entries: Vec::new(),
             conv_speedup: 1.0,
             gemm_micro_over_axpy: 1.0,
+            batched_prefix_over_single: 1.0,
             suffix_speedups: vec![(0.5, 1.0)],
             convhead_sparse_over_densify: 1.0,
             key_over_predicted: 1.0,

@@ -70,6 +70,24 @@ pub trait Layer: fmt::Debug + Send + Sync {
         self.forward(input)
     }
 
+    /// Runs the layer forward over a batch of same-shape frames, consuming
+    /// the inputs — the cross-stream key-frame seam of the serving engine
+    /// (`eva2_core::serve`).
+    ///
+    /// The contract is **bit-identity** with mapping
+    /// [`Layer::forward_scratch`] over the batch; implementations may only
+    /// reorganise work that cannot change any output bit. The default does
+    /// exactly that mapping. [`Conv2d`] overrides it to amortise GEMM
+    /// packing across frames, [`Relu`] to rectify in place (no per-frame
+    /// allocation), and [`MaxPool2d`] to pool over row slices instead of
+    /// per-element accessors.
+    fn forward_batch(&self, batch: Vec<Tensor3>, scratch: &mut GemmScratch) -> Vec<Tensor3> {
+        batch
+            .iter()
+            .map(|x| self.forward_scratch(x, scratch))
+            .collect()
+    }
+
     /// Runs the layer forward directly from a sparse activation, skipping
     /// zero entries (the software analogue of the EVA² skip-zero suffix
     /// feed, §IV of the paper).
@@ -605,6 +623,22 @@ impl Layer for Conv2d {
         )
     }
 
+    fn forward_batch(&self, batch: Vec<Tensor3>, scratch: &mut GemmScratch) -> Vec<Tensor3> {
+        if let Some(first) = batch.first() {
+            self.check_input(first.shape());
+        }
+        gemm::conv2d_forward_batch(
+            &batch,
+            &self.weights,
+            &self.bias,
+            self.out_channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding,
+            scratch,
+        )
+    }
+
     fn forward_sparse(
         &self,
         input: &SparseActivation,
@@ -749,6 +783,38 @@ impl Layer for MaxPool2d {
         })
     }
 
+    fn forward_batch(&self, batch: Vec<Tensor3>, _scratch: &mut GemmScratch) -> Vec<Tensor3> {
+        // Row-slice pooling: same windows folded in the same (ky-outer,
+        // kx-inner) order as `forward`, so every output bit matches — only
+        // the per-element closure/indexing overhead of `from_fn` is gone.
+        let k = self.geom.kernel;
+        let s = self.geom.stride;
+        batch
+            .iter()
+            .map(|input| {
+                let in_shape = input.shape();
+                let out_shape = self.output_shape(in_shape);
+                let mut out = Vec::with_capacity(out_shape.len());
+                for c in 0..out_shape.channels {
+                    let plane = input.channel(c);
+                    for oy in 0..out_shape.height {
+                        for ox in 0..out_shape.width {
+                            let mut m = f32::NEG_INFINITY;
+                            for ky in 0..k {
+                                let row = &plane[(oy * s + ky) * in_shape.width + ox * s..][..k];
+                                for &v in row {
+                                    m = m.max(v);
+                                }
+                            }
+                            out.push(m);
+                        }
+                    }
+                }
+                Tensor3::from_vec(out_shape, out)
+            })
+            .collect()
+    }
+
     fn backward(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
         let out_shape = self.output_shape(input.shape());
         assert_eq!(grad_out.shape(), out_shape, "{}: grad shape", self.name);
@@ -820,6 +886,17 @@ impl Layer for Relu {
 
     fn forward(&self, input: &Tensor3) -> Tensor3 {
         input.map(|v| v.max(0.0))
+    }
+
+    fn forward_batch(&self, mut batch: Vec<Tensor3>, _scratch: &mut GemmScratch) -> Vec<Tensor3> {
+        // The batch owns its tensors, so rectify in place: no per-frame
+        // allocation + copy, identical bits.
+        for t in &mut batch {
+            for v in t.as_mut_slice() {
+                *v = v.max(0.0);
+            }
+        }
+        batch
     }
 
     fn backward(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {

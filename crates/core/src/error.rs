@@ -1,0 +1,108 @@
+//! Typed errors for AMC configuration and serving.
+//!
+//! Everything fallible in the public execution API — target-layer
+//! resolution, configuration validation, session management — reports an
+//! [`AmcError`] instead of the stringly-typed `Result<_, String>` the
+//! original executor used, so callers can match on the failure instead of
+//! parsing prose.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an AMC configuration or serving operation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AmcError {
+    /// The network has no spatial prefix to split (its first layer is
+    /// already non-spatial), so no target layer exists.
+    NoSpatialPrefix {
+        /// Name of the offending network.
+        network: String,
+    },
+    /// `TargetSelection::Early` was requested but the network has no
+    /// pooling layer.
+    NoPoolingLayer {
+        /// Name of the offending network.
+        network: String,
+    },
+    /// An explicit `TargetSelection::Index` lies outside the spatial
+    /// prefix.
+    TargetOutsidePrefix {
+        /// The requested layer index.
+        index: usize,
+        /// The last spatial layer — the largest valid target.
+        last_spatial: usize,
+    },
+    /// A configuration field failed validation (builder or constructor).
+    InvalidConfig {
+        /// Which invariant was violated.
+        reason: &'static str,
+    },
+    /// A session was opened with a configuration that resolves to a
+    /// different target layer than its engine's, so its key-frame state
+    /// could not share the engine's batched prefix.
+    SessionTargetMismatch {
+        /// The engine's resolved target layer.
+        engine: usize,
+        /// The session configuration's resolved target layer.
+        session: usize,
+    },
+}
+
+impl fmt::Display for AmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmcError::NoSpatialPrefix { network } => {
+                write!(f, "{network}: network has no spatial prefix")
+            }
+            AmcError::NoPoolingLayer { network } => {
+                write!(
+                    f,
+                    "{network}: network has no pooling layer for an early target"
+                )
+            }
+            AmcError::TargetOutsidePrefix {
+                index,
+                last_spatial,
+            } => write!(
+                f,
+                "layer {index} is outside the spatial prefix (last spatial layer is {last_spatial})"
+            ),
+            AmcError::InvalidConfig { reason } => write!(f, "invalid AMC configuration: {reason}"),
+            AmcError::SessionTargetMismatch { engine, session } => write!(
+                f,
+                "session target layer {session} does not match engine target layer {engine}"
+            ),
+        }
+    }
+}
+
+impl Error for AmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AmcError::TargetOutsidePrefix {
+            index: 99,
+            last_spatial: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("99") && s.contains('7'), "{s}");
+        assert!(AmcError::InvalidConfig {
+            reason: "search step must be at least 1"
+        }
+        .to_string()
+        .contains("search step"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: Error>(_: &E) {}
+        takes_error(&AmcError::NoSpatialPrefix {
+            network: "net".into(),
+        });
+    }
+}

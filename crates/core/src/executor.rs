@@ -7,14 +7,15 @@
 //! activation buffer, or (b) warps the stored activation and invokes only
 //! the CNN suffix.
 
-use crate::policy::{FrameKind, FrameMetrics, KeyFramePolicy, PolicyConfig};
+use crate::error::AmcError;
+use crate::policy::{FrameKind, FrameMetrics, PolicyConfig};
+use crate::serve::SessionCore;
 use crate::sparse::RleActivation;
 use crate::target::TargetSelection;
-use crate::warp::{warp_activation, warp_activation_fixed, WarpStats};
+use crate::warp::WarpStats;
 use eva2_cnn::network::Network;
 use eva2_motion::rfbme::{RfGeometry, Rfbme, RfbmeResult, SearchParams};
-use eva2_tensor::interp::Interpolation;
-use eva2_tensor::{GemmScratch, GrayImage, SparseActivation, Tensor3};
+use eva2_tensor::{GemmScratch, GrayImage, Tensor3};
 use serde::{Deserialize, Serialize};
 
 /// How predicted frames update the stored activation (§IV-E1).
@@ -71,18 +72,105 @@ impl Default for AmcConfig {
     }
 }
 
-/// Stored key-frame state: the pixel buffer and the sparse activation
-/// buffer.
+impl AmcConfig {
+    /// Starts a validating builder pre-loaded with the defaults.
+    pub fn builder() -> AmcConfigBuilder {
+        AmcConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Checks every network-independent invariant of the configuration.
+    /// (Target resolution is network-dependent and checked at
+    /// executor/engine construction.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError::InvalidConfig`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), AmcError> {
+        let invalid = |reason: &'static str| Err(AmcError::InvalidConfig { reason });
+        if self.search.step == 0 {
+            return invalid("search step must be at least 1");
+        }
+        if !self.sparsity_threshold.is_finite() || self.sparsity_threshold < 0.0 {
+            return invalid("sparsity threshold must be finite and non-negative");
+        }
+        match self.policy {
+            PolicyConfig::AlwaysKey => {}
+            PolicyConfig::StaticRate { period } => {
+                if period == 0 {
+                    return invalid("static-rate period must be at least 1");
+                }
+            }
+            PolicyConfig::BlockError { threshold, max_gap }
+            | PolicyConfig::MotionMagnitude { threshold, max_gap } => {
+                if threshold.is_nan() {
+                    return invalid("policy threshold must not be NaN");
+                }
+                if max_gap == 0 {
+                    return invalid("policy max_gap must be at least 1");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`AmcConfig`] whose [`AmcConfigBuilder::build`] validates
+/// the result — the non-panicking construction path
+/// (`AmcConfig::builder().….build()?`).
 #[derive(Debug, Clone)]
-struct KeyState {
-    image: GrayImage,
-    /// The compressed activation as the hardware stores it.
-    rle: RleActivation,
-    /// Non-zero view feeding the sparse-aware suffix on memoized frames.
-    sparse: SparseActivation,
-    /// Decoded copy kept for software-speed warping (the hardware decodes
-    /// through the sparsity lanes on the fly).
-    decoded: Tensor3,
+pub struct AmcConfigBuilder {
+    config: AmcConfig,
+}
+
+impl AmcConfigBuilder {
+    /// Sets the target-layer selection.
+    pub fn target(mut self, target: TargetSelection) -> Self {
+        self.config.target = target;
+        self
+    }
+
+    /// Sets the predicted-frame update mode (warp vs memoize).
+    pub fn warp(mut self, warp: WarpMode) -> Self {
+        self.config.warp = warp;
+        self
+    }
+
+    /// Sets the RFBME search window.
+    pub fn search(mut self, search: SearchParams) -> Self {
+        self.config.search = search;
+        self
+    }
+
+    /// Sets the key-frame policy.
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Toggles the bit-accurate Q8.8 warp datapath.
+    pub fn fixed_point(mut self, fixed_point: bool) -> Self {
+        self.config.fixed_point = fixed_point;
+        self
+    }
+
+    /// Sets the near-zero suppression threshold of the sparse store.
+    pub fn sparsity_threshold(mut self, threshold: f32) -> Self {
+        self.config.sparsity_threshold = threshold;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError::InvalidConfig`] when an invariant is violated —
+    /// see [`AmcConfig::validate`].
+    pub fn build(self) -> Result<AmcConfig, AmcError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// Outcome of processing one frame.
@@ -132,21 +220,17 @@ impl ExecStats {
     }
 }
 
-/// The AMC executor: EVA² in front of a CNN.
+/// The AMC executor: EVA² in front of a CNN, serving one stream.
+///
+/// This is a thin single-stream wrapper over the same per-session state
+/// machine the serving engine runs (see [`crate::serve`]): one
+/// [`SessionCore`] plus a borrowed network and a private GEMM scratch.
+/// Outputs, decisions, and statistics are bit-identical to a one-session
+/// [`crate::serve::Engine`] — multi-stream callers should use the engine
+/// directly and gain cross-stream key-frame batching.
 pub struct AmcExecutor<'n> {
     net: &'n Network,
-    target: usize,
-    rf: RfGeometry,
-    rfbme: Rfbme,
-    warp_mode: WarpMode,
-    fixed_point: bool,
-    sparsity_threshold: f32,
-    policy: Box<dyn KeyFramePolicy>,
-    state: Option<KeyState>,
-    frames_since_key: usize,
-    stats: ExecStats,
-    prefix_macs: u64,
-    total_macs: u64,
+    core: SessionCore,
     /// Reusable im2col/GEMM buffers: steady-state frame processing performs
     /// no per-frame convolution-engine allocation.
     scratch: GemmScratch,
@@ -158,9 +242,9 @@ impl<'n> std::fmt::Debug for AmcExecutor<'n> {
             f,
             "AmcExecutor(net={}, target={}, rf={:?}, policy={})",
             self.net.name(),
-            self.target,
-            self.rf,
-            self.policy.name()
+            self.core.target(),
+            self.core.rf(),
+            self.core.policy_name()
         )
     }
 }
@@ -168,126 +252,74 @@ impl<'n> std::fmt::Debug for AmcExecutor<'n> {
 impl<'n> AmcExecutor<'n> {
     /// Creates an executor over `net` with the given configuration.
     ///
-    /// # Panics
-    ///
-    /// Panics when the target selection cannot be resolved (e.g. a network
-    /// with no spatial prefix); use [`AmcExecutor::try_new`] to handle that
-    /// case.
-    pub fn new(net: &'n Network, config: AmcConfig) -> Self {
-        Self::try_new(net, config).expect("invalid AMC configuration")
-    }
-
-    /// Fallible constructor.
+    /// (The panicking `AmcExecutor::new` constructor is gone; construct
+    /// configurations through [`AmcConfig::builder`] and handle the typed
+    /// error here.)
     ///
     /// # Errors
     ///
-    /// Returns a description when the target layer cannot be resolved.
-    pub fn try_new(net: &'n Network, config: AmcConfig) -> Result<Self, String> {
-        let (target, rf) = config.target.geometry(net)?;
-        let prefix_macs = net.prefix_macs(target);
-        let total_macs = net.total_macs();
+    /// Returns [`AmcError`] when the configuration fails validation
+    /// ([`AmcError::InvalidConfig`]) or its target selection cannot be
+    /// resolved for `net` (see [`TargetSelection::resolve`]).
+    pub fn try_new(net: &'n Network, config: AmcConfig) -> Result<Self, AmcError> {
         Ok(Self {
             net,
-            target,
-            rf,
-            rfbme: Rfbme::new(rf, config.search),
-            warp_mode: config.warp,
-            fixed_point: config.fixed_point,
-            sparsity_threshold: config.sparsity_threshold,
-            policy: config.policy.build(),
-            state: None,
-            frames_since_key: 0,
-            stats: ExecStats::default(),
-            prefix_macs,
-            total_macs,
+            core: SessionCore::new(net, &config)?,
             scratch: GemmScratch::new(),
         })
     }
 
     /// The resolved target layer index.
     pub fn target(&self) -> usize {
-        self.target
+        self.core.target()
     }
 
     /// The receptive-field geometry RFBME matches at.
     pub fn rf_geometry(&self) -> RfGeometry {
-        self.rf
+        self.core.rf()
     }
 
     /// Aggregate statistics so far.
     pub fn stats(&self) -> ExecStats {
-        self.stats
+        self.core.stats()
     }
 
     /// MACs of the skipped prefix (key-frame-only work).
     pub fn prefix_macs(&self) -> u64 {
-        self.prefix_macs
+        self.core.prefix_macs()
     }
 
     /// MACs of a full CNN pass.
     pub fn total_macs(&self) -> u64 {
-        self.total_macs
+        self.core.total_macs()
     }
 
     /// Drops stored state, forcing the next frame to be a key frame.
     pub fn reset(&mut self) {
-        self.state = None;
-        self.frames_since_key = 0;
+        self.core.reset()
     }
 
     /// The compressed key activation currently buffered, if any — the
     /// contents of the hardware's sparse key-frame activation buffer.
     pub fn key_activation(&self) -> Option<&RleActivation> {
-        self.state.as_ref().map(|s| &s.rle)
+        self.core.key_activation()
     }
 
     /// The stored key-frame pixel buffer, if any — the reference input
     /// every RFBME estimate is computed against.
     pub fn key_image(&self) -> Option<&GrayImage> {
-        self.state.as_ref().map(|s| &s.image)
+        self.core.key_image()
     }
 
     /// The RFBME estimator this executor runs (copied by the pipelined
     /// executor's worker thread so both compute bit-identical estimates).
     pub fn rfbme(&self) -> Rfbme {
-        self.rfbme
-    }
-
-    fn run_key_frame(&mut self, image: &GrayImage, input: &Tensor3) -> (Tensor3, Option<f32>) {
-        let act = self
-            .net
-            .forward_prefix_scratch(input, self.target, &mut self.scratch);
-        let rle = RleActivation::encode(&act, self.sparsity_threshold);
-        let compression = rle.compression();
-        // The suffix consumes the *quantized* activation on real hardware;
-        // feed it straight from the sparse store (skip-zero, no densify) so
-        // key and predicted frames share numerics.
-        let sparse = rle.to_sparse();
-        let output = self
-            .net
-            .forward_suffix_sparse(&sparse, self.target, &mut self.scratch);
-        let decoded = sparse.to_dense();
-        self.state = Some(KeyState {
-            image: image.clone(),
-            rle,
-            sparse,
-            decoded,
-        });
-        self.policy.note_key_frame();
-        self.frames_since_key = 0;
-        (output, Some(compression))
+        self.core.rfbme()
     }
 
     /// Processes one frame through AMC.
     pub fn process(&mut self, image: &GrayImage) -> AmcFrameResult {
-        // Motion estimation against the stored key frame (when one exists):
-        // EVA² always runs RFBME — its block errors drive the key-frame
-        // choice module even when warping is disabled (memoization mode).
-        let motion = self
-            .state
-            .as_ref()
-            .map(|state| self.rfbme.estimate(&state.image, image));
-        self.process_with_motion(image, motion)
+        self.core.process(self.net, &mut self.scratch, image)
     }
 
     /// Processes one frame with an externally computed motion estimate.
@@ -302,7 +334,8 @@ impl<'n> AmcExecutor<'n> {
         image: &GrayImage,
         motion: Option<RfbmeResult>,
     ) -> AmcFrameResult {
-        self.process_with_motion_hook(image, motion, |_| {})
+        self.core
+            .process_with_motion_hook(self.net, &mut self.scratch, image, motion, |_| {})
     }
 
     /// [`AmcExecutor::process_with_motion`] with a hook invoked right after
@@ -316,87 +349,13 @@ impl<'n> AmcExecutor<'n> {
         motion: Option<RfbmeResult>,
         after_decision: impl FnOnce(FrameKind),
     ) -> AmcFrameResult {
-        let input = image.to_tensor();
-        self.stats.frames += 1;
-        self.frames_since_key += 1;
-
-        let metrics = motion
-            .as_ref()
-            .map(|m| FrameMetrics::from_rfbme(m, self.frames_since_key));
-        let rfbme_ops = motion.as_ref().map_or(0, |m| m.ops());
-        self.stats.rfbme_ops += rfbme_ops;
-
-        let kind = match &metrics {
-            None => FrameKind::Key,
-            Some(m) => self.policy.decide(m),
-        };
-        after_decision(kind);
-
-        match kind {
-            FrameKind::Key => {
-                let (output, compression) = self.run_key_frame(image, &input);
-                self.stats.key_frames += 1;
-                self.stats.macs += self.total_macs;
-                AmcFrameResult {
-                    output,
-                    is_key: true,
-                    macs_executed: self.total_macs,
-                    rfbme_ops,
-                    warp: None,
-                    metrics,
-                    compression,
-                }
-            }
-            FrameKind::Predicted => {
-                let motion = motion.expect("predicted frame requires motion");
-                let state = self.state.as_ref().expect("predicted frame requires state");
-                // Both arms feed the suffix through the sparse entry point:
-                // zero runs in the stored/warped activation are skipped, not
-                // densified and multiplied (§IV skip-zero behaviour).
-                let (output, warp_stats) = match self.warp_mode {
-                    WarpMode::Memoize => {
-                        let output = self.net.forward_suffix_sparse(
-                            &state.sparse,
-                            self.target,
-                            &mut self.scratch,
-                        );
-                        (output, None)
-                    }
-                    WarpMode::MotionCompensate { bilinear } => {
-                        let field = &motion.field;
-                        let (warped, ws) = if self.fixed_point {
-                            warp_activation_fixed(&state.decoded, field, self.rf.stride)
-                        } else {
-                            let method = if bilinear {
-                                Interpolation::Bilinear
-                            } else {
-                                Interpolation::NearestNeighbor
-                            };
-                            warp_activation(&state.decoded, field, self.rf.stride, method)
-                        };
-                        let sparse = SparseActivation::from_dense(&warped, 0.0);
-                        let output =
-                            self.net
-                                .forward_suffix_sparse(&sparse, self.target, &mut self.scratch);
-                        (output, Some(ws))
-                    }
-                };
-                if let Some(ws) = &warp_stats {
-                    self.stats.warp_interpolations += ws.interpolations;
-                }
-                let suffix_macs = self.total_macs - self.prefix_macs;
-                self.stats.macs += suffix_macs;
-                AmcFrameResult {
-                    output,
-                    is_key: false,
-                    macs_executed: suffix_macs,
-                    rfbme_ops,
-                    warp: warp_stats,
-                    metrics,
-                    compression: None,
-                }
-            }
-        }
+        self.core.process_with_motion_hook(
+            self.net,
+            &mut self.scratch,
+            image,
+            motion,
+            after_decision,
+        )
     }
 
     /// Convenience: processes a slice of frames, returning per-frame results.
@@ -427,7 +386,7 @@ mod tests {
     #[test]
     fn first_frame_is_key() {
         let z = zoo::tiny_fasterm(0);
-        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        let mut amc = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
         let r = amc.process(&textured_frame(48, 48, 0));
         assert!(r.is_key);
         assert_eq!(r.macs_executed, z.network.total_macs());
@@ -438,7 +397,7 @@ mod tests {
     #[test]
     fn static_scene_yields_predicted_frames() {
         let z = zoo::tiny_fasterm(0);
-        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        let mut amc = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
         let frame = textured_frame(48, 48, 0);
         amc.process(&frame);
         for _ in 0..5 {
@@ -453,7 +412,7 @@ mod tests {
     #[test]
     fn predicted_frame_on_static_scene_matches_key_output() {
         let z = zoo::tiny_fasterm(1);
-        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        let mut amc = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
         let frame = textured_frame(48, 48, 0);
         let key = amc.process(&frame);
         let pred = amc.process(&frame);
@@ -466,7 +425,7 @@ mod tests {
     #[test]
     fn scene_cut_forces_key_frame() {
         let z = zoo::tiny_fasterm(0);
-        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        let mut amc = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
         amc.process(&textured_frame(48, 48, 0));
         // Completely different content (inverted, shifted pattern).
         let cut = GrayImage::from_fn(48, 48, |y, x| ((y * 11 + x * 29) % 255) as u8);
@@ -484,7 +443,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let mut amc = AmcExecutor::new(&z.network, cfg);
+        let mut amc = AmcExecutor::try_new(&z.network, cfg).unwrap();
         let frame = textured_frame(48, 48, 0);
         let kinds: Vec<bool> = (0..8).map(|_| amc.process(&frame).is_key).collect();
         assert_eq!(
@@ -500,7 +459,7 @@ mod tests {
             warp: WarpMode::Memoize,
             ..Default::default()
         };
-        let mut amc = AmcExecutor::new(&z.network, cfg);
+        let mut amc = AmcExecutor::try_new(&z.network, cfg).unwrap();
         let frame = textured_frame(32, 32, 0);
         amc.process(&frame);
         let r = amc.process(&frame);
@@ -546,7 +505,7 @@ mod tests {
         let (mut warp_sum, mut memo_sum) = (0.0f32, 0.0f32);
         for seed in SEEDS {
             let z = zoo::tiny_fasterm(seed);
-            let mut amc = AmcExecutor::new(&z.network, make(WarpMode::default()));
+            let mut amc = AmcExecutor::try_new(&z.network, make(WarpMode::default())).unwrap();
             amc.process(&f0);
             let warped = amc.process(&f1);
             // Ground truth: full CNN on f1.
@@ -555,7 +514,7 @@ mod tests {
             let with_warp = warped.output.rms_distance(&truth_out);
 
             // Memoized baseline (no warp) for the same pan.
-            let mut amc2 = AmcExecutor::new(&z.network, make(WarpMode::Memoize));
+            let mut amc2 = AmcExecutor::try_new(&z.network, make(WarpMode::Memoize)).unwrap();
             amc2.process(&f0);
             let memo = amc2.process(&f1);
             let with_memo = memo.output.rms_distance(&truth_out);
@@ -588,10 +547,10 @@ mod tests {
         };
         let f0 = textured_frame(48, 48, 0);
         let f1 = textured_frame(48, 48, 1);
-        let mut a = AmcExecutor::new(&z.network, make(false));
+        let mut a = AmcExecutor::try_new(&z.network, make(false)).unwrap();
         a.process(&f0);
         let float_out = a.process(&f1).output;
-        let mut b = AmcExecutor::new(&z.network, make(true));
+        let mut b = AmcExecutor::try_new(&z.network, make(true)).unwrap();
         b.process(&f0);
         let fixed_out = b.process(&f1).output;
         let dist = float_out.rms_distance(&fixed_out);
@@ -601,7 +560,7 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let z = zoo::tiny_fasterm(0);
-        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        let mut amc = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
         let frame = textured_frame(48, 48, 0);
         for _ in 0..4 {
             amc.process(&frame);
@@ -619,7 +578,7 @@ mod tests {
     #[test]
     fn reset_forces_key() {
         let z = zoo::tiny_fasterm(0);
-        let mut amc = AmcExecutor::new(&z.network, AmcConfig::default());
+        let mut amc = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
         let frame = textured_frame(48, 48, 0);
         amc.process(&frame);
         assert!(!amc.process(&frame).is_key);
@@ -634,8 +593,8 @@ mod tests {
             target: TargetSelection::Early,
             ..Default::default()
         };
-        let early = AmcExecutor::new(&z.network, cfg);
-        let late = AmcExecutor::new(&z.network, AmcConfig::default());
+        let early = AmcExecutor::try_new(&z.network, cfg).unwrap();
+        let late = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
         assert!(early.prefix_macs() < late.prefix_macs());
         assert_eq!(early.target(), z.early_target);
         assert_eq!(late.target(), z.late_target);
@@ -648,6 +607,59 @@ mod tests {
             target: TargetSelection::Index(99),
             ..Default::default()
         };
-        assert!(AmcExecutor::try_new(&z.network, cfg).is_err());
+        match AmcExecutor::try_new(&z.network, cfg) {
+            Err(AmcError::TargetOutsidePrefix { index: 99, .. }) => {}
+            other => panic!("expected TargetOutsidePrefix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_roundtrips_and_validates() {
+        let built = AmcConfig::builder()
+            .target(TargetSelection::Early)
+            .warp(WarpMode::Memoize)
+            .search(SearchParams { radius: 4, step: 2 })
+            .policy(PolicyConfig::StaticRate { period: 3 })
+            .fixed_point(true)
+            .sparsity_threshold(0.25)
+            .build()
+            .unwrap();
+        assert_eq!(
+            built,
+            AmcConfig {
+                target: TargetSelection::Early,
+                warp: WarpMode::Memoize,
+                search: SearchParams { radius: 4, step: 2 },
+                policy: PolicyConfig::StaticRate { period: 3 },
+                fixed_point: true,
+                sparsity_threshold: 0.25,
+            }
+        );
+        assert!(AmcConfig::builder().build().is_ok(), "defaults are valid");
+    }
+
+    #[test]
+    fn builder_rejects_invalid_fields() {
+        let cases = [
+            AmcConfig::builder().search(SearchParams { radius: 4, step: 0 }),
+            AmcConfig::builder().sparsity_threshold(f32::NAN),
+            AmcConfig::builder().sparsity_threshold(-0.5),
+            AmcConfig::builder().policy(PolicyConfig::StaticRate { period: 0 }),
+            AmcConfig::builder().policy(PolicyConfig::BlockError {
+                threshold: f32::NAN,
+                max_gap: 4,
+            }),
+            AmcConfig::builder().policy(PolicyConfig::MotionMagnitude {
+                threshold: 1.0,
+                max_gap: 0,
+            }),
+        ];
+        for builder in cases {
+            let err = builder.clone().build();
+            assert!(
+                matches!(err, Err(AmcError::InvalidConfig { .. })),
+                "{builder:?} should be rejected, got {err:?}"
+            );
+        }
     }
 }

@@ -16,41 +16,57 @@
 //! * §II-C4 key frame selection → [`policy`] (static rate, pixel
 //!   compensation error, total motion magnitude).
 //! * §II-C5 target layer choice → [`target`].
-//! * §II-A the full pipeline → [`executor`] ([`AmcExecutor`]).
+//! * §II-A the full pipeline → [`executor`] ([`AmcExecutor`], a
+//!   single-stream wrapper).
 //! * §III / Fig 6's decoupled EVA² unit, as a software pipeline →
 //!   [`pipeline`] ([`pipeline::PipelinedExecutor`] overlaps the next
 //!   frame's RFBME with the current frame's CNN work on a worker thread).
+//! * Multi-stream serving → [`serve`] ([`serve::Engine`] owns the network
+//!   and shared scratch; each video stream is a [`serve::StreamSession`],
+//!   and key frames from independent streams share one batched
+//!   im2col + packed-GEMM prefix pass).
+//!
+//! Configuration errors are typed ([`AmcError`]); build configurations
+//! through [`executor::AmcConfig::builder`].
 //!
 //! # Example
 //!
 //! ```
-//! use eva2_core::executor::{AmcConfig, AmcExecutor};
+//! use eva2_core::executor::AmcConfig;
+//! use eva2_core::serve::Engine;
 //! use eva2_cnn::zoo;
 //! use eva2_tensor::GrayImage;
+//! use std::sync::Arc;
 //!
-//! let zoo_net = zoo::tiny_fasterm(7);
-//! let mut amc = AmcExecutor::new(&zoo_net.network, AmcConfig::default());
+//! let net = Arc::new(zoo::tiny_fasterm(7).network);
+//! let config = AmcConfig::builder().build().expect("defaults are valid");
+//! let mut engine = Engine::new(net, config).expect("resolvable target");
+//! let mut stream = engine.open_session();
 //! let frame = GrayImage::from_fn(48, 48, |y, x| {
 //!     (120.0 + 60.0 * ((y as f32) * 0.3).sin() * ((x as f32) * 0.2).cos()) as u8
 //! });
-//! let first = amc.process(&frame);
-//! assert!(first.is_key, "the first frame is always a key frame");
-//! let second = amc.process(&frame);
+//! let first = engine.process(&mut stream, &frame);
+//! assert!(first.is_key, "a stream's first frame is always a key frame");
+//! let second = engine.process(&mut stream, &frame);
 //! // An unchanged scene with the default policy yields a cheap predicted frame.
 //! assert!(!second.is_key);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod executor;
 pub mod pipeline;
 pub mod policy;
+pub mod serve;
 pub mod sparse;
 pub mod target;
 pub mod warp;
 
-pub use executor::{AmcConfig, AmcExecutor, AmcFrameResult, WarpMode};
+pub use error::AmcError;
+pub use executor::{AmcConfig, AmcConfigBuilder, AmcExecutor, AmcFrameResult, WarpMode};
 pub use pipeline::{FrameExecutor, PipelinedExecutor};
 pub use policy::{FrameMetrics, KeyFramePolicy};
+pub use serve::{Engine, StreamSession};
 pub use sparse::RleActivation;
 pub use target::TargetSelection;

@@ -62,7 +62,7 @@
 
 use crate::executor::{AmcExecutor, AmcFrameResult, ExecStats};
 use crate::policy::FrameKind;
-use eva2_motion::rfbme::{Rfbme, RfbmeResult};
+use eva2_motion::rfbme::{Rfbme, RfbmeResult, RfbmeScratch};
 use eva2_tensor::GrayImage;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
@@ -164,6 +164,10 @@ impl<'n> PipelinedExecutor<'n> {
             .name("rfbme-worker".into())
             .spawn(move || {
                 let mut key: Option<Arc<GrayImage>> = None;
+                // One scratch for the thread's lifetime: steady-state
+                // estimation reallocates nothing across frames (scratch
+                // contents never affect results — see `RfbmeScratch`).
+                let mut scratch = RfbmeScratch::new();
                 while let Ok(req) = request_rx.recv() {
                     if let Some(k) = req.new_key {
                         key = Some(k);
@@ -171,7 +175,10 @@ impl<'n> PipelinedExecutor<'n> {
                     let key = key
                         .as_ref()
                         .expect("estimate requested before any key frame");
-                    if result_tx.send(rfbme.estimate(key, &req.frame)).is_err() {
+                    if result_tx
+                        .send(rfbme.estimate_with(key, &req.frame, &mut scratch))
+                        .is_err()
+                    {
                         break;
                     }
                 }
@@ -343,8 +350,8 @@ mod tests {
         net: &eva2_cnn::network::Network,
     ) -> (AmcExecutor<'_>, PipelinedExecutor<'_>) {
         (
-            AmcExecutor::new(net, config),
-            PipelinedExecutor::new(AmcExecutor::new(net, config)),
+            AmcExecutor::try_new(net, config).unwrap(),
+            PipelinedExecutor::new(AmcExecutor::try_new(net, config).unwrap()),
         )
     }
 
@@ -361,7 +368,7 @@ mod tests {
     #[test]
     fn push_returns_previous_frame_with_one_frame_latency() {
         let z = zoo::tiny_fasterm(0);
-        let mut pipe = PipelinedExecutor::new(AmcExecutor::new(&z.network, lenient()));
+        let mut pipe = PipelinedExecutor::new(AmcExecutor::try_new(&z.network, lenient()).unwrap());
         let frames = clip(3);
         assert!(pipe.push(&frames[0]).is_none());
         let r0 = pipe.push(&frames[1]).expect("frame 0 completes");
@@ -397,7 +404,7 @@ mod tests {
     #[test]
     fn state_persists_across_clips_and_reset_forces_key() {
         let z = zoo::tiny_fasterm(0);
-        let mut pipe = PipelinedExecutor::new(AmcExecutor::new(&z.network, lenient()));
+        let mut pipe = PipelinedExecutor::new(AmcExecutor::try_new(&z.network, lenient()).unwrap());
         let frames = clip(4);
         let first = FrameExecutor::process_clip(&mut pipe, &frames);
         assert_eq!(

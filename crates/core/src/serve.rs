@@ -1,0 +1,757 @@
+//! Session-based serving: one [`Engine`] per network, one
+//! [`StreamSession`] per video stream, cross-stream batched key frames.
+//!
+//! The paper's EVA² unit sits in front of *shared* layer accelerators and
+//! serves a stream of frames; a deployment serves many such streams from
+//! one process. The single-stream [`AmcExecutor`](crate::executor::AmcExecutor)
+//! cannot model that: it borrows its network and fuses per-stream state
+//! (key frame, policy, stats) with per-process resources (the network,
+//! GEMM scratch). This module splits them:
+//!
+//! * [`Engine`] owns the process-wide resources — an [`Arc<Network>`] plus
+//!   the shared im2col/packing scratch pools — and executes frames.
+//! * [`StreamSession`] holds exactly the per-stream state: the stored key
+//!   frame and its sparse activation, the key-frame policy, the RFBME
+//!   scratch, and per-stream statistics. Sessions are cheap, independent,
+//!   and `Send`.
+//!
+//! # The batching seam
+//!
+//! Key frames are where the money is: a key frame runs the full CNN
+//! prefix, a predicted frame only warps and runs the suffix. Key frames
+//! from *independent* streams arrive decorrelated — one stream's scene cut
+//! does not align with another's — so a serving process regularly holds
+//! several key frames at once. [`Engine::process_batch`] classifies every
+//! submitted frame with its own session's RFBME + policy (bit-identical to
+//! serial processing), then executes all key-frame prefixes through
+//! `Network::forward_prefix_batched`: weight panels pack once per layer
+//! per batch, the unpacked-B micro-kernel skips the per-frame repack, and
+//! outputs store in a single bias+product pass. Batching across streams is
+//! strictly better than within one stream — it adds no latency, because no
+//! stream waits on its own future frames.
+//!
+//! # The single-stream wrapper guarantee
+//!
+//! `AmcExecutor` (and therefore `PipelinedExecutor`) is a thin wrapper
+//! over the same per-session state machine ([`SessionCore`]) this module
+//! runs: one session, one borrowed network, one private scratch. Every
+//! output, decision, and statistic is **bit-identical** across all three
+//! entry points — serial executor, pipelined executor, and engine sessions
+//! (single or batched) — which `crates/core/tests/serve_interleaved.rs`
+//! and `pipeline_bitident.rs` enforce. Existing single-stream callers keep
+//! working unchanged; multi-stream callers get batching by switching to
+//! the engine.
+//!
+//! # Example
+//!
+//! ```
+//! use eva2_cnn::zoo;
+//! use eva2_core::executor::AmcConfig;
+//! use eva2_core::serve::Engine;
+//! use eva2_tensor::GrayImage;
+//! use std::sync::Arc;
+//!
+//! let net = Arc::new(zoo::tiny_fasterm(7).network);
+//! let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+//! let mut cam_a = engine.open_session();
+//! let mut cam_b = engine.open_session();
+//! let frame = GrayImage::from_fn(48, 48, |y, x| {
+//!     (120 + ((y * 7 + x * 3) % 64)) as u8
+//! });
+//! // Batched submission: both streams' first frames are key frames and
+//! // share one batched prefix pass.
+//! let results = engine.process_batch([(&mut cam_a, &frame), (&mut cam_b, &frame)]);
+//! assert!(results.iter().all(|r| r.is_key));
+//! // Streams advance independently.
+//! let r = engine.process(&mut cam_a, &frame);
+//! assert!(!r.is_key);
+//! assert_eq!(cam_a.stats().frames, 2);
+//! assert_eq!(cam_b.stats().frames, 1);
+//! ```
+
+use crate::error::AmcError;
+use crate::executor::{AmcConfig, AmcFrameResult, ExecStats, WarpMode};
+use crate::policy::{FrameKind, FrameMetrics, KeyFramePolicy};
+use crate::sparse::RleActivation;
+use crate::warp::{warp_activation, warp_activation_fixed};
+use eva2_cnn::network::Network;
+use eva2_motion::rfbme::{RfGeometry, Rfbme, RfbmeResult, RfbmeScratch};
+use eva2_tensor::interp::Interpolation;
+use eva2_tensor::{GemmScratch, GrayImage, SparseActivation, Tensor3};
+use std::sync::Arc;
+
+/// Stored key-frame state: the pixel buffer and the sparse activation
+/// buffer.
+#[derive(Debug, Clone)]
+struct KeyState {
+    image: GrayImage,
+    /// The compressed activation as the hardware stores it.
+    rle: RleActivation,
+    /// Non-zero view feeding the sparse-aware suffix on memoized frames.
+    sparse: SparseActivation,
+    /// Decoded copy kept for software-speed warping (the hardware decodes
+    /// through the sparsity lanes on the fly).
+    decoded: Tensor3,
+}
+
+/// The per-stream AMC state machine: everything one video stream needs
+/// between frames, and nothing a stream shares with its neighbours.
+///
+/// Both [`StreamSession`] and the single-stream
+/// [`AmcExecutor`](crate::executor::AmcExecutor) wrap exactly this type,
+/// which is what makes their outputs bit-identical: there is one
+/// implementation of the frame state machine, parameterised on a borrowed
+/// network and GEMM scratch at each call.
+#[derive(Debug)]
+pub(crate) struct SessionCore {
+    target: usize,
+    rf: RfGeometry,
+    rfbme: Rfbme,
+    rfbme_scratch: RfbmeScratch,
+    warp_mode: WarpMode,
+    fixed_point: bool,
+    sparsity_threshold: f32,
+    policy: Box<dyn KeyFramePolicy>,
+    state: Option<KeyState>,
+    frames_since_key: usize,
+    stats: ExecStats,
+    prefix_macs: u64,
+    total_macs: u64,
+}
+
+impl SessionCore {
+    /// Builds a core for `net` under `config`, validating both.
+    pub(crate) fn new(net: &Network, config: &AmcConfig) -> Result<Self, AmcError> {
+        config.validate()?;
+        let (target, rf) = config.target.geometry(net)?;
+        Ok(Self {
+            target,
+            rf,
+            rfbme: Rfbme::new(rf, config.search),
+            rfbme_scratch: RfbmeScratch::new(),
+            warp_mode: config.warp,
+            fixed_point: config.fixed_point,
+            sparsity_threshold: config.sparsity_threshold,
+            policy: config.policy.build(),
+            state: None,
+            frames_since_key: 0,
+            stats: ExecStats::default(),
+            prefix_macs: net.prefix_macs(target),
+            total_macs: net.total_macs(),
+        })
+    }
+
+    pub(crate) fn target(&self) -> usize {
+        self.target
+    }
+
+    pub(crate) fn rf(&self) -> RfGeometry {
+        self.rf
+    }
+
+    pub(crate) fn rfbme(&self) -> Rfbme {
+        self.rfbme
+    }
+
+    pub(crate) fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    pub(crate) fn prefix_macs(&self) -> u64 {
+        self.prefix_macs
+    }
+
+    pub(crate) fn total_macs(&self) -> u64 {
+        self.total_macs
+    }
+
+    pub(crate) fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.state = None;
+        self.frames_since_key = 0;
+    }
+
+    pub(crate) fn key_activation(&self) -> Option<&RleActivation> {
+        self.state.as_ref().map(|s| &s.rle)
+    }
+
+    pub(crate) fn key_image(&self) -> Option<&GrayImage> {
+        self.state.as_ref().map(|s| &s.image)
+    }
+
+    /// Runs this stream's RFBME from the stored key frame to `image`
+    /// (`None` when no key state exists yet).
+    pub(crate) fn estimate_motion(&mut self, image: &GrayImage) -> Option<RfbmeResult> {
+        let state = self.state.as_ref()?;
+        Some(
+            self.rfbme
+                .estimate_with(&state.image, image, &mut self.rfbme_scratch),
+        )
+    }
+
+    /// Opens a frame: bumps the per-stream counters, derives the metrics,
+    /// and asks the policy for the frame kind. Must be followed by exactly
+    /// one matching `finish_key_frame`/`finish_predicted`.
+    pub(crate) fn begin_frame(
+        &mut self,
+        motion: &Option<RfbmeResult>,
+    ) -> (FrameKind, Option<FrameMetrics>, u64) {
+        self.stats.frames += 1;
+        self.frames_since_key += 1;
+        let metrics = motion
+            .as_ref()
+            .map(|m| FrameMetrics::from_rfbme(m, self.frames_since_key));
+        let rfbme_ops = motion.as_ref().map_or(0, |m| m.ops());
+        self.stats.rfbme_ops += rfbme_ops;
+        let kind = match &metrics {
+            None => FrameKind::Key,
+            Some(m) => self.policy.decide(m),
+        };
+        (kind, metrics, rfbme_ops)
+    }
+
+    /// Completes a key frame from its already-computed prefix activation:
+    /// encodes the sparse store, runs the suffix, refreshes the key state.
+    pub(crate) fn finish_key_frame(
+        &mut self,
+        net: &Network,
+        scratch: &mut GemmScratch,
+        image: &GrayImage,
+        act: Tensor3,
+        metrics: Option<FrameMetrics>,
+        rfbme_ops: u64,
+    ) -> AmcFrameResult {
+        let rle = RleActivation::encode(&act, self.sparsity_threshold);
+        let compression = rle.compression();
+        // The suffix consumes the *quantized* activation on real hardware;
+        // feed it straight from the sparse store (skip-zero, no densify) so
+        // key and predicted frames share numerics.
+        let sparse = rle.to_sparse();
+        let output = net.forward_suffix_sparse(&sparse, self.target, scratch);
+        let decoded = sparse.to_dense();
+        self.state = Some(KeyState {
+            image: image.clone(),
+            rle,
+            sparse,
+            decoded,
+        });
+        self.policy.note_key_frame();
+        self.frames_since_key = 0;
+        self.stats.key_frames += 1;
+        self.stats.macs += self.total_macs;
+        AmcFrameResult {
+            output,
+            is_key: true,
+            macs_executed: self.total_macs,
+            rfbme_ops,
+            warp: None,
+            metrics,
+            compression: Some(compression),
+        }
+    }
+
+    /// Completes a predicted frame: warps (or memoizes) the stored
+    /// activation and runs the sparse suffix.
+    pub(crate) fn finish_predicted(
+        &mut self,
+        net: &Network,
+        scratch: &mut GemmScratch,
+        motion: &RfbmeResult,
+        metrics: Option<FrameMetrics>,
+        rfbme_ops: u64,
+    ) -> AmcFrameResult {
+        let state = self.state.as_ref().expect("predicted frame requires state");
+        // Both arms feed the suffix through the sparse entry point: zero
+        // runs in the stored/warped activation are skipped, not densified
+        // and multiplied (§IV skip-zero behaviour).
+        let (output, warp_stats) = match self.warp_mode {
+            WarpMode::Memoize => {
+                let output = net.forward_suffix_sparse(&state.sparse, self.target, scratch);
+                (output, None)
+            }
+            WarpMode::MotionCompensate { bilinear } => {
+                let field = &motion.field;
+                let (warped, ws) = if self.fixed_point {
+                    warp_activation_fixed(&state.decoded, field, self.rf.stride)
+                } else {
+                    let method = if bilinear {
+                        Interpolation::Bilinear
+                    } else {
+                        Interpolation::NearestNeighbor
+                    };
+                    warp_activation(&state.decoded, field, self.rf.stride, method)
+                };
+                let sparse = SparseActivation::from_dense(&warped, 0.0);
+                let output = net.forward_suffix_sparse(&sparse, self.target, scratch);
+                (output, Some(ws))
+            }
+        };
+        if let Some(ws) = &warp_stats {
+            self.stats.warp_interpolations += ws.interpolations;
+        }
+        let suffix_macs = self.total_macs - self.prefix_macs;
+        self.stats.macs += suffix_macs;
+        AmcFrameResult {
+            output,
+            is_key: false,
+            macs_executed: suffix_macs,
+            rfbme_ops,
+            warp: warp_stats,
+            metrics,
+            compression: None,
+        }
+    }
+
+    /// The serial whole-frame path: estimate, decide, execute.
+    pub(crate) fn process(
+        &mut self,
+        net: &Network,
+        scratch: &mut GemmScratch,
+        image: &GrayImage,
+    ) -> AmcFrameResult {
+        // EVA² always runs RFBME — its block errors drive the key-frame
+        // choice module even when warping is disabled (memoization mode).
+        let motion = self.estimate_motion(image);
+        self.process_with_motion_hook(net, scratch, image, motion, |_| {})
+    }
+
+    /// [`SessionCore::process`] with an externally computed motion
+    /// estimate and a hook invoked right after the key-frame decision,
+    /// *before* any CNN or warp work — the pipelined executor's dispatch
+    /// point for the next frame's estimate.
+    pub(crate) fn process_with_motion_hook(
+        &mut self,
+        net: &Network,
+        scratch: &mut GemmScratch,
+        image: &GrayImage,
+        motion: Option<RfbmeResult>,
+        after_decision: impl FnOnce(FrameKind),
+    ) -> AmcFrameResult {
+        let (kind, metrics, rfbme_ops) = self.begin_frame(&motion);
+        after_decision(kind);
+        match kind {
+            FrameKind::Key => {
+                let input = image.to_tensor();
+                let act = net.forward_prefix_scratch(&input, self.target, scratch);
+                self.finish_key_frame(net, scratch, image, act, metrics, rfbme_ops)
+            }
+            FrameKind::Predicted => {
+                let motion = motion.expect("predicted frame requires motion");
+                self.finish_predicted(net, scratch, &motion, metrics, rfbme_ops)
+            }
+        }
+    }
+}
+
+/// A serving engine: one network, shared scratch pools, any number of
+/// independent [`StreamSession`]s. See the [module docs](self).
+pub struct Engine {
+    net: Arc<Network>,
+    base: AmcConfig,
+    target: usize,
+    rf: RfGeometry,
+    prefix_macs: u64,
+    total_macs: u64,
+    /// Shared im2col/pack pools: every session's CNN work runs through
+    /// these, so steady-state serving allocates no convolution scratch no
+    /// matter how many streams are open.
+    scratch: GemmScratch,
+    /// Process-unique engine identity, stamped into every session so
+    /// cross-engine session use fails loudly instead of silently running
+    /// one engine's key state against another engine's network.
+    engine_id: u64,
+    next_session: u64,
+}
+
+/// Source of process-unique [`Engine`] identities.
+static NEXT_ENGINE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Engine(net={}, target={}, rf={:?}, sessions_opened={})",
+            self.net.name(),
+            self.target,
+            self.rf,
+            self.next_session
+        )
+    }
+}
+
+impl Engine {
+    /// Creates an engine over `net` with `config` as the default session
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError`] when the configuration fails validation or its
+    /// target selection cannot be resolved for `net`.
+    pub fn new(net: Arc<Network>, config: AmcConfig) -> Result<Self, AmcError> {
+        config.validate()?;
+        let (target, rf) = config.target.geometry(&net)?;
+        let prefix_macs = net.prefix_macs(target);
+        let total_macs = net.total_macs();
+        Ok(Self {
+            net,
+            base: config,
+            target,
+            rf,
+            prefix_macs,
+            total_macs,
+            scratch: GemmScratch::new(),
+            engine_id: NEXT_ENGINE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            next_session: 0,
+        })
+    }
+
+    fn check_session(&self, session: &StreamSession) {
+        assert_eq!(
+            session.engine_id, self.engine_id,
+            "session {} was opened by a different engine",
+            session.id
+        );
+    }
+
+    /// The served network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The default session configuration.
+    pub fn config(&self) -> AmcConfig {
+        self.base
+    }
+
+    /// The resolved target layer index (shared by all sessions).
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// The receptive-field geometry RFBME matches at.
+    pub fn rf_geometry(&self) -> RfGeometry {
+        self.rf
+    }
+
+    /// MACs of the skipped prefix (key-frame-only work).
+    pub fn prefix_macs(&self) -> u64 {
+        self.prefix_macs
+    }
+
+    /// MACs of a full CNN pass.
+    pub fn total_macs(&self) -> u64 {
+        self.total_macs
+    }
+
+    /// Opens a new stream session with the engine's default configuration.
+    pub fn open_session(&mut self) -> StreamSession {
+        self.open_session_with(self.base)
+            .expect("engine config validated at construction")
+    }
+
+    /// Opens a new stream session with a per-stream configuration —
+    /// streams may differ in policy, warp mode, fixed-point datapath, and
+    /// sparsity threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError`] when the configuration fails validation, or
+    /// [`AmcError::SessionTargetMismatch`] when it resolves to a different
+    /// target layer than the engine's (all sessions must share the
+    /// engine's batched prefix split point).
+    pub fn open_session_with(&mut self, config: AmcConfig) -> Result<StreamSession, AmcError> {
+        let core = SessionCore::new(&self.net, &config)?;
+        if core.target() != self.target {
+            return Err(AmcError::SessionTargetMismatch {
+                engine: self.target,
+                session: core.target(),
+            });
+        }
+        let id = self.next_session;
+        self.next_session += 1;
+        Ok(StreamSession {
+            id,
+            engine_id: self.engine_id,
+            core,
+        })
+    }
+
+    /// Processes one frame of one stream — identical in behaviour (and
+    /// bits) to a batch of one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `session` was opened by a different engine (its key
+    /// state would otherwise silently run against the wrong network).
+    pub fn process(&mut self, session: &mut StreamSession, frame: &GrayImage) -> AmcFrameResult {
+        self.check_session(session);
+        session.core.process(&self.net, &mut self.scratch, frame)
+    }
+
+    /// Processes one frame from each of several streams, batching the
+    /// key-frame prefixes across streams.
+    ///
+    /// Every frame is classified by its own session's RFBME estimate and
+    /// policy (in submission order); the frames decided *key* then share
+    /// one `forward_prefix_batched` pass before each session completes its
+    /// frame (sparse store refresh + suffix for keys, warp + suffix for
+    /// predicted). Results come back in submission order and are
+    /// bit-identical to processing each `(session, frame)` pair serially
+    /// through [`Engine::process`].
+    ///
+    /// Frames must share the engine network's input resolution (all
+    /// sessions of one engine serve one model).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any session was opened by a different engine.
+    pub fn process_batch<'a>(
+        &mut self,
+        jobs: impl IntoIterator<Item = (&'a mut StreamSession, &'a GrayImage)>,
+    ) -> Vec<AmcFrameResult> {
+        struct Plan {
+            kind: FrameKind,
+            metrics: Option<FrameMetrics>,
+            rfbme_ops: u64,
+            motion: Option<RfbmeResult>,
+        }
+        let mut jobs: Vec<(&mut StreamSession, &GrayImage)> = jobs.into_iter().collect();
+        // Phase 1: per-stream motion estimation + key-frame decision, in
+        // submission order (independent across sessions, so identical to
+        // the serial interleaving).
+        let mut plans = Vec::with_capacity(jobs.len());
+        let mut key_inputs = Vec::new();
+        for (session, frame) in jobs.iter_mut() {
+            self.check_session(session);
+            let motion = session.core.estimate_motion(frame);
+            let (kind, metrics, rfbme_ops) = session.core.begin_frame(&motion);
+            if kind == FrameKind::Key {
+                key_inputs.push(frame.to_tensor());
+            }
+            plans.push(Plan {
+                kind,
+                metrics,
+                rfbme_ops,
+                motion,
+            });
+        }
+        // Phase 2: one batched prefix pass over every key frame in the
+        // batch (bit-identical per frame to the serial prefix).
+        let mut acts = self
+            .net
+            .forward_prefix_batched(key_inputs, self.target, &mut self.scratch)
+            .into_iter();
+        // Phase 3: per-stream completion, in submission order.
+        jobs.into_iter()
+            .zip(plans)
+            .map(|((session, frame), plan)| match plan.kind {
+                FrameKind::Key => {
+                    let act = acts.next().expect("one prefix activation per key frame");
+                    session.core.finish_key_frame(
+                        &self.net,
+                        &mut self.scratch,
+                        frame,
+                        act,
+                        plan.metrics,
+                        plan.rfbme_ops,
+                    )
+                }
+                FrameKind::Predicted => {
+                    let motion = plan.motion.expect("predicted frame requires motion");
+                    session.core.finish_predicted(
+                        &self.net,
+                        &mut self.scratch,
+                        &motion,
+                        plan.metrics,
+                        plan.rfbme_ops,
+                    )
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-stream serving state: key-frame buffers, policy, statistics. Opened
+/// by [`Engine::open_session`]; submit frames through
+/// [`Engine::process`] / [`Engine::process_batch`].
+#[derive(Debug)]
+pub struct StreamSession {
+    id: u64,
+    /// Identity of the engine that opened this session; checked on every
+    /// submission (see [`Engine::process`]).
+    engine_id: u64,
+    core: SessionCore,
+}
+
+impl StreamSession {
+    /// The engine-assigned session id (unique per engine).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Aggregate statistics over this stream's processed frames.
+    pub fn stats(&self) -> ExecStats {
+        self.core.stats()
+    }
+
+    /// The resolved target layer index.
+    pub fn target(&self) -> usize {
+        self.core.target()
+    }
+
+    /// Drops stored state, forcing this stream's next frame to be a key
+    /// frame (e.g. on a known scene cut or after a seek).
+    pub fn reset(&mut self) {
+        self.core.reset()
+    }
+
+    /// The compressed key activation currently buffered, if any.
+    pub fn key_activation(&self) -> Option<&RleActivation> {
+        self.core.key_activation()
+    }
+
+    /// The stored key-frame pixel buffer, if any.
+    pub fn key_image(&self) -> Option<&GrayImage> {
+        self.core.key_image()
+    }
+}
+
+// Sessions hop threads in serving deployments (one task per camera);
+// enforce the property where the type is defined.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<StreamSession>();
+    assert_send::<Engine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::AmcExecutor;
+    use crate::policy::PolicyConfig;
+    use crate::target::TargetSelection;
+    use eva2_cnn::zoo;
+
+    fn frame(shift: usize) -> GrayImage {
+        GrayImage::from_fn(48, 48, |y, x| {
+            let xs = (x + shift) as f32;
+            (122.0 + 46.0 * ((y as f32 * 0.31).sin() + (xs * 0.21).cos())) as u8
+        })
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        let mut a = engine.open_session();
+        let mut b = engine.open_session();
+        assert_ne!(a.id(), b.id());
+        let f = frame(0);
+        assert!(engine.process(&mut a, &f).is_key);
+        // Session b has no key state yet; its first frame is still key.
+        assert!(engine.process(&mut b, &f).is_key);
+        assert!(!engine.process(&mut a, &f).is_key);
+        assert_eq!(a.stats().frames, 2);
+        assert_eq!(b.stats().frames, 1);
+        b.reset();
+        assert!(engine.process(&mut b, &f).is_key);
+    }
+
+    #[test]
+    fn batched_keys_match_serial_executor_bits() {
+        let z = zoo::tiny_fasterm(3);
+        let net = Arc::new(zoo::tiny_fasterm(3).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        let mut sessions: Vec<StreamSession> = (0..3).map(|_| engine.open_session()).collect();
+        let frames: Vec<GrayImage> = (0..3).map(|i| frame(i * 5)).collect();
+        // All three first frames are key frames → batched prefix.
+        let jobs = sessions.iter_mut().zip(frames.iter());
+        let results = engine.process_batch(jobs);
+        assert!(results.iter().all(|r| r.is_key));
+        for (f, r) in frames.iter().zip(&results) {
+            let mut serial = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
+            let want = serial.process(f);
+            assert_eq!(r.output.as_slice(), want.output.as_slice());
+            assert_eq!(r.compression, want.compression);
+            assert_eq!(r.macs_executed, want.macs_executed);
+        }
+    }
+
+    #[test]
+    fn mixed_batch_handles_keys_and_predicted() {
+        let net = Arc::new(zoo::tiny_fasterm(1).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        let mut a = engine.open_session();
+        let mut b = engine.open_session();
+        let f0 = frame(0);
+        engine.process(&mut a, &f0); // a has key state
+        let results = engine.process_batch([(&mut a, &f0), (&mut b, &f0)]);
+        assert!(!results[0].is_key, "a predicts its unchanged scene");
+        assert!(results[1].is_key, "b's first frame is key");
+        assert_eq!(a.stats().key_frames, 1);
+        assert_eq!(b.stats().key_frames, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        assert!(engine.process_batch([]).is_empty());
+    }
+
+    #[test]
+    fn per_session_configs_may_differ_but_target_must_match() {
+        let net = Arc::new(zoo::tiny_faster16(0).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        let memo = AmcConfig {
+            warp: WarpMode::Memoize,
+            policy: PolicyConfig::StaticRate { period: 2 },
+            ..Default::default()
+        };
+        assert!(engine.open_session_with(memo).is_ok());
+        let early = AmcConfig {
+            target: TargetSelection::Early,
+            ..Default::default()
+        };
+        match engine.open_session_with(early) {
+            Err(AmcError::SessionTargetMismatch {
+                engine: e,
+                session: s,
+            }) => {
+                assert_ne!(e, s);
+            }
+            other => panic!("expected SessionTargetMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different engine")]
+    fn cross_engine_session_use_panics() {
+        // Two engines over different weights can resolve the same target
+        // index; silently mixing their sessions would run one engine's key
+        // state against the other's network.
+        let mut a =
+            Engine::new(Arc::new(zoo::tiny_fasterm(0).network), AmcConfig::default()).unwrap();
+        let mut b =
+            Engine::new(Arc::new(zoo::tiny_fasterm(1).network), AmcConfig::default()).unwrap();
+        let mut session = a.open_session();
+        let f = frame(0);
+        b.process(&mut session, &f);
+    }
+
+    #[test]
+    fn engine_rejects_invalid_config() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let bad = AmcConfig {
+            target: TargetSelection::Index(99),
+            ..Default::default()
+        };
+        assert!(matches!(
+            Engine::new(net, bad),
+            Err(AmcError::TargetOutsidePrefix { index: 99, .. })
+        ));
+    }
+}

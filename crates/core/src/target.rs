@@ -6,6 +6,7 @@
 //! first pooling layer) and a *late* target (the last spatial layer) and
 //! adopts the late one statically.
 
+use crate::error::AmcError;
 use eva2_cnn::network::Network;
 use eva2_motion::rfbme::RfGeometry;
 use serde::{Deserialize, Serialize};
@@ -28,23 +29,31 @@ impl TargetSelection {
     ///
     /// # Errors
     ///
-    /// Returns a message when the network has no spatial prefix or the
-    /// explicit index is invalid (out of range, non-spatial, or after the
-    /// first non-spatial layer).
-    pub fn resolve(self, net: &Network) -> Result<usize, String> {
+    /// Returns a typed [`AmcError`] when the network has no spatial prefix
+    /// ([`AmcError::NoSpatialPrefix`]), an early target is requested with
+    /// no pooling layer ([`AmcError::NoPoolingLayer`]), or the explicit
+    /// index lies after the last spatial layer
+    /// ([`AmcError::TargetOutsidePrefix`]).
+    pub fn resolve(self, net: &Network) -> Result<usize, AmcError> {
         let last = net
             .last_spatial_layer()
-            .ok_or_else(|| format!("{}: no spatial prefix", net.name()))?;
+            .ok_or_else(|| AmcError::NoSpatialPrefix {
+                network: net.name().to_string(),
+            })?;
         match self {
             TargetSelection::Late => Ok(last),
-            TargetSelection::Early => net
-                .first_pool_layer()
-                .ok_or_else(|| format!("{}: no pooling layer", net.name())),
+            TargetSelection::Early => {
+                net.first_pool_layer()
+                    .ok_or_else(|| AmcError::NoPoolingLayer {
+                        network: net.name().to_string(),
+                    })
+            }
             TargetSelection::Index(i) => {
                 if i > last {
-                    Err(format!(
-                        "layer {i} is outside the spatial prefix (last spatial layer is {last})"
-                    ))
+                    Err(AmcError::TargetOutsidePrefix {
+                        index: i,
+                        last_spatial: last,
+                    })
                 } else {
                     Ok(i)
                 }
@@ -53,7 +62,11 @@ impl TargetSelection {
     }
 
     /// Resolves and returns the receptive-field geometry RFBME needs.
-    pub fn geometry(self, net: &Network) -> Result<(usize, RfGeometry), String> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TargetSelection::resolve`]'s errors.
+    pub fn geometry(self, net: &Network) -> Result<(usize, RfGeometry), AmcError> {
         let target = self.resolve(net)?;
         let rf = net.receptive_field(target);
         Ok((

@@ -32,8 +32,8 @@ fn sequence() -> Vec<GrayImage> {
 fn assert_bit_identical(config: AmcConfig, label: &str) {
     let z = zoo::tiny_fasterm(3);
     let frames = sequence();
-    let mut serial = AmcExecutor::new(&z.network, config);
-    let mut pipelined = PipelinedExecutor::new(AmcExecutor::new(&z.network, config));
+    let mut serial = AmcExecutor::try_new(&z.network, config).unwrap();
+    let mut pipelined = PipelinedExecutor::new(AmcExecutor::try_new(&z.network, config).unwrap());
     let a = FrameExecutor::process_clip(&mut serial, &frames);
     let b = FrameExecutor::process_clip(&mut pipelined, &frames);
     assert_eq!(a.len(), 20, "{label}: serial result count");

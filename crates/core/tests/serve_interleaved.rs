@@ -1,0 +1,176 @@
+//! The serving engine's contract: N independent streams fed round-robin
+//! through one [`Engine`] — with key-frame prefixes batched across streams
+//! whenever several streams' key frames coincide — produce outputs,
+//! decisions, and statistics **bit-identical** to N independent serial
+//! [`AmcExecutor`] runs. Batching must be invisible except in wall-clock
+//! time (the cross-stream analogue of `pipeline_bitident.rs`).
+
+use eva2_cnn::zoo;
+use eva2_core::executor::{AmcConfig, AmcExecutor, AmcFrameResult, WarpMode};
+use eva2_core::policy::PolicyConfig;
+use eva2_core::serve::Engine;
+use eva2_tensor::GrayImage;
+use std::sync::Arc;
+
+const STREAMS: usize = 3;
+const FRAMES: usize = 14;
+
+/// Stream `s`, frame `t`: each stream pans at its own speed and hard-cuts
+/// at a different time, so key frames arrive decorrelated across streams —
+/// every batch mixes key and predicted frames at some point.
+fn stream_frame(s: usize, t: usize) -> GrayImage {
+    let cut = 5 + 3 * s;
+    GrayImage::from_fn(48, 48, |y, x| {
+        if t < cut {
+            let xs = (x + t * (s + 1)) as f32;
+            (120.0 + 46.0 * ((y as f32 * (0.27 + 0.02 * s as f32)).sin() + (xs * 0.21).cos())) as u8
+        } else {
+            let d = t - cut;
+            let v = ((y + d + 7 * s) * 17 + (x + 2 * d) * 23) % 200;
+            (30 + v) as u8
+        }
+    })
+}
+
+fn assert_result_eq(a: &AmcFrameResult, b: &AmcFrameResult, label: &str) {
+    assert_eq!(a.is_key, b.is_key, "{label}: kind");
+    assert_eq!(
+        a.output.as_slice(),
+        b.output.as_slice(),
+        "{label}: output bits"
+    );
+    assert_eq!(a.macs_executed, b.macs_executed, "{label}: MACs");
+    assert_eq!(a.rfbme_ops, b.rfbme_ops, "{label}: RFBME ops");
+    assert_eq!(a.compression, b.compression, "{label}: compression");
+}
+
+/// Round-robin N sessions through one engine (batched submission), compare
+/// against N fresh serial executors frame by frame.
+fn assert_interleaved_bit_identical(config: AmcConfig, label: &str) {
+    let z = zoo::tiny_fasterm(3);
+    let net = Arc::new(zoo::tiny_fasterm(3).network);
+    let mut engine = Engine::new(net, config).expect("valid engine config");
+    let mut sessions: Vec<_> = (0..STREAMS).map(|_| engine.open_session()).collect();
+    let mut serials: Vec<AmcExecutor> = (0..STREAMS)
+        .map(|_| AmcExecutor::try_new(&z.network, config).expect("valid config"))
+        .collect();
+
+    let mut batched_keys = 0usize;
+    for t in 0..FRAMES {
+        let frames: Vec<GrayImage> = (0..STREAMS).map(|s| stream_frame(s, t)).collect();
+        // One round: every stream submits its next frame in one batch.
+        let results = engine.process_batch(sessions.iter_mut().zip(frames.iter()));
+        let keys = results.iter().filter(|r| r.is_key).count();
+        if keys > 1 {
+            batched_keys += 1;
+        }
+        for (s, r) in results.iter().enumerate() {
+            let want = serials[s].process(&frames[s]);
+            assert_result_eq(r, &want, &format!("{label}: stream {s} frame {t}"));
+        }
+    }
+    // A batch of one (still the batched prefix code path) and a serial
+    // `Engine::process` submission must both match too.
+    for (s, (session, serial)) in sessions.iter_mut().zip(&mut serials).enumerate() {
+        let frame = stream_frame(s, FRAMES);
+        let r = engine.process_batch([(&mut *session, &frame)]).remove(0);
+        let want = serial.process(&frame);
+        assert_result_eq(&r, &want, &format!("{label}: stream {s} batch-of-one"));
+        let frame = stream_frame(s, FRAMES + 1);
+        let r = engine.process(session, &frame);
+        let want = serial.process(&frame);
+        assert_result_eq(&r, &want, &format!("{label}: stream {s} single-submit"));
+    }
+
+    for (s, (session, serial)) in sessions.iter().zip(&serials).enumerate() {
+        assert_eq!(
+            session.stats(),
+            serial.stats(),
+            "{label}: stream {s} aggregate stats"
+        );
+        let keys = session.stats().key_frames;
+        assert!(
+            (2..FRAMES).contains(&keys),
+            "{label}: stream {s} degenerate ({keys} keys)"
+        );
+    }
+    // The scenario must actually exercise cross-stream batching: at least
+    // one round (the first, if nothing else) ran >1 key frame per batch.
+    assert!(
+        batched_keys >= 1,
+        "{label}: no round ever batched multiple key frames"
+    );
+}
+
+#[test]
+fn interleaved_streams_bit_identical_default_policy() {
+    assert_interleaved_bit_identical(AmcConfig::default(), "default");
+}
+
+#[test]
+fn interleaved_streams_bit_identical_fixed_point() {
+    assert_interleaved_bit_identical(
+        AmcConfig {
+            fixed_point: true,
+            ..Default::default()
+        },
+        "fixed-point",
+    );
+}
+
+#[test]
+fn interleaved_streams_bit_identical_memoize_static_rate() {
+    assert_interleaved_bit_identical(
+        AmcConfig {
+            warp: WarpMode::Memoize,
+            policy: PolicyConfig::StaticRate { period: 3 },
+            ..Default::default()
+        },
+        "memoize/static-rate",
+    );
+}
+
+#[test]
+fn heterogeneous_sessions_match_their_serial_counterparts() {
+    // Streams with different per-session configs (policy, warp mode,
+    // fixed point) share one engine and still match their own serial
+    // executors exactly.
+    let z = zoo::tiny_fasterm(5);
+    let net = Arc::new(zoo::tiny_fasterm(5).network);
+    let configs = [
+        AmcConfig::default(),
+        AmcConfig {
+            warp: WarpMode::Memoize,
+            policy: PolicyConfig::StaticRate { period: 2 },
+            ..Default::default()
+        },
+        AmcConfig {
+            fixed_point: true,
+            policy: PolicyConfig::BlockError {
+                threshold: 1.0,
+                max_gap: 4,
+            },
+            ..Default::default()
+        },
+    ];
+    let mut engine = Engine::new(net, AmcConfig::default()).expect("valid engine config");
+    let mut sessions: Vec<_> = configs
+        .iter()
+        .map(|c| engine.open_session_with(*c).expect("same target"))
+        .collect();
+    let mut serials: Vec<AmcExecutor> = configs
+        .iter()
+        .map(|c| AmcExecutor::try_new(&z.network, *c).expect("valid config"))
+        .collect();
+    for t in 0..10 {
+        let frames: Vec<GrayImage> = (0..configs.len()).map(|s| stream_frame(s, t)).collect();
+        let results = engine.process_batch(sessions.iter_mut().zip(frames.iter()));
+        for (s, r) in results.iter().enumerate() {
+            let want = serials[s].process(&frames[s]);
+            assert_result_eq(r, &want, &format!("hetero stream {s} frame {t}"));
+        }
+    }
+    for (session, serial) in sessions.iter().zip(&serials) {
+        assert_eq!(session.stats(), serial.stats(), "hetero aggregate stats");
+    }
+}

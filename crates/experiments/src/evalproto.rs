@@ -238,10 +238,12 @@ impl ExecutorKind {
     /// Builds the chosen executor over `net`.
     pub fn build<'n>(self, net: &'n Network, config: AmcConfig) -> Box<dyn FrameExecutor + 'n> {
         match self {
-            ExecutorKind::Serial => Box::new(AmcExecutor::new(net, config)),
-            ExecutorKind::Pipelined => {
-                Box::new(PipelinedExecutor::new(AmcExecutor::new(net, config)))
+            ExecutorKind::Serial => {
+                Box::new(AmcExecutor::try_new(net, config).expect("valid AMC config"))
             }
+            ExecutorKind::Pipelined => Box::new(PipelinedExecutor::new(
+                AmcExecutor::try_new(net, config).expect("valid AMC config"),
+            )),
         }
     }
 }
@@ -302,7 +304,7 @@ pub fn fixed_gap_adaptive(
     let mut keys = 0usize;
     let mut total = 0usize;
     for clip in clips {
-        let mut amc = AmcExecutor::new(&zoo.network, config);
+        let mut amc = AmcExecutor::try_new(&zoo.network, config).expect("valid AMC config");
         let mut t = 0;
         while t < clip.len() {
             let frame = &clip.frames[t];

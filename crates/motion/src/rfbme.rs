@@ -350,6 +350,41 @@ impl RfbmeResult {
     }
 }
 
+/// Reusable buffers for [`Rfbme::estimate_with`].
+///
+/// One estimate needs two integral images plus a dozen per-tile /
+/// per-receptive-field work vectors; a frame-loop caller (the AMC
+/// executor's session state, the pipelined executor's `rfbme-worker`
+/// thread) holds one scratch so steady-state estimation allocates nothing
+/// but the returned [`RfbmeResult`]. Buffer contents never influence
+/// results — every value is rewritten (or reset here) before use — so
+/// sharing a scratch across streams, or none at all, is purely a
+/// performance choice.
+#[derive(Debug, Clone, Default)]
+pub struct RfbmeScratch {
+    key_sat: IntegralImage,
+    new_sat: IntegralImage,
+    offsets: Vec<(isize, isize)>,
+    row_range: Vec<(usize, usize)>,
+    col_range: Vec<(usize, usize)>,
+    new_sums: Vec<u64>,
+    best: Vec<RfMatch>,
+    lb: Vec<u64>,
+    tile_valid: Vec<bool>,
+    exact: Vec<u32>,
+    needed: Vec<bool>,
+    improvable: Vec<usize>,
+    colsum: Vec<u64>,
+    colvalid: Vec<bool>,
+}
+
+impl RfbmeScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The complete RFBME estimator: producer + consumer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rfbme {
@@ -416,11 +451,44 @@ impl Rfbme {
     ///
     /// Panics when the two frames differ in size.
     pub fn estimate(&self, key: &GrayImage, new: &GrayImage) -> RfbmeResult {
+        self.estimate_with(key, new, &mut RfbmeScratch::new())
+    }
+
+    /// [`Rfbme::estimate`] reusing caller-owned scratch buffers, so a
+    /// frame-loop caller performs no per-estimate allocation. Results are
+    /// identical to [`Rfbme::estimate`] — the scratch only carries
+    /// capacity, never values, between calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two frames differ in size.
+    pub fn estimate_with(
+        &self,
+        key: &GrayImage,
+        new: &GrayImage,
+        scratch: &mut RfbmeScratch,
+    ) -> RfbmeResult {
         assert_eq!(
             (key.height(), key.width()),
             (new.height(), new.width()),
             "frame size mismatch"
         );
+        let RfbmeScratch {
+            key_sat,
+            new_sat,
+            offsets,
+            row_range,
+            col_range,
+            new_sums,
+            best,
+            lb,
+            tile_valid,
+            exact,
+            needed,
+            improvable,
+            colsum,
+            colvalid,
+        } = scratch;
         let s = self.rf.stride.max(1);
         let (h, w) = (new.height(), new.width());
         let tiles_y = h / s;
@@ -430,18 +498,16 @@ impl Rfbme {
         let grid_w = self.rf.grid_len(w);
         let n_rf = grid_h * grid_w;
         let consumer = DiffTileConsumer { rf: self.rf };
-        let row_range: Vec<(usize, usize)> = (0..grid_h)
-            .map(|a| consumer.tile_range(a, tiles_y))
-            .collect();
-        let col_range: Vec<(usize, usize)> = (0..grid_w)
-            .map(|a| consumer.tile_range(a, tiles_x))
-            .collect();
+        row_range.clear();
+        row_range.extend((0..grid_h).map(|a| consumer.tile_range(a, tiles_y)));
+        col_range.clear();
+        col_range.extend((0..grid_w).map(|a| consumer.tile_range(a, tiles_x)));
 
         // Ascending-magnitude visit order, stable within equal magnitude
         // (preserves row-major order there, matching the reference
         // tie-break as described above).
         let axis = self.params.offsets();
-        let mut offsets: Vec<(isize, isize)> = Vec::with_capacity(axis.len() * axis.len());
+        offsets.clear();
         for &dy in &axis {
             for &dx in &axis {
                 offsets.push((dy, dx));
@@ -454,10 +520,10 @@ impl Rfbme {
 
         // O(1) window sums over the key frame; per-tile sums of the new
         // frame. Both are one pass over the pixels.
-        let key_sat = IntegralImage::new(key);
-        let new_sat = IntegralImage::new(new);
+        key_sat.recompute(key);
+        new_sat.recompute(new);
         producer_ops += 2 * (h * w) as u64;
-        let mut new_sums = vec![0u64; n_tiles];
+        new_sums.resize(n_tiles, 0);
         for ty in 0..tiles_y {
             for tx in 0..tiles_x {
                 new_sums[ty * tiles_x + tx] = new_sat.window_sum(ty * s, tx * s, s, s);
@@ -465,23 +531,26 @@ impl Rfbme {
         }
 
         let s2 = (s * s) as u32;
-        let mut best = vec![
+        best.clear();
+        best.resize(
+            n_rf,
             RfMatch {
                 vector: MotionVector::ZERO,
                 error: u32::MAX,
                 pixels: 0,
-            };
-            n_rf
-        ];
-        let mut lb = vec![0u64; n_tiles];
-        let mut tile_valid = vec![false; n_tiles];
-        let mut exact = vec![0u32; n_tiles];
-        let mut needed = vec![false; n_tiles];
-        let mut improvable: Vec<usize> = Vec::with_capacity(n_rf);
-        let mut colsum = vec![0u64; tiles_x];
-        let mut colvalid = vec![true; tiles_x];
+            },
+        );
+        // `lb`/`tile_valid`/`exact` are (re)written before every read at
+        // each offset; `needed` must start all-false.
+        lb.resize(n_tiles, 0);
+        tile_valid.resize(n_tiles, false);
+        exact.resize(n_tiles, 0);
+        needed.clear();
+        needed.resize(n_tiles, false);
+        colsum.resize(tiles_x, 0);
+        colvalid.resize(tiles_x, true);
 
-        for &(dy, dx) in &offsets {
+        for &(dy, dx) in offsets.iter() {
             // Stage 1: per-tile validity + SAD lower bound (O(1) per tile).
             for ty in 0..tiles_y {
                 let ky = (ty * s) as isize + dy;
@@ -567,7 +636,7 @@ impl Rfbme {
 
             // Stage 4: exact aggregation + min-check update (strictly
             // smaller wins; visit order provides the tie-break).
-            for &idx in &improvable {
+            for &idx in improvable.iter() {
                 let (ty0, ty1) = row_range[idx / grid_w.max(1)];
                 let (tx0, tx1) = col_range[idx % grid_w.max(1)];
                 let mut sum = 0u64;
@@ -590,7 +659,7 @@ impl Rfbme {
             }
         }
 
-        Self::result_from_matches(self.rf, &best, grid_h, grid_w, producer_ops, consumer_ops)
+        Self::result_from_matches(self.rf, best, grid_h, grid_w, producer_ops, consumer_ops)
     }
 
     /// Finalises per-field matches into an [`RfbmeResult`], mapping fields
@@ -899,6 +968,48 @@ mod tests {
             let fast = rfbme.estimate(&key, &new);
             let reference = rfbme.estimate_reference(&key, &new);
             assert_same_result(&fast, &reference, &format!("step {step}"));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes_and_geometries_is_identical() {
+        // One scratch driven across shrinking/growing frames and changing
+        // geometries must reproduce fresh-scratch results exactly — the
+        // worker thread and every session reuse one scratch for life.
+        let mut scratch = RfbmeScratch::new();
+        let cases = [
+            (48usize, rf_844(), 4usize, (2isize, -3isize)),
+            (
+                32,
+                RfGeometry {
+                    size: 16,
+                    stride: 8,
+                    padding: 0,
+                },
+                6,
+                (0, 1),
+            ),
+            (48, rf_844(), 3, (-5, 4)),
+            (
+                64,
+                RfGeometry {
+                    size: 27,
+                    stride: 8,
+                    padding: 10,
+                },
+                5,
+                (8, 8),
+            ),
+        ];
+        for (dim, rf, radius, (dy, dx)) in cases {
+            let key = textured(dim, dim);
+            let new = key.translate(dy, dx, 17);
+            let rfbme = Rfbme::new(rf, SearchParams { radius, step: 1 });
+            let reused = rfbme.estimate_with(&key, &new, &mut scratch);
+            let fresh = rfbme.estimate(&key, &new);
+            assert_same_result(&reused, &fresh, &format!("dim {dim} rf {rf:?}"));
+            assert_eq!(reused.producer_ops, fresh.producer_ops, "producer ops");
+            assert_eq!(reused.consumer_ops, fresh.consumer_ops, "consumer ops");
         }
     }
 

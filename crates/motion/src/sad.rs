@@ -73,7 +73,7 @@ pub fn sad_window(
 /// `sat[(y, x)]` holds the sum of all pixels above and left of `(y, x)`
 /// exclusive, so a window sum is four lookups. Sums are `u64` so arbitrarily
 /// large frames cannot overflow.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct IntegralImage {
     width: usize,
     sat: Vec<u64>,
@@ -82,21 +82,34 @@ pub struct IntegralImage {
 impl IntegralImage {
     /// Builds the table in one pass over the image.
     pub fn new(img: &GrayImage) -> Self {
+        let mut sat = Self::default();
+        sat.recompute(img);
+        sat
+    }
+
+    /// Rebuilds the table for `img`, reusing this table's allocation — the
+    /// frame-loop entry point (an RFBME estimate needs two tables per
+    /// frame, and the worker thread runs one estimate per frame).
+    pub fn recompute(&mut self, img: &GrayImage) {
         let (h, w) = (img.height(), img.width());
         let stride = w + 1;
-        let mut sat = vec![0u64; (h + 1) * stride];
+        self.width = w;
+        // Interior cells are all overwritten below; only the zero border
+        // (row 0 and column 0) needs initialising.
+        self.sat.resize((h + 1) * stride, 0);
+        self.sat[..stride].fill(0);
         let data = img.as_slice();
         for y in 0..h {
             let mut row_sum = 0u64;
             let src = &data[y * w..(y + 1) * w];
-            let (prev, cur) = sat.split_at_mut((y + 1) * stride);
+            let (prev, cur) = self.sat.split_at_mut((y + 1) * stride);
             let prev = &prev[y * stride..];
+            cur[0] = 0;
             for x in 0..w {
                 row_sum += src[x] as u64;
                 cur[x + 1] = prev[x + 1] + row_sum;
             }
         }
-        Self { width: w, sat }
     }
 
     /// Sum of the `h × w` window anchored at `(y, x)` (must be in bounds).

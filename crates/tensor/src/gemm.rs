@@ -91,7 +91,7 @@
 //! touching this module — the numbers depend on `.cargo/config.toml`'s
 //! `target-cpu=native`.
 
-use crate::microkernel::{add_tile, microkernel};
+use crate::microkernel::{add_tile, microkernel, microkernel_direct, store_tile_bias};
 use crate::pack::{pack_a_block, pack_b_block, MatRef};
 use crate::shape::Shape3;
 use crate::tensor::Tensor3;
@@ -544,8 +544,23 @@ pub fn im2col_into(
     let out_w = conv_output_len(shape.width, kernel, stride, padding);
     let k_dim = shape.channels * kernel * kernel;
     let n = out_h * out_w;
-    cols.clear();
+    // Length-only resize (grows zero-filled, shrinks by truncation); every
+    // retained element is overwritten below.
     cols.resize(k_dim * n, 0.0);
+    im2col_write(input, kernel, stride, padding, cols);
+    (k_dim, n)
+}
+
+/// [`im2col_into`]'s body over a pre-sized slice: writes the full
+/// `(C_in·K²) × (H_out·W_out)` patch matrix into `cols`, overwriting every
+/// element. The batched convolution path lays several frames' matrices out
+/// as consecutive sections of one scratch buffer and calls this per frame.
+fn im2col_write(input: &Tensor3, kernel: usize, stride: usize, padding: usize, cols: &mut [f32]) {
+    let shape = input.shape();
+    let out_h = conv_output_len(shape.height, kernel, stride, padding);
+    let out_w = conv_output_len(shape.width, kernel, stride, padding);
+    let n = out_h * out_w;
+    debug_assert_eq!(cols.len(), shape.channels * kernel * kernel * n);
     let p = padding as isize;
     for ic in 0..shape.channels {
         let plane = input.channel(ic);
@@ -586,7 +601,6 @@ pub fn im2col_into(
             }
         }
     }
-    (k_dim, n)
 }
 
 /// Scatter-adds a `cols`-shaped gradient back onto an input-shaped tensor
@@ -677,6 +691,165 @@ pub fn conv2d_forward(
         &mut scratch.packs,
     );
     out
+}
+
+/// Batched im2col + GEMM convolution forward pass over frames of identical
+/// shape — the cross-stream key-frame path of the serving engine.
+///
+/// Numerically this is *bit-identical* to calling [`conv2d_forward`] once
+/// per frame: each output element sees exactly the same operand values,
+/// depth blocking, and accumulation order (frames never share micro-kernel
+/// tiles, and the panel bytes fed to the kernel are byte-equal to the
+/// per-frame path's). What the batch restructures is everything a
+/// per-frame call pays per invocation:
+///
+/// * the weight matrix is packed into kernel-ordered `A` panels **once per
+///   batch** instead of once per frame;
+/// * the B-panel repack pass — a full read + write of `K_dim × N` per
+///   frame — disappears: the micro-kernel reads the patch matrix
+///   *directly* ([`microkernel_direct`]), which is profitable whenever the
+///   depth fits one [`KC`] block (`C_in·K² ≤ 256`, true for every zoo
+///   prefix layer) because each tile's `B` slab then stays L1-resident
+///   across the whole `M` loop;
+/// * each output is written in a single store pass `C = bias + A·B`
+///   ([`store_tile_bias`]) instead of zeroed, bias-filled, and then
+///   accumulated read-modify-write;
+/// * the im2col scratch is sized once for the batch and written without
+///   the per-call zero-fill.
+///
+/// Depths beyond one block fall back to the accumulate loop with packed B
+/// (still sharing the batch A-pack). The batched loop stays
+/// single-threaded even with the `parallel` feature, which keeps its
+/// outputs bit-identical to the serial per-frame path on every host; for
+/// single-depth-block shapes the feature's N-split rounds identically
+/// anyway.
+///
+/// # Panics
+///
+/// Panics when the frames' shapes differ or `weights`/`bias` lengths are
+/// inconsistent with the geometry.
+#[allow(clippy::too_many_arguments)] // mirrors conv2d_forward verbatim
+pub fn conv2d_forward_batch(
+    inputs: &[Tensor3],
+    weights: &[f32],
+    bias: &[f32],
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    scratch: &mut GemmScratch,
+) -> Vec<Tensor3> {
+    let Some(first) = inputs.first() else {
+        return Vec::new();
+    };
+    let shape = first.shape();
+    assert!(
+        inputs.iter().all(|t| t.shape() == shape),
+        "conv2d_forward_batch: frames must share one shape"
+    );
+    let k_dim = shape.channels * kernel * kernel;
+    assert_eq!(
+        weights.len(),
+        out_channels * k_dim,
+        "conv2d_forward_batch: weights"
+    );
+    assert_eq!(bias.len(), out_channels, "conv2d_forward_batch: bias");
+    let out_shape = Shape3::new(
+        out_channels,
+        conv_output_len(shape.height, kernel, stride, padding),
+        conv_output_len(shape.width, kernel, stride, padding),
+    );
+    let n = out_shape.plane_len();
+    if n == 0 || k_dim == 0 || out_channels == 0 {
+        return inputs
+            .iter()
+            .map(|_| {
+                let mut out = Vec::with_capacity(out_channels * n);
+                for &b in bias {
+                    out.resize(out.len() + n, b);
+                }
+                Tensor3::from_vec(out_shape, out)
+            })
+            .collect();
+    }
+    // One A-pack serves every frame in the batch.
+    pack_a_full(
+        MatRef::new(weights, k_dim, 1),
+        out_channels,
+        k_dim,
+        &mut scratch.packs.a,
+    );
+    let m_panels = out_channels.div_ceil(MR);
+    // Sectioned row-major patch matrices, one per frame, sized once for
+    // the batch (fully overwritten, so no per-frame zero-fill).
+    let section = k_dim * n;
+    let cols = &mut scratch.cols;
+    if cols.len() < section * inputs.len() {
+        cols.resize(section * inputs.len(), 0.0);
+    }
+    for (input, dst) in inputs.iter().zip(cols.chunks_exact_mut(section)) {
+        im2col_write(input, kernel, stride, padding, dst);
+    }
+    let mut outs = Vec::with_capacity(inputs.len());
+    if k_dim <= KC {
+        // Single-depth-block fast path: unpacked-B micro-kernel + one-pass
+        // bias store. Ragged final tiles use one packed pad panel.
+        let n_panels = n.div_ceil(NR);
+        let full_panels = n / NR;
+        let pad_panel = &mut scratch.packs.b;
+        for f in 0..inputs.len() {
+            let b = &cols[f * section..(f + 1) * section];
+            if full_panels < n_panels {
+                // Pack the ragged tail panel once per frame (zero pad
+                // lanes), exactly as pack_b_block would.
+                let nr = n - full_panels * NR;
+                pad_panel.resize(NR * k_dim, 0.0);
+                for p in 0..k_dim {
+                    let src = &b[p * n + full_panels * NR..(p + 1) * n];
+                    let dst = &mut pad_panel[p * NR..(p + 1) * NR];
+                    dst[..nr].copy_from_slice(src);
+                    dst[nr..].fill(0.0);
+                }
+            }
+            let mut out = vec![0.0f32; out_channels * n];
+            for jp in 0..n_panels {
+                let nr = NR.min(n - jp * NR);
+                for ip in 0..m_panels {
+                    let mr = MR.min(out_channels - ip * MR);
+                    let a_panel = &scratch.packs.a[ip * MR * k_dim..(ip + 1) * MR * k_dim];
+                    let tile = if jp < full_panels {
+                        microkernel_direct(k_dim, a_panel, &b[jp * NR..], n)
+                    } else {
+                        microkernel(k_dim, a_panel, pad_panel)
+                    };
+                    store_tile_bias(&tile, &mut out, n, ip * MR, jp * NR, mr, nr, bias);
+                }
+            }
+            outs.push(Tensor3::from_vec(out_shape, out));
+        }
+    } else {
+        // Multi-depth-block fallback: the accumulate loop with packed B
+        // (A still packed once per batch).
+        for f in 0..inputs.len() {
+            let mut out = Vec::with_capacity(out_channels * n);
+            for &b in bias {
+                out.resize(out.len() + n, b);
+            }
+            packed_loop(
+                out_channels,
+                k_dim,
+                &scratch.packs.a,
+                MatRef::new(&cols[f * section..(f + 1) * section], n, 1),
+                0,
+                n,
+                &mut out,
+                n,
+                &mut scratch.packs.b,
+            );
+            outs.push(Tensor3::from_vec(out_shape, out));
+        }
+    }
+    outs
 }
 
 /// im2col + GEMM convolution backward pass.
@@ -969,6 +1142,40 @@ mod tests {
         for gb in &grad_b {
             assert!((gb - n_out).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn conv_forward_batch_bit_identical_to_single_calls() {
+        let mut scratch = GemmScratch::new();
+        for &(c, h, w, oc, k, s, p) in &[
+            (2usize, 6usize, 5usize, 3usize, 3usize, 1usize, 1usize),
+            (3, 8, 8, 4, 5, 2, 2),
+            (1, 4, 4, 2, 4, 4, 0),
+            // Ragged N (25 = one full NR panel + 9 pad lanes).
+            (2, 5, 5, 3, 3, 1, 1),
+            // K_dim = 8·6² = 288 > KC: exercises the multi-depth-block
+            // fallback, with a ragged N of 49.
+            (8, 8, 8, 4, 6, 1, 2),
+        ] {
+            let frames: Vec<Tensor3> = (0..4)
+                .map(|f| seq_input(c, h, w).map(|v| (v + f as f32 * 0.37).sin()))
+                .collect();
+            let (weights, bias) = weights_for(oc, c, k);
+            let batched = conv2d_forward_batch(&frames, &weights, &bias, oc, k, s, p, &mut scratch);
+            assert_eq!(batched.len(), frames.len());
+            for (frame, got) in frames.iter().zip(&batched) {
+                let want = conv2d_forward(frame, &weights, &bias, oc, k, s, p, &mut scratch);
+                assert_eq!(
+                    got.as_slice(),
+                    want.as_slice(),
+                    "batched conv must be bit-identical (k{k}s{s}p{p})"
+                );
+            }
+        }
+        assert!(
+            conv2d_forward_batch(&[], &[], &[], 0, 1, 1, 0, &mut scratch).is_empty(),
+            "empty batch"
+        );
     }
 
     #[test]

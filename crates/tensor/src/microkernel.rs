@@ -69,6 +69,76 @@ pub(crate) fn add_tile(
     }
 }
 
+/// [`microkernel`] over an *unpacked* `B`: reads each depth step's [`NR`]
+/// values straight from a row-major matrix with leading dimension `ldb`
+/// (`b[p*ldb..p*ldb+NR]`), skipping the B-panel repack entirely.
+///
+/// The packed layout exists to keep huge `B` blocks streaming-friendly;
+/// at the batched-convolution shapes (`kc ≤ KC`, `N` a few hundred) the
+/// tile's `B` slab is `kc` cache lines and stays L1-resident across the
+/// whole `M` loop, so the strided loads cost nothing and the pack pass is
+/// pure overhead. Accumulation order is identical to [`microkernel`] on
+/// the packed bytes, so results are bit-identical.
+///
+/// # Panics
+///
+/// Panics when `b` is shorter than `(kc-1)·ldb + NR`.
+#[inline]
+pub(crate) fn microkernel_direct(
+    kc: usize,
+    a_panel: &[f32],
+    b: &[f32],
+    ldb: usize,
+) -> [f32; MR * NR] {
+    debug_assert!(a_panel.len() >= kc * MR);
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let ap = &a_panel[p * MR..(p + 1) * MR];
+        let bp = &b[p * ldb..p * ldb + NR];
+        for i in 0..MR {
+            let ai = ap[i];
+            let row = &mut acc[i];
+            for j in 0..NR {
+                row[j] += ai * bp[j];
+            }
+        }
+    }
+    let mut out = [0.0f32; MR * NR];
+    for i in 0..MR {
+        out[i * NR..(i + 1) * NR].copy_from_slice(&acc[i]);
+    }
+    out
+}
+
+/// Stores the valid `mr × nr` region of a micro-kernel tile as
+/// `C = bias[row] + tile` — the single-depth-block epilogue of the batched
+/// convolution path, which skips `C`'s zero/bias pre-init and the
+/// read-modify-write of [`add_tile`] entirely.
+///
+/// Bit-identical to bias-init + [`add_tile`] when the whole depth fits one
+/// block: both compute exactly `bias + tile` per element.
+#[inline]
+#[allow(clippy::too_many_arguments)] // add_tile's signature plus the bias row
+pub(crate) fn store_tile_bias(
+    tile: &[f32; MR * NR],
+    c: &mut [f32],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+    bias: &[f32],
+) {
+    for i in 0..mr {
+        let b = bias[i0 + i];
+        let dst = &mut c[(i0 + i) * ldc + j0..(i0 + i) * ldc + j0 + nr];
+        let src = &tile[i * NR..i * NR + nr];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = b + s;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,7 +41,7 @@ fn main() {
         },
         ..Default::default()
     };
-    let mut amc = AmcExecutor::new(&workload.network, config);
+    let mut amc = AmcExecutor::try_new(&workload.network, config).unwrap();
 
     let segments = [
         ("frozen", MotionRegime::Frozen, 42u64),

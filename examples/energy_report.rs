@@ -22,7 +22,7 @@ fn main() {
         // Measure the key-frame rate the adaptive policy actually chooses
         // on this kind of content, using the scaled-down FasterM analogue.
         let workload = zoo::tiny_fasterm(5);
-        let mut amc = AmcExecutor::new(&workload.network, AmcConfig::default());
+        let mut amc = AmcExecutor::try_new(&workload.network, AmcConfig::default()).unwrap();
         for seed in 0..6 {
             let mut scene = Scene::new(
                 SceneConfig::detection(48, 48).with_regime(regime),

@@ -48,7 +48,7 @@ fn main() {
     );
     let clip = scene.render_clip(16);
 
-    let mut amc = AmcExecutor::new(&workload.network, AmcConfig::default());
+    let mut amc = AmcExecutor::try_new(&workload.network, AmcConfig::default()).unwrap();
     println!("\n tracking: truth centre vs AMC detection centre (48x48 frame)\n");
     println!(" t   kind  truth (y,x)    amc (y,x)      err(px)  full-CNN err(px)");
     for (t, frame) in clip.frames.iter().enumerate() {

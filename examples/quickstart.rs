@@ -7,6 +7,10 @@
 //! Builds a small detection CNN, generates a synthetic video scene, and
 //! processes it through the AMC executor, printing per-frame decisions and
 //! the work saved relative to running the full CNN every frame.
+//!
+//! This is the single-stream path; see `examples/multi_stream.rs` for
+//! serving many concurrent streams through one `Engine` with cross-stream
+//! batched key frames.
 
 use eva2::amc::executor::{AmcConfig, AmcExecutor};
 use eva2::cnn::zoo;
@@ -23,7 +27,9 @@ fn main() {
 
     // 3. AMC with the default configuration: late target layer, RFBME
     //    motion estimation, bilinear warping, adaptive block-error policy.
-    let mut amc = AmcExecutor::new(&workload.network, AmcConfig::default());
+    //    The builder validates; construction errors are typed (`AmcError`).
+    let config = AmcConfig::builder().build().expect("defaults are valid");
+    let mut amc = AmcExecutor::try_new(&workload.network, config).expect("resolvable target");
     println!(
         "target layer = {} (receptive field {:?})",
         amc.target(),

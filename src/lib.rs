@@ -13,7 +13,9 @@
 //!   receptive-field arithmetic.
 //! * [`motion`] — RFBME and the motion-estimation baselines.
 //! * [`amc`] — the AMC executor: warp engine, sparse activation store,
-//!   key-frame policies (crate `eva2-core`).
+//!   key-frame policies, and the multi-stream serving engine
+//!   (`amc::serve::Engine` / `StreamSession`, with cross-stream batched
+//!   key frames) — crate `eva2-core`.
 //! * [`hw`] — the Eyeriss + EIE + EVA² energy/latency/area model.
 //!
 //! ## Quick start
@@ -26,7 +28,7 @@
 //! let workload = zoo::tiny_fasterm(1);
 //! let mut scene = Scene::new(SceneConfig::detection(48, 48), 7);
 //! let clip = scene.render_clip(5);
-//! let mut amc = AmcExecutor::new(&workload.network, AmcConfig::default());
+//! let mut amc = AmcExecutor::try_new(&workload.network, AmcConfig::default()).unwrap();
 //! for frame in &clip.frames {
 //!     let result = amc.process(&frame.image);
 //!     // result.output is the CNN suffix output for this frame.

@@ -30,7 +30,7 @@ fn scene_frames(regime: MotionRegime, seed: u64, n: usize) -> Vec<eva2::tensor::
 fn chaotic_scenes_use_more_key_frames_than_frozen() {
     let workload = zoo::tiny_fasterm(0);
     let run = |regime: MotionRegime| {
-        let mut amc = AmcExecutor::new(&workload.network, AmcConfig::default());
+        let mut amc = AmcExecutor::try_new(&workload.network, AmcConfig::default()).unwrap();
         for seed in 0..4 {
             for img in scene_frames(regime, 100 + seed, 12) {
                 amc.process(&img);
@@ -51,7 +51,7 @@ fn chaotic_scenes_use_more_key_frames_than_frozen() {
 fn amc_output_tracks_full_cnn_on_smooth_video() {
     let workload = zoo::tiny_fasterm(2);
     let frames = scene_frames(MotionRegime::Smooth, 55, 10);
-    let mut amc = AmcExecutor::new(&workload.network, AmcConfig::default());
+    let mut amc = AmcExecutor::try_new(&workload.network, AmcConfig::default()).unwrap();
     let mut worst = 0.0f32;
     for img in &frames {
         let r = amc.process(img);
@@ -67,7 +67,7 @@ fn amc_output_tracks_full_cnn_on_smooth_video() {
 fn amc_saves_most_macs_on_calm_video() {
     let workload = zoo::tiny_faster16(0);
     let frames = scene_frames(MotionRegime::Frozen, 9, 16);
-    let mut amc = AmcExecutor::new(&workload.network, AmcConfig::default());
+    let mut amc = AmcExecutor::try_new(&workload.network, AmcConfig::default()).unwrap();
     for img in &frames {
         amc.process(img);
     }
@@ -91,8 +91,8 @@ fn fixed_point_pipeline_stays_close_to_float() {
     };
     let mut fixed_cfg = float_cfg;
     fixed_cfg.fixed_point = true;
-    let mut a = AmcExecutor::new(&workload.network, float_cfg);
-    let mut b = AmcExecutor::new(&workload.network, fixed_cfg);
+    let mut a = AmcExecutor::try_new(&workload.network, float_cfg).unwrap();
+    let mut b = AmcExecutor::try_new(&workload.network, fixed_cfg).unwrap();
     for img in &frames {
         let ra = a.process(img);
         let rb = b.process(img);
@@ -117,7 +117,7 @@ fn memoization_and_warping_agree_on_static_scenes() {
             policy: PolicyConfig::StaticRate { period: 100 },
             ..Default::default()
         };
-        let mut amc = AmcExecutor::new(&workload.network, cfg);
+        let mut amc = AmcExecutor::try_new(&workload.network, cfg).unwrap();
         let mut last = None;
         for img in &frames {
             last = Some(amc.process(img).output);
@@ -143,7 +143,7 @@ fn delta_network_baseline_stores_more_and_loads_more() {
         delta_weights = stats.weights_loaded;
         delta_storage = stats.stored_activation_values;
     }
-    let mut amc = AmcExecutor::new(&workload.network, AmcConfig::default());
+    let mut amc = AmcExecutor::try_new(&workload.network, AmcConfig::default()).unwrap();
     for img in &frames {
         amc.process(img);
     }
@@ -163,7 +163,7 @@ fn executor_works_across_all_three_workloads() {
         if zoo_net.task == zoo::Task::Classification {
             cfg.warp = WarpMode::Memoize;
         }
-        let mut amc = AmcExecutor::new(&zoo_net.network, cfg);
+        let mut amc = AmcExecutor::try_new(&zoo_net.network, cfg).unwrap();
         let mut scene = Scene::new(
             if size == 32 {
                 SceneConfig::classification(32, 32)
