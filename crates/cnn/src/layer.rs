@@ -70,6 +70,18 @@ pub trait Layer: fmt::Debug + Send + Sync {
         self.forward(input)
     }
 
+    /// Runs the layer forward consuming an owned input — the single-frame
+    /// companion of [`Layer::forward_batch`], used by
+    /// `Network::forward_prefix_scratch` so layers that can work in place
+    /// skip the per-frame allocate-and-copy entirely.
+    ///
+    /// The contract is **bit-identity** with [`Layer::forward_scratch`] on
+    /// the same input (the default is exactly that call). [`Relu`]
+    /// overrides it to rectify in place.
+    fn forward_owned(&self, input: Tensor3, scratch: &mut GemmScratch) -> Tensor3 {
+        self.forward_scratch(&input, scratch)
+    }
+
     /// Runs the layer forward over a batch of same-shape frames, consuming
     /// the inputs — the cross-stream key-frame seam of the serving engine
     /// (`eva2_core::serve`).
@@ -886,6 +898,15 @@ impl Layer for Relu {
 
     fn forward(&self, input: &Tensor3) -> Tensor3 {
         input.map(|v| v.max(0.0))
+    }
+
+    fn forward_owned(&self, mut input: Tensor3, _scratch: &mut GemmScratch) -> Tensor3 {
+        // The caller hands over the tensor, so rectify in place: no
+        // allocation + copy, identical bits.
+        for v in input.as_mut_slice() {
+            *v = v.max(0.0);
+        }
+        input
     }
 
     fn forward_batch(&self, mut batch: Vec<Tensor3>, _scratch: &mut GemmScratch) -> Vec<Tensor3> {

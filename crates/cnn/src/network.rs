@@ -133,7 +133,9 @@ impl Network {
 
     /// [`Network::forward_prefix`] reusing caller-owned GEMM scratch, so a
     /// frame-loop caller (the AMC executor) does no per-frame im2col
-    /// allocation.
+    /// allocation. Activations are handed layer to layer by value
+    /// ([`Layer::forward_owned`]), so in-place-capable layers (ReLU)
+    /// rectify without allocating — bit-identical to the borrowing chain.
     pub fn forward_prefix_scratch(
         &self,
         input: &Tensor3,
@@ -143,7 +145,7 @@ impl Network {
         assert!(target < self.layers.len(), "target layer out of range");
         let mut x = input.clone();
         for layer in &self.layers[..=target] {
-            x = layer.forward_scratch(&x, scratch);
+            x = layer.forward_owned(x, scratch);
         }
         x
     }
@@ -452,6 +454,26 @@ mod tests {
         assert!(net
             .forward_prefix_batched(Vec::new(), target, &mut scratch)
             .is_empty());
+    }
+
+    #[test]
+    fn prefix_scratch_owned_chain_bit_identical_to_borrowing_chain() {
+        use eva2_tensor::GemmScratch;
+        let net = toy_net();
+        let input = Tensor3::from_fn(Shape3::new(1, 8, 8), |_, y, x| ((y * 3 + x) as f32).sin());
+        let mut scratch = GemmScratch::new();
+        for target in 0..=4 {
+            let owned = net.forward_prefix_scratch(&input, target, &mut scratch);
+            let mut borrowed = input.clone();
+            for layer in &net.layers()[..=target] {
+                borrowed = layer.forward_scratch(&borrowed, &mut scratch);
+            }
+            assert_eq!(
+                owned.as_slice(),
+                borrowed.as_slice(),
+                "owned chain bits at target {target}"
+            );
+        }
     }
 
     #[test]

@@ -30,6 +30,21 @@
 //! strictly better than within one stream — it adds no latency, because no
 //! stream waits on its own future frames.
 //!
+//! # The predicted-frame fast path
+//!
+//! Predicted frames are the steady-state common case — key frames are
+//! deliberately rare — so their path is kept free of dense intermediates:
+//! RFBME runs the two-level best-first search
+//! (`eva2_motion::rfbme`, with per-stream pruning counters surfaced in
+//! [`ExecStats`]), and warping emits the sparse activation *directly*
+//! ([`crate::warp::warp_activation_sparse`] /
+//! [`crate::warp::warp_activation_fixed_sparse`]) into the skip-zero CNN
+//! suffix. A predicted frame therefore flows RFBME → warp → sparse suffix
+//! without ever materialising or re-compressing a dense activation tensor,
+//! mirroring the hardware's sparse activation memory. The fused seam is
+//! bit-identical to dense-warp-then-extract, so the wrapper guarantee
+//! below is unaffected.
+//!
 //! # The single-stream wrapper guarantee
 //!
 //! `AmcExecutor` (and therefore `PipelinedExecutor`) is a thin wrapper
@@ -73,7 +88,7 @@ use crate::error::AmcError;
 use crate::executor::{AmcConfig, AmcFrameResult, ExecStats, WarpMode};
 use crate::policy::{FrameKind, FrameMetrics, KeyFramePolicy};
 use crate::sparse::RleActivation;
-use crate::warp::{warp_activation, warp_activation_fixed};
+use crate::warp::{warp_activation_fixed_sparse, warp_activation_sparse};
 use eva2_cnn::network::Network;
 use eva2_motion::rfbme::{RfGeometry, Rfbme, RfbmeResult, RfbmeScratch};
 use eva2_tensor::interp::Interpolation;
@@ -206,6 +221,11 @@ impl SessionCore {
             .map(|m| FrameMetrics::from_rfbme(m, self.frames_since_key));
         let rfbme_ops = motion.as_ref().map_or(0, |m| m.ops());
         self.stats.rfbme_ops += rfbme_ops;
+        if let Some(m) = motion.as_ref() {
+            self.stats.rfbme_candidates += m.search.candidates;
+            self.stats.rfbme_level0_rejects += m.search.rejected_level0;
+            self.stats.rfbme_level1_rejects += m.search.rejected_level1;
+        }
         let kind = match &metrics {
             None => FrameKind::Key,
             Some(m) => self.policy.decide(m),
@@ -266,7 +286,12 @@ impl SessionCore {
         let state = self.state.as_ref().expect("predicted frame requires state");
         // Both arms feed the suffix through the sparse entry point: zero
         // runs in the stored/warped activation are skipped, not densified
-        // and multiplied (§IV skip-zero behaviour).
+        // and multiplied (§IV skip-zero behaviour). Warping emits the
+        // sparse representation *directly* (fused warp→sparse, see
+        // `crate::warp`): a predicted frame never materialises a dense
+        // activation tensor, exactly like the hardware's sparse activation
+        // memory. The fused entries are bit-identical to
+        // dense-warp-then-`from_dense`, so outputs match the PR-4 path.
         let (output, warp_stats) = match self.warp_mode {
             WarpMode::Memoize => {
                 let output = net.forward_suffix_sparse(&state.sparse, self.target, scratch);
@@ -274,17 +299,16 @@ impl SessionCore {
             }
             WarpMode::MotionCompensate { bilinear } => {
                 let field = &motion.field;
-                let (warped, ws) = if self.fixed_point {
-                    warp_activation_fixed(&state.decoded, field, self.rf.stride)
+                let (sparse, ws) = if self.fixed_point {
+                    warp_activation_fixed_sparse(&state.decoded, field, self.rf.stride)
                 } else {
                     let method = if bilinear {
                         Interpolation::Bilinear
                     } else {
                         Interpolation::NearestNeighbor
                     };
-                    warp_activation(&state.decoded, field, self.rf.stride, method)
+                    warp_activation_sparse(&state.decoded, field, self.rf.stride, method)
                 };
-                let sparse = SparseActivation::from_dense(&warped, 0.0);
                 let output = net.forward_suffix_sparse(&sparse, self.target, scratch);
                 (output, Some(ws))
             }
@@ -693,6 +717,34 @@ mod tests {
         assert!(results[1].is_key, "b's first frame is key");
         assert_eq!(a.stats().key_frames, 1);
         assert_eq!(b.stats().key_frames, 1);
+    }
+
+    #[test]
+    fn sessions_surface_rfbme_pruning_counters() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        let mut session = engine.open_session();
+        let f0 = frame(0);
+        let f1 = frame(1);
+        engine.process(&mut session, &f0);
+        assert_eq!(
+            session.stats().rfbme_candidates,
+            0,
+            "no estimate ran on the first frame"
+        );
+        engine.process(&mut session, &f1);
+        let s = session.stats();
+        assert!(s.rfbme_candidates > 0, "second frame ran the search");
+        assert!(
+            s.rfbme_level0_rejects + s.rfbme_level1_rejects > 0,
+            "the two-level search prunes on a drifting scene: {s:?}"
+        );
+        let refined = s.rfbme_candidates - s.rfbme_level0_rejects - s.rfbme_level1_rejects;
+        assert!(
+            refined < s.rfbme_candidates,
+            "refined {refined} of {} candidates",
+            s.rfbme_candidates
+        );
     }
 
     #[test]

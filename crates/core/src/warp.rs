@@ -5,7 +5,7 @@
 //! along with the fractional bits of this motion vector, and send the result
 //! to the layer accelerators to compute the CNN suffix" (§III-B, Figs 9–11).
 //!
-//! Two implementations are provided:
+//! Two datapaths are provided:
 //!
 //! * [`warp_activation`] — the `f32` reference path (used for accuracy
 //!   experiments, where datapath quantization would be a confound).
@@ -14,10 +14,28 @@
 //!   point, products widen and the result shifts back (Fig 11's weighting
 //!   units). Tests bound its divergence from the reference by the
 //!   quantization step.
+//!
+//! # The fused warp→sparse seam
+//!
+//! On the hardware, the warp engine reads from and writes back to the
+//! *sparse* activation memory — a dense intermediate never exists. The
+//! dense entry points above model only the datapath; the predicted-frame
+//! execution path uses their fused companions [`warp_activation_sparse`] /
+//! [`warp_activation_fixed_sparse`], which emit the warped activation
+//! directly as a [`SparseActivation`]: zero outputs are skipped at
+//! generation time instead of being materialised into a tensor and
+//! re-scanned by `SparseActivation::from_dense`. The fused functions also
+//! hoist the per-position work (source coordinates, interpolation weights)
+//! out of the channel loop — every channel of one output position shares
+//! the same motion vector, so the weights are computed once instead of
+//! `C` times. Entry values and [`WarpStats`] are **bit-identical** to
+//! dense-then-extract (same operations in the same order per element;
+//! tests pin this), which is what lets `eva2_core::serve` feed the CNN
+//! suffix from the fused output without changing a single output bit.
 
 use eva2_motion::field::VectorField;
 use eva2_tensor::interp::{sample, Interpolation};
-use eva2_tensor::{Fixed, Tensor3};
+use eva2_tensor::{Fixed, SparseActivation, Tensor3};
 
 /// Statistics from one warp pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,22 +115,39 @@ impl BilinearInterpolator {
         }
     }
 
+    /// The four corner weights `[(1−u)(1−v), u(1−v), (1−u)v, uv]` in Q8.8,
+    /// computed exactly as the weighting units do (two multiplies each).
+    ///
+    /// Weights depend only on the motion vector's fractional bits, so one
+    /// output position's weights serve every channel — the fused sparse
+    /// warp computes them once per position and applies them with
+    /// [`BilinearInterpolator::apply`].
+    pub fn weights(&self) -> [Fixed; 4] {
+        let one = Fixed::ONE;
+        let inv_u = one - self.u;
+        let inv_v = one - self.v;
+        [
+            inv_u.wrapping_mul_shift(inv_v),
+            self.u.wrapping_mul_shift(inv_v),
+            inv_u.wrapping_mul_shift(self.v),
+            self.u.wrapping_mul_shift(self.v),
+        ]
+    }
+
+    /// Applies precomputed corner [`BilinearInterpolator::weights`] to one
+    /// 2×2 neighbourhood — the shared tail of the interpolator, with the
+    /// exact operation order of the hardware adder tree.
+    pub fn apply(weights: [Fixed; 4], p: [Fixed; 4]) -> Fixed {
+        p[0].wrapping_mul_shift(weights[0])
+            .saturating_add(p[1].wrapping_mul_shift(weights[1]))
+            .saturating_add(p[2].wrapping_mul_shift(weights[2]))
+            .saturating_add(p[3].wrapping_mul_shift(weights[3]))
+    }
+
     /// Interpolates one 2×2 neighbourhood `[p00, p01, p10, p11]`
     /// (`p01` = one step in +x, `p10` = one step in +y).
     pub fn interpolate(&self, p: [Fixed; 4]) -> Fixed {
-        let one = Fixed::ONE;
-        // The hardware computes the four weights with two multiplies each in
-        // the weighting units; keep the same operation order.
-        let inv_u = one - self.u;
-        let inv_v = one - self.v;
-        let w00 = inv_u.wrapping_mul_shift(inv_v);
-        let w01 = self.u.wrapping_mul_shift(inv_v);
-        let w10 = inv_u.wrapping_mul_shift(self.v);
-        let w11 = self.u.wrapping_mul_shift(self.v);
-        p[0].wrapping_mul_shift(w00)
-            .saturating_add(p[1].wrapping_mul_shift(w01))
-            .saturating_add(p[2].wrapping_mul_shift(w10))
-            .saturating_add(p[3].wrapping_mul_shift(w11))
+        Self::apply(self.weights(), p)
     }
 }
 
@@ -158,6 +193,135 @@ pub fn warp_activation_fixed(
         interp.interpolate(p).to_f32()
     });
     (out, stats)
+}
+
+/// [`warp_activation`] fused with sparse extraction: warps straight into a
+/// [`SparseActivation`], skipping zero outputs at generation time instead
+/// of materialising and re-scanning a dense tensor.
+///
+/// Entries and statistics are bit-identical to
+/// `SparseActivation::from_dense(&warp_activation(..).0, 0.0)` — see the
+/// [module docs](self) for the fusion argument.
+///
+/// # Panics
+///
+/// Panics when the field's grid does not match the activation's spatial
+/// dimensions.
+pub fn warp_activation_sparse(
+    key: &Tensor3,
+    field: &VectorField,
+    rf_stride: usize,
+    method: Interpolation,
+) -> (SparseActivation, WarpStats) {
+    let shape = key.shape();
+    assert_eq!(
+        (field.grid_h(), field.grid_w()),
+        (shape.height, shape.width),
+        "vector field grid must match activation spatial dims"
+    );
+    let s = rf_stride.max(1) as f32;
+    let mut stats = WarpStats::default();
+    // Pre-size each channel to its dense plane: entry counts are bounded
+    // by it, so pushes never reallocate mid-warp.
+    let mut channels: Vec<Vec<(u32, f32)>> = (0..shape.channels)
+        .map(|_| Vec::with_capacity(shape.plane_len()))
+        .collect();
+    for ay in 0..shape.height {
+        for ax in 0..shape.width {
+            // Per-position work hoisted out of the channel loop: all
+            // channels share this position's motion vector.
+            let v = field.get(ay, ax);
+            let sy = ay as f32 + v.dy / s;
+            let sx = ax as f32 + v.dx / s;
+            let pos = (ay * shape.width + ax) as u32;
+            for (c, entries) in channels.iter_mut().enumerate() {
+                stats.interpolations += 1;
+                let val = sample(key, method, c, sy, sx);
+                if val == 0.0 {
+                    stats.zero_skipped += 1;
+                } else {
+                    stats.mults += 8;
+                }
+                // Same survivor predicate as `from_dense(.., 0.0)` (which
+                // also drops NaN and −0.0).
+                if val.abs() > 0.0 {
+                    entries.push((pos, val));
+                }
+            }
+        }
+    }
+    (SparseActivation::from_channels(shape, channels), stats)
+}
+
+/// [`warp_activation_fixed`] fused with sparse extraction — the Q8.8
+/// companion of [`warp_activation_sparse`], and the predicted-frame
+/// production path of `eva2_core::serve` in fixed-point mode.
+///
+/// The interpolator weights are computed once per output position
+/// ([`BilinearInterpolator::weights`]) and applied per channel, which is
+/// both the hardware's structure (one warp request covers a 2×2
+/// neighbourhood across channels) and a C-fold reduction of the
+/// coordinate/weight arithmetic. Entries and statistics are bit-identical
+/// to `SparseActivation::from_dense(&warp_activation_fixed(..).0, 0.0)`.
+///
+/// # Panics
+///
+/// Panics when the field's grid does not match the activation's spatial
+/// dimensions.
+pub fn warp_activation_fixed_sparse(
+    key: &Tensor3,
+    field: &VectorField,
+    rf_stride: usize,
+) -> (SparseActivation, WarpStats) {
+    let shape = key.shape();
+    assert_eq!(
+        (field.grid_h(), field.grid_w()),
+        (shape.height, shape.width),
+        "vector field grid must match activation spatial dims"
+    );
+    let s = rf_stride.max(1) as f32;
+    let mut stats = WarpStats::default();
+    // Pre-size each channel to its dense plane: entry counts are bounded
+    // by it, so pushes never reallocate mid-warp.
+    let mut channels: Vec<Vec<(u32, f32)>> = (0..shape.channels)
+        .map(|_| Vec::with_capacity(shape.plane_len()))
+        .collect();
+    for ay in 0..shape.height {
+        for ax in 0..shape.width {
+            let vec = field.get(ay, ax);
+            let sy = ay as f32 + vec.dy / s;
+            let sx = ax as f32 + vec.dx / s;
+            let y0 = sy.floor();
+            let x0 = sx.floor();
+            let weights = BilinearInterpolator::new(sx - x0, sy - y0).weights();
+            let y0 = y0 as isize;
+            let x0 = x0 as isize;
+            let pos = (ay * shape.width + ax) as u32;
+            for (c, entries) in channels.iter_mut().enumerate() {
+                let load = |yy: isize, xx: isize| Fixed::from_f32(key.get_padded(c, yy, xx));
+                let p = [
+                    load(y0, x0),
+                    load(y0, x0 + 1),
+                    load(y0 + 1, x0),
+                    load(y0 + 1, x0 + 1),
+                ];
+                stats.interpolations += 1;
+                if p.iter().all(|v| v.is_zero()) {
+                    stats.zero_skipped += 1;
+                    continue;
+                }
+                stats.mults += 8;
+                let val = BilinearInterpolator::apply(weights, p).to_f32();
+                // Q8.8 truncation can produce an exact zero from nonzero
+                // corners; `from_dense` drops those, so the fused path must
+                // too.
+                if val.abs() > 0.0 {
+                    entries.push((pos, val));
+                }
+            }
+        }
+    }
+    (SparseActivation::from_channels(shape, channels), stats)
 }
 
 #[cfg(test)]
@@ -290,6 +454,57 @@ mod tests {
         let key = act(4, 4);
         let field = VectorField::zeros(3, 3, 8);
         let _ = warp_activation(&key, &field, 8, Interpolation::Bilinear);
+    }
+
+    /// A ReLU-like activation (many exact zeros) under a field mixing
+    /// integer, fractional, and out-of-bounds motion — the adversarial mix
+    /// for the fused zero-skipping.
+    fn sparse_key_and_field() -> (Tensor3, VectorField) {
+        let key = Tensor3::from_fn(Shape3::new(3, 7, 6), |c, y, x| {
+            let v = ((c * 5 + y * 3 + x * 7) % 11) as f32 - 5.0;
+            v.max(0.0) * 0.37
+        });
+        let field = VectorField::from_fn(7, 6, 4, |y, x| {
+            MotionVector::new(((y % 5) as f32 - 2.0) * 3.0, ((x % 7) as f32 - 3.0) * 2.5)
+        });
+        (key, field)
+    }
+
+    #[test]
+    fn fused_sparse_warp_is_bit_identical_to_dense_then_extract() {
+        let (key, field) = sparse_key_and_field();
+        for method in [Interpolation::Bilinear, Interpolation::NearestNeighbor] {
+            let (dense, dense_stats) = warp_activation(&key, &field, 4, method);
+            let expect = eva2_tensor::SparseActivation::from_dense(&dense, 0.0);
+            let (fused, fused_stats) = warp_activation_sparse(&key, &field, 4, method);
+            assert_eq!(fused, expect, "{method:?}: entries must match exactly");
+            assert_eq!(fused_stats, dense_stats, "{method:?}: stats must match");
+        }
+    }
+
+    #[test]
+    fn fused_fixed_sparse_warp_is_bit_identical_to_dense_then_extract() {
+        let (key, field) = sparse_key_and_field();
+        let (dense, dense_stats) = warp_activation_fixed(&key, &field, 4);
+        let expect = eva2_tensor::SparseActivation::from_dense(&dense, 0.0);
+        let (fused, fused_stats) = warp_activation_fixed_sparse(&key, &field, 4);
+        assert_eq!(fused, expect, "fixed-point entries must match exactly");
+        assert_eq!(fused_stats, dense_stats, "fixed-point stats must match");
+    }
+
+    #[test]
+    fn weights_and_apply_compose_to_interpolate() {
+        let interp = BilinearInterpolator::new(0.31, 0.84);
+        let p = [
+            Fixed::from_f32(1.25),
+            Fixed::from_f32(-2.0),
+            Fixed::from_f32(0.5),
+            Fixed::from_f32(3.75),
+        ];
+        assert_eq!(
+            interp.interpolate(p),
+            BilinearInterpolator::apply(interp.weights(), p)
+        );
     }
 
     /// The paper's commutativity claim (Fig 3/4): for stride-aligned global

@@ -51,7 +51,7 @@ pub mod rfbme;
 pub mod sad;
 
 pub use field::{MotionVector, VectorField};
-pub use rfbme::{RfGeometry, Rfbme, SearchParams};
+pub use rfbme::{RfGeometry, Rfbme, RfbmeScratch, SearchParams, SearchStats};
 
 use eva2_tensor::GrayImage;
 

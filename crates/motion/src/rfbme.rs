@@ -17,9 +17,46 @@
 //! register per field (Fig 8). Both stages count their arithmetic
 //! operations, which backs the §IV-A first-order comparison against the CNN
 //! prefix cost.
+//!
+//! # The fast path: hierarchical bounds, best-first
+//!
+//! [`Rfbme::estimate`] computes the *same result* as the two-stage hardware
+//! model ([`Rfbme::estimate_reference`]) through a best-first
+//! branch-and-bound search over admissible SAD lower bounds. All bounds are
+//! instances of one inequality — for any partition of a tile into bands,
+//! `Σ_bands |Σ new_band − Σ key_band| ≤ SAD` by the triangle inequality —
+//! evaluated in O(1) per band from two [`IntegralImage`]s built once per
+//! estimate:
+//!
+//! * **Level 0** is the one-band (whole-tile) bound `|Σ new − Σ key|`. A
+//!   pre-pass aggregates it per receptive field for *every* candidate
+//!   offset (rolling column reuse, exactly the hardware consumer's walk)
+//!   and scores each offset by its total aggregated bound.
+//! * **Best-first order**: offsets are then visited in ascending score
+//!   order, so the offset most likely to hold the true minimum is refined
+//!   first and the per-field running minima are tight almost immediately —
+//!   after which level 0 alone rejects most remaining (offset, field)
+//!   pairs without touching any pixel.
+//! * **Level 1** re-bounds the survivors per tile with the strictly
+//!   tighter per-column-strip and per-row partial-sum bounds
+//!   ([`sad_lower_bound_cols`](crate::sad::sad_lower_bound_cols) /
+//!   [`sad_lower_bound_rows`](crate::sad::sad_lower_bound_rows), O(stride)
+//!   each, no per-pixel work). Only tiles of fields that survive level 1
+//!   reach the exact chunked SAD kernels.
+//!
+//! Because every bound is a true lower bound, skipping is exact; and the
+//! min-check keeps the lexicographic minimum of `(error, |offset|²,
+//! row-major offset index)`, which reproduces the reference's tie-breaking
+//! under *any* visit order (the reference visits row-major and updates on
+//! strictly-smaller `(error, |offset|²)`, i.e. it also keeps exactly that
+//! lexicographic minimum). Results are therefore bit-identical to the
+//! reference; only the operation counts — and the [`SearchStats`] pruning
+//! counters — differ. The PR-2 single-level, ascending-magnitude search
+//! survives as [`Rfbme::estimate_onelevel`], the measured baseline for the
+//! `rfbme_twolevel_over_onelevel` trajectory ratio.
 
 use crate::field::{MotionVector, VectorField};
-use crate::sad::{sad_window, IntegralImage};
+use crate::sad::{sad_lower_bound_cols, sad_lower_bound_rows, sad_window, IntegralImage};
 use crate::{MotionEstimator, MotionResult};
 use eva2_tensor::GrayImage;
 use serde::{Deserialize, Serialize};
@@ -322,6 +359,26 @@ impl DiffTileConsumer {
     }
 }
 
+/// Pruning counters of one fast-path estimate (zero for the reference
+/// model, which prunes nothing).
+///
+/// A *candidate* is one valid (offset, receptive field) pair — an offset
+/// whose search windows stay in bounds for every tile the field covers.
+/// Every candidate is accounted for exactly once:
+/// `candidates == rejected_level0 + rejected_level1 + refined`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Valid (offset, receptive field) pairs examined.
+    pub candidates: u64,
+    /// Candidates rejected by the aggregated whole-tile (level-0) bound.
+    pub rejected_level0: u64,
+    /// Candidates rejected by the per-row / per-column-strip (level-1)
+    /// bound after surviving level 0.
+    pub rejected_level1: u64,
+    /// Candidates fully refined with exact SAD aggregation.
+    pub refined: u64,
+}
+
 /// Full RFBME result.
 #[derive(Debug, Clone)]
 pub struct RfbmeResult {
@@ -341,6 +398,8 @@ pub struct RfbmeResult {
     pub producer_ops: u64,
     /// Consumer adds/subtracts.
     pub consumer_ops: u64,
+    /// Pruning counters (all zero for [`Rfbme::estimate_reference`]).
+    pub search: SearchStats,
 }
 
 impl RfbmeResult {
@@ -350,7 +409,80 @@ impl RfbmeResult {
     }
 }
 
-/// Reusable buffers for [`Rfbme::estimate_with`].
+/// One candidate offset of the best-first search.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cand {
+    dy: isize,
+    dx: isize,
+    /// Row-major index in the reference's visit order — the final
+    /// tie-break component.
+    rm: u32,
+    /// Squared displacement magnitude — the second tie-break component.
+    mag: u64,
+    /// Best-first priority: total aggregated level-0 bound over all
+    /// receptive fields (invalid fields contribute a large constant).
+    score: u64,
+    /// Minimum level-0 tile bound over this offset's valid tiles
+    /// (`u64::MAX` when none are valid) — powers the offset-level quick
+    /// reject before any per-tile work in the main loop.
+    min_lb: u64,
+}
+
+/// Per-receptive-field min-check register of the best-first search: the
+/// lexicographic minimum of `(err, mag, rm)` seen so far, plus the data
+/// needed to finalise the match.
+#[derive(Debug, Clone, Copy)]
+struct BestCell {
+    err: u32,
+    mag: u64,
+    rm: u32,
+    dy: isize,
+    dx: isize,
+    pixels: u32,
+}
+
+impl BestCell {
+    const EMPTY: BestCell = BestCell {
+        err: u32::MAX,
+        mag: u64::MAX,
+        rm: u32::MAX,
+        dy: 0,
+        dx: 0,
+        pixels: 0,
+    };
+
+    /// Whether a candidate with lower bound `bound` could still replace
+    /// this register, i.e. whether `(err ≥ bound, mag, rm)` could be
+    /// lexicographically smaller than `(self.err, self.mag, self.rm)`.
+    /// Bounds saturate exactly like errors so the comparison stays exact
+    /// even at the `u32` ceiling.
+    #[inline]
+    fn improvable_by(&self, bound: u64, mag: u64, rm: u32) -> bool {
+        let lb = bound.min(u32::MAX as u64 - 1) as u32;
+        lb < self.err || (lb == self.err && (mag, rm) < (self.mag, self.rm))
+    }
+}
+
+/// Contiguous range `[lo, hi)` of tile indices along one axis whose search
+/// windows stay inside the key frame at offset `d`: `t·s + d ≥ 0` and
+/// `t·s + d + s ≤ n`. Validity is separable per axis (a tile is valid iff
+/// its row *and* column are), which is what makes per-offset validity O(1)
+/// instead of per-tile.
+#[inline]
+fn valid_tile_range(tiles: usize, s: usize, d: isize, n: usize) -> (usize, usize) {
+    let s_i = s as isize;
+    let lo = (-d).div_euclid(s_i) + if (-d).rem_euclid(s_i) != 0 { 1 } else { 0 };
+    let lo = lo.max(0) as usize;
+    let hi_num = n as isize - s_i - d;
+    if hi_num < 0 {
+        return (tiles, tiles); // empty
+    }
+    let hi = ((hi_num.div_euclid(s_i) + 1) as usize).min(tiles);
+    (lo.min(hi), hi)
+}
+
+/// Reusable buffers for [`Rfbme::estimate_with`] (and the retained
+/// single-level baseline [`Rfbme::estimate_onelevel_with`]).
 ///
 /// One estimate needs two integral images plus a dozen per-tile /
 /// per-receptive-field work vectors; a frame-loop caller (the AMC
@@ -376,6 +508,14 @@ pub struct RfbmeScratch {
     improvable: Vec<usize>,
     colsum: Vec<u64>,
     colvalid: Vec<bool>,
+    // Best-first two-level search state (estimate_with only).
+    cand: Vec<Cand>,
+    order: Vec<u32>,
+    key_box: Vec<u64>,
+    best_bf: Vec<BestCell>,
+    l1: Vec<u64>,
+    l1_stamp: Vec<u32>,
+    exact_stamp: Vec<u32>,
 }
 
 impl RfbmeScratch {
@@ -383,6 +523,70 @@ impl RfbmeScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// Shared search geometry derived once per estimate, used by both the
+/// two-level fast path and the retained single-level baseline.
+#[derive(Debug, Clone, Copy)]
+struct SearchGeometry {
+    s: usize,
+    h: usize,
+    w: usize,
+    tiles_y: usize,
+    tiles_x: usize,
+    n_tiles: usize,
+    grid_h: usize,
+    grid_w: usize,
+    n_rf: usize,
+}
+
+/// The setup prologue both fast paths share: derives the geometry, fills
+/// the per-axis receptive-field tile ranges, rebuilds both integral images
+/// (returning their op count as the initial `producer_ops`), and computes
+/// every new-frame tile sum. Keeping it in one place means a geometry or
+/// ops-accounting change cannot silently diverge between the two-level
+/// search and the single-level oracle that validates it — only the search
+/// logic itself stays independent.
+#[allow(clippy::too_many_arguments)] // one slot per reused scratch buffer
+fn prepare_search(
+    rf: RfGeometry,
+    key: &GrayImage,
+    new: &GrayImage,
+    key_sat: &mut IntegralImage,
+    new_sat: &mut IntegralImage,
+    row_range: &mut Vec<(usize, usize)>,
+    col_range: &mut Vec<(usize, usize)>,
+    new_sums: &mut Vec<u64>,
+) -> (SearchGeometry, u64) {
+    let s = rf.stride.max(1);
+    let (h, w) = (new.height(), new.width());
+    let g = SearchGeometry {
+        s,
+        h,
+        w,
+        tiles_y: h / s,
+        tiles_x: w / s,
+        n_tiles: (h / s) * (w / s),
+        grid_h: rf.grid_len(h),
+        grid_w: rf.grid_len(w),
+        n_rf: rf.grid_len(h) * rf.grid_len(w),
+    };
+    let consumer = DiffTileConsumer { rf };
+    row_range.clear();
+    row_range.extend((0..g.grid_h).map(|a| consumer.tile_range(a, g.tiles_y)));
+    col_range.clear();
+    col_range.extend((0..g.grid_w).map(|a| consumer.tile_range(a, g.tiles_x)));
+    // O(1) window sums over both frames; one pass over the pixels each.
+    key_sat.recompute(key);
+    new_sat.recompute(new);
+    let producer_ops = 2 * (h * w) as u64;
+    new_sums.resize(g.n_tiles, 0);
+    for ty in 0..g.tiles_y {
+        for tx in 0..g.tiles_x {
+            new_sums[ty * g.tiles_x + tx] = new_sat.window_sum(ty * s, tx * s, s, s);
+        }
+    }
+    (g, producer_ops)
 }
 
 /// The complete RFBME estimator: producer + consumer.
@@ -420,32 +624,46 @@ impl Rfbme {
         let grid_w = self.rf.grid_len(new.width());
         let consumer = DiffTileConsumer { rf: self.rf };
         let (matches, consumer_ops) = consumer.consume(&tiles, grid_h, grid_w);
-        Self::result_from_matches(self.rf, &matches, grid_h, grid_w, tiles.ops, consumer_ops)
+        Self::result_from_matches(
+            self.rf,
+            &matches,
+            grid_h,
+            grid_w,
+            tiles.ops,
+            consumer_ops,
+            SearchStats::default(),
+        )
     }
 
-    /// Runs RFBME from `key` to `new` on the fast path: fused
-    /// producer/consumer with diff-tile early-exit and per-receptive-field
-    /// running-minimum pruning.
+    /// Runs RFBME from `key` to `new` on the fast path: best-first
+    /// branch-and-bound over the two-level hierarchy of admissible SAD
+    /// lower bounds (see the [module docs](self)).
     ///
-    /// Candidate offsets are visited in order of ascending displacement
-    /// magnitude (zero first). For each offset, every tile first gets a
-    /// cheap *lower bound* on its SAD — `|Σ new_tile − Σ key_window|`, two
-    /// O(1) window sums via [`IntegralImage`] — and the bounds are
-    /// aggregated per receptive field with the same rolling column reuse as
-    /// the hardware consumer. A receptive field whose aggregated bound
-    /// already reaches its running-minimum error cannot improve at this
-    /// offset, so the SAD refinement for its tiles is skipped; only tiles
-    /// needed by a still-improvable field are refined (chunked kernels from
-    /// [`crate::sad`]).
+    /// A pre-pass aggregates the whole-tile level-0 bound
+    /// (`|Σ new_tile − Σ key_window|`, two O(1) [`IntegralImage`] window
+    /// sums) per receptive field for every candidate offset, with the same
+    /// rolling column reuse as the hardware consumer, and scores each
+    /// offset by its total bound. Offsets are then visited best-first
+    /// (ascending score): the first offsets refined are the ones most
+    /// likely to hold each field's true minimum, so the running minima
+    /// tighten almost immediately and level 0 alone rejects most of the
+    /// remaining (offset, field) pairs from the stored aggregates — no
+    /// pixel or tile work at all. Survivors are re-bounded per tile with
+    /// the strictly tighter level-1 per-column-strip and per-row bounds
+    /// (O(stride) each, still no pixel reads), and only tiles of fields
+    /// that survive level 1 reach the exact chunked SAD kernels from
+    /// [`crate::sad`].
     ///
-    /// Because the bound never exceeds the true SAD, skipping is *exact*:
-    /// the returned per-field minimum error equals the exhaustive search's
+    /// Because every bound is a true lower bound, skipping is *exact*: the
+    /// returned per-field minimum error equals the exhaustive search's
     /// (and therefore so do `errors`, `total_error`, and `total_pixels`).
-    /// The ascending-magnitude visit order with a strictly-smaller
-    /// min-check update also reproduces the reference tie-break (ties in
-    /// error keep the smaller displacement), so the vectors match
-    /// [`Rfbme::estimate_reference`] exactly as well. Only the operation
-    /// counts differ — they *are* the early-exit savings.
+    /// The min-check register keeps the lexicographic minimum of
+    /// `(error, |offset|², row-major offset index)` — exactly the candidate
+    /// the reference's row-major visit order with its
+    /// smaller-displacement-on-ties rule retains — so the vectors match
+    /// [`Rfbme::estimate_reference`] bit for bit under the best-first
+    /// order too. Only the operation counts and [`SearchStats`] differ —
+    /// they *are* the pruning savings.
     ///
     /// # Panics
     ///
@@ -476,6 +694,342 @@ impl Rfbme {
         let RfbmeScratch {
             key_sat,
             new_sat,
+            row_range,
+            col_range,
+            new_sums,
+            best,
+            lb,
+            exact,
+            colsum,
+            cand,
+            order,
+            key_box,
+            best_bf,
+            l1,
+            l1_stamp,
+            exact_stamp,
+            ..
+        } = scratch;
+        let (g, mut producer_ops) = prepare_search(
+            self.rf, key, new, key_sat, new_sat, row_range, col_range, new_sums,
+        );
+        let SearchGeometry {
+            s,
+            h,
+            w,
+            tiles_y,
+            tiles_x,
+            n_tiles,
+            grid_h,
+            grid_w,
+            n_rf,
+        } = g;
+
+        // Candidate offsets in the reference's row-major order, annotated
+        // with the two tie-break components.
+        let axis = self.params.offsets();
+        cand.clear();
+        for &dy in &axis {
+            for &dx in &axis {
+                cand.push(Cand {
+                    dy,
+                    dx,
+                    rm: cand.len() as u32,
+                    mag: (dy * dy + dx * dx) as u64,
+                    score: 0,
+                    min_lb: u64::MAX,
+                });
+            }
+        }
+
+        let mut consumer_ops: u64 = 0;
+        let mut search = SearchStats::default();
+
+        let s2 = (s * s) as u32;
+        best_bf.clear();
+        best_bf.resize(n_rf, BestCell::EMPTY);
+        lb.resize(n_tiles, 0);
+        exact.resize(n_tiles, 0);
+        l1.resize(n_tiles, 0);
+        // Stamps must start below every serial used this estimate.
+        l1_stamp.clear();
+        l1_stamp.resize(n_tiles, 0);
+        exact_stamp.clear();
+        exact_stamp.resize(n_tiles, 0);
+        colsum.resize(tiles_x, 0);
+
+        // Box-filter the key frame once: every s×s key window sum any
+        // offset can probe, so the per-(tile, offset) level-0 bound below
+        // is ONE load instead of four summed-area lookups. (The search
+        // probes each box position ~window_len/step² times.)
+        let (box_h, box_w) = if h >= s && w >= s {
+            (h - s + 1, w - s + 1)
+        } else {
+            (0, 0)
+        };
+        key_box.resize(box_h * box_w, 0);
+        for y in 0..box_h {
+            for x in 0..box_w {
+                key_box[y * box_w + x] = key_sat.window_sum(y, x, s, s);
+            }
+        }
+        consumer_ops += (box_h * box_w) as u64;
+
+        // Pass 1: score every offset by its total level-0 tile bound over
+        // the valid tile rectangle (out-of-bounds tiles are penalised so
+        // fully in-bounds offsets sort first). Scores only steer the visit
+        // order — correctness never depends on them.
+        const OOB_PENALTY: u64 = u32::MAX as u64;
+        for c in cand.iter_mut() {
+            let (ty_lo, ty_hi) = valid_tile_range(tiles_y, s, c.dy, h);
+            let (tx_lo, tx_hi) = valid_tile_range(tiles_x, s, c.dx, w);
+            let n_valid = (ty_hi - ty_lo) * (tx_hi - tx_lo);
+            let mut score = (n_tiles - n_valid) as u64 * OOB_PENALTY;
+            let mut min_lb = u64::MAX;
+            for ty in ty_lo..ty_hi {
+                let row = (((ty * s) as isize + c.dy) as usize) * box_w;
+                for tx in tx_lo..tx_hi {
+                    let kx = ((tx * s) as isize + c.dx) as usize;
+                    let v = new_sums[ty * tiles_x + tx].abs_diff(key_box[row + kx]);
+                    score += v;
+                    min_lb = min_lb.min(v);
+                }
+            }
+            consumer_ops += n_valid as u64;
+            c.score = score;
+            c.min_lb = min_lb;
+        }
+
+        // Best-first visit order: ascending total bound; rm makes the sort
+        // key unique, so the order is fully deterministic.
+        order.clear();
+        order.extend(0..cand.len() as u32);
+        order.sort_unstable_by_key(|&i| (cand[i as usize].score, cand[i as usize].rm));
+
+        // Pass 2, best-first: per offset, rebuild the level-0 tile bounds
+        // (one box load each), reject whole offsets whose *minimum* tile
+        // bound already exceeds every field's running minimum, aggregate
+        // the rest per receptive field (rolling column reuse), re-bound
+        // survivors at level 1 (cached per offset via stamps, shared by
+        // overlapping fields), and run exact SADs only on what remains.
+        // The smallest tile footprint of any (nonempty) receptive field —
+        // every field's level-0 bound sums at least this many tile bounds,
+        // which strengthens the offset-level quick reject below.
+        let min_band_h = row_range
+            .iter()
+            .filter(|&&(t0, t1)| t0 < t1)
+            .map(|&(t0, t1)| t1 - t0)
+            .min()
+            .unwrap_or(1) as u64;
+        let min_band_w = col_range
+            .iter()
+            .filter(|&&(t0, t1)| t0 < t1)
+            .map(|&(t0, t1)| t1 - t0)
+            .min()
+            .unwrap_or(1) as u64;
+        let min_rf_tiles = min_band_h * min_band_w;
+        let mut max_best = u64::MAX; // max running minimum over live fields
+        for (serial, &oi) in order.iter().enumerate() {
+            let serial = serial as u32 + 1;
+            let c = cand[oi as usize];
+            let (ty_lo, ty_hi) = valid_tile_range(tiles_y, s, c.dy, h);
+            let (tx_lo, tx_hi) = valid_tile_range(tiles_x, s, c.dx, w);
+            if ty_lo >= ty_hi || tx_lo >= tx_hi {
+                continue; // no valid tiles ⇒ no candidates at this offset
+            }
+            let n_ax_valid = col_range
+                .iter()
+                .filter(|&&(t0, t1)| t0 < t1 && t0 >= tx_lo && t1 <= tx_hi)
+                .count() as u64;
+            if n_ax_valid == 0 {
+                continue;
+            }
+            // Offset-level quick reject, BEFORE any per-tile work: a
+            // field's bound sums ≥ min_rf_tiles tile bounds, each ≥ the
+            // offset's minimum tile bound (recorded by pass 1), so if that
+            // product already strictly exceeds every live field's running
+            // minimum, no field can improve here — skip the offset without
+            // rebuilding a single tile bound.
+            if c.min_lb.saturating_mul(min_rf_tiles) > max_best {
+                let n_ay = row_range
+                    .iter()
+                    .filter(|&&(t0, t1)| t0 < t1 && t0 >= ty_lo && t1 <= ty_hi)
+                    .count() as u64;
+                search.candidates += n_ay * n_ax_valid;
+                search.rejected_level0 += n_ay * n_ax_valid;
+                continue;
+            }
+            // Level-0 tile bounds over the valid rectangle.
+            for ty in ty_lo..ty_hi {
+                let row = (((ty * s) as isize + c.dy) as usize) * box_w;
+                for tx in tx_lo..tx_hi {
+                    let t = ty * tiles_x + tx;
+                    let kx = ((tx * s) as isize + c.dx) as usize;
+                    lb[t] = new_sums[t].abs_diff(key_box[row + kx]);
+                }
+            }
+            consumer_ops += ((ty_hi - ty_lo) * (tx_hi - tx_lo)) as u64;
+            let mut updated = false;
+            for (ay, &(ty0, ty1)) in row_range.iter().enumerate() {
+                if ty0 >= ty1 || ty0 < ty_lo || ty1 > ty_hi {
+                    continue;
+                }
+                let mut band_min = u64::MAX;
+                for tx in tx_lo..tx_hi {
+                    let mut sum = 0u64;
+                    for ty in ty0..ty1 {
+                        sum += lb[ty * tiles_x + tx];
+                    }
+                    colsum[tx] = sum;
+                    band_min = band_min.min(sum);
+                }
+                consumer_ops += ((ty1 - ty0) * (tx_hi - tx_lo)) as u64;
+                // Row-band quick reject: every field in this activation row
+                // covers ≥ min_band_w of these column sums, each ≥
+                // band_min — same argument as above, one band down.
+                if band_min.saturating_mul(min_band_w) > max_best {
+                    search.candidates += n_ax_valid;
+                    search.rejected_level0 += n_ax_valid;
+                    continue;
+                }
+                for (ax, &(tx0, tx1)) in col_range.iter().enumerate() {
+                    if tx0 >= tx1 || tx0 < tx_lo || tx1 > tx_hi {
+                        continue;
+                    }
+                    let mut lb_sum = 0u64;
+                    for &cs in &colsum[tx0..tx1] {
+                        lb_sum += cs;
+                    }
+                    consumer_ops += (tx1 - tx0) as u64;
+                    let idx = ay * grid_w + ax;
+                    search.candidates += 1;
+                    let b = best_bf[idx];
+                    if !b.improvable_by(lb_sum, c.mag, c.rm) {
+                        search.rejected_level0 += 1;
+                        continue;
+                    }
+                    // Level 1: tighter per-tile bounds, computed at most
+                    // once per (tile, offset).
+                    let mut l1_sum = 0u64;
+                    for ty in ty0..ty1 {
+                        for tx in tx0..tx1 {
+                            let t = ty * tiles_x + tx;
+                            if l1_stamp[t] != serial {
+                                l1_stamp[t] = serial;
+                                let na = (ty * s, tx * s);
+                                let ka = (
+                                    ((ty * s) as isize + c.dy) as usize,
+                                    ((tx * s) as isize + c.dx) as usize,
+                                );
+                                let cols = sad_lower_bound_cols(new_sat, key_sat, na, ka, s, s);
+                                let rows = sad_lower_bound_rows(new_sat, key_sat, na, ka, s, s);
+                                l1[t] = cols.max(rows);
+                                consumer_ops += 2 * s as u64;
+                            }
+                            l1_sum += l1[t];
+                        }
+                    }
+                    if !b.improvable_by(l1_sum, c.mag, c.rm) {
+                        search.rejected_level1 += 1;
+                        continue;
+                    }
+                    // Exact refinement (also cached per (tile, offset)).
+                    let mut sum = 0u64;
+                    for ty in ty0..ty1 {
+                        for tx in tx0..tx1 {
+                            let t = ty * tiles_x + tx;
+                            if exact_stamp[t] != serial {
+                                exact_stamp[t] = serial;
+                                let ky = ((ty * s) as isize + c.dy) as usize;
+                                let kx = ((tx * s) as isize + c.dx) as usize;
+                                exact[t] = sad_window(new, key, (ty * s, tx * s), (ky, kx), s, s);
+                                producer_ops += s2 as u64;
+                            }
+                            sum += exact[t] as u64;
+                        }
+                    }
+                    let n = ((ty1 - ty0) * (tx1 - tx0)) as u64;
+                    consumer_ops += n;
+                    search.refined += 1;
+                    let err = sum.min(u32::MAX as u64 - 1) as u32;
+                    if (err, c.mag, c.rm) < (b.err, b.mag, b.rm) {
+                        best_bf[idx] = BestCell {
+                            err,
+                            mag: c.mag,
+                            rm: c.rm,
+                            dy: c.dy,
+                            dx: c.dx,
+                            pixels: n as u32 * s2,
+                        };
+                        updated = true;
+                    }
+                }
+            }
+            if updated {
+                // Refresh the quick-reject threshold: the max running
+                // minimum over fields that exist (nonempty tile ranges).
+                // Fields still at the u32::MAX sentinel keep it disabled.
+                max_best = 0;
+                for (idx, b) in best_bf.iter().enumerate() {
+                    let (ty0, ty1) = row_range[idx / grid_w];
+                    let (tx0, tx1) = col_range[idx % grid_w];
+                    if ty0 < ty1 && tx0 < tx1 {
+                        max_best = max_best.max(b.err as u64);
+                    }
+                }
+            }
+        }
+
+        best.clear();
+        best.extend(best_bf.iter().map(|b| RfMatch {
+            vector: MotionVector::new(b.dy as f32, b.dx as f32),
+            error: b.err,
+            pixels: b.pixels,
+        }));
+        Self::result_from_matches(
+            self.rf,
+            best,
+            grid_h,
+            grid_w,
+            producer_ops,
+            consumer_ops,
+            search,
+        )
+    }
+
+    /// The retained PR-2 single-level fast path: fused producer/consumer
+    /// with the whole-tile (level-0) bound only, visiting offsets in
+    /// ascending-magnitude order. Results are identical to
+    /// [`Rfbme::estimate`] and [`Rfbme::estimate_reference`]; kept as the
+    /// measured baseline for the `rfbme_twolevel_over_onelevel` trajectory
+    /// ratio and as an independent implementation for equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two frames differ in size.
+    pub fn estimate_onelevel(&self, key: &GrayImage, new: &GrayImage) -> RfbmeResult {
+        self.estimate_onelevel_with(key, new, &mut RfbmeScratch::new())
+    }
+
+    /// [`Rfbme::estimate_onelevel`] reusing caller-owned scratch buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two frames differ in size.
+    pub fn estimate_onelevel_with(
+        &self,
+        key: &GrayImage,
+        new: &GrayImage,
+        scratch: &mut RfbmeScratch,
+    ) -> RfbmeResult {
+        assert_eq!(
+            (key.height(), key.width()),
+            (new.height(), new.width()),
+            "frame size mismatch"
+        );
+        let RfbmeScratch {
+            key_sat,
+            new_sat,
             offsets,
             row_range,
             col_range,
@@ -488,20 +1042,22 @@ impl Rfbme {
             improvable,
             colsum,
             colvalid,
+            ..
         } = scratch;
-        let s = self.rf.stride.max(1);
-        let (h, w) = (new.height(), new.width());
-        let tiles_y = h / s;
-        let tiles_x = w / s;
-        let n_tiles = tiles_y * tiles_x;
-        let grid_h = self.rf.grid_len(h);
-        let grid_w = self.rf.grid_len(w);
-        let n_rf = grid_h * grid_w;
-        let consumer = DiffTileConsumer { rf: self.rf };
-        row_range.clear();
-        row_range.extend((0..grid_h).map(|a| consumer.tile_range(a, tiles_y)));
-        col_range.clear();
-        col_range.extend((0..grid_w).map(|a| consumer.tile_range(a, tiles_x)));
+        let (g, mut producer_ops) = prepare_search(
+            self.rf, key, new, key_sat, new_sat, row_range, col_range, new_sums,
+        );
+        let SearchGeometry {
+            s,
+            h,
+            w,
+            tiles_y,
+            tiles_x,
+            n_tiles,
+            grid_h,
+            grid_w,
+            n_rf,
+        } = g;
 
         // Ascending-magnitude visit order, stable within equal magnitude
         // (preserves row-major order there, matching the reference
@@ -515,20 +1071,8 @@ impl Rfbme {
         }
         offsets.sort_by_key(|&(dy, dx)| dy * dy + dx * dx);
 
-        let mut producer_ops: u64 = 0;
         let mut consumer_ops: u64 = 0;
-
-        // O(1) window sums over the key frame; per-tile sums of the new
-        // frame. Both are one pass over the pixels.
-        key_sat.recompute(key);
-        new_sat.recompute(new);
-        producer_ops += 2 * (h * w) as u64;
-        new_sums.resize(n_tiles, 0);
-        for ty in 0..tiles_y {
-            for tx in 0..tiles_x {
-                new_sums[ty * tiles_x + tx] = new_sat.window_sum(ty * s, tx * s, s, s);
-            }
-        }
+        let mut search = SearchStats::default();
 
         let s2 = (s * s) as u32;
         best.clear();
@@ -603,6 +1147,7 @@ impl Rfbme {
                     }
                     consumer_ops += (tx1 - tx0) as u64;
                     let idx = ay * grid_w + ax;
+                    search.candidates += 1;
                     if lb_sum < best[idx].error as u64 {
                         improvable.push(idx);
                         for ty in ty0..ty1 {
@@ -611,6 +1156,8 @@ impl Rfbme {
                             }
                         }
                         any_needed = true;
+                    } else {
+                        search.rejected_level0 += 1;
                     }
                 }
             }
@@ -647,6 +1194,7 @@ impl Rfbme {
                 }
                 let n = ((ty1 - ty0) * (tx1 - tx0)) as u64;
                 consumer_ops += n;
+                search.refined += 1;
                 let err = sum.min(u32::MAX as u64 - 1) as u32;
                 let b = &mut best[idx];
                 if err < b.error {
@@ -659,7 +1207,15 @@ impl Rfbme {
             }
         }
 
-        Self::result_from_matches(self.rf, best, grid_h, grid_w, producer_ops, consumer_ops)
+        Self::result_from_matches(
+            self.rf,
+            best,
+            grid_h,
+            grid_w,
+            producer_ops,
+            consumer_ops,
+            search,
+        )
     }
 
     /// Finalises per-field matches into an [`RfbmeResult`], mapping fields
@@ -671,6 +1227,7 @@ impl Rfbme {
         grid_w: usize,
         producer_ops: u64,
         consumer_ops: u64,
+        search: SearchStats,
     ) -> RfbmeResult {
         let mut field = VectorField::zeros(grid_h, grid_w, rf.stride);
         let mut errors = Vec::with_capacity(matches.len());
@@ -698,6 +1255,7 @@ impl Rfbme {
             total_pixels,
             producer_ops,
             consumer_ops,
+            search,
         }
     }
 }
@@ -1035,6 +1593,86 @@ mod tests {
             fast.producer_ops,
             reference.producer_ops
         );
+    }
+
+    #[test]
+    fn onelevel_and_twolevel_agree_with_reference() {
+        // Three independent implementations of the same search must agree
+        // exactly — vectors included (the tie-break contract).
+        let key = textured(48, 48);
+        for (dy, dx) in [(0isize, 0isize), (1, 1), (3, -2), (-6, 5), (8, 8)] {
+            let new = key.translate(dy, dx, 19);
+            for rf in [
+                rf_844(),
+                RfGeometry {
+                    size: 27,
+                    stride: 8,
+                    padding: 10,
+                },
+            ] {
+                let rfbme = Rfbme::new(rf, SearchParams { radius: 6, step: 1 });
+                let two = rfbme.estimate(&key, &new);
+                let one = rfbme.estimate_onelevel(&key, &new);
+                let reference = rfbme.estimate_reference(&key, &new);
+                assert_same_result(&two, &reference, &format!("two-level ({dy},{dx})"));
+                assert_same_result(&one, &reference, &format!("one-level ({dy},{dx})"));
+            }
+        }
+    }
+
+    #[test]
+    fn search_stats_account_for_every_candidate() {
+        let key = textured(48, 48);
+        let new = key.translate(2, -3, 41);
+        let rfbme = Rfbme::new(rf_844(), SearchParams { radius: 5, step: 1 });
+        let r = rfbme.estimate(&key, &new);
+        let s = r.search;
+        assert!(s.candidates > 0);
+        assert_eq!(
+            s.candidates,
+            s.rejected_level0 + s.rejected_level1 + s.refined,
+            "counters must partition the candidates: {s:?}"
+        );
+        // The one-level baseline refines strictly more (level 1 only ever
+        // removes refinements) and never rejects at level 1.
+        let one = rfbme.estimate_onelevel(&key, &new).search;
+        assert_eq!(one.rejected_level1, 0);
+        assert_eq!(one.candidates, s.candidates, "same valid pairs");
+        assert!(
+            s.refined <= one.refined,
+            "two-level refined {} > one-level {}",
+            s.refined,
+            one.refined
+        );
+        // The reference prunes nothing and reports nothing.
+        let reference = rfbme.estimate_reference(&key, &new).search;
+        assert_eq!(reference, SearchStats::default());
+    }
+
+    #[test]
+    fn two_level_pruning_rejects_most_candidates_on_small_motion() {
+        // The steady-state serving case: small inter-frame motion. After
+        // the best-first order lands on the true offset, bounds must reject
+        // the overwhelming majority of the remaining candidates before SAD.
+        let key = textured(48, 48);
+        let new = key.translate(1, 1, 7);
+        let rfbme = Rfbme::new(
+            RfGeometry {
+                size: 16,
+                stride: 8,
+                padding: 0,
+            },
+            SearchParams { radius: 8, step: 1 },
+        );
+        let s = rfbme.estimate(&key, &new).search;
+        assert!(
+            s.refined * 5 < s.candidates,
+            "expected >80% pruning, got {} refined of {}",
+            s.refined,
+            s.candidates
+        );
+        // And level 1 must actually contribute beyond level 0.
+        assert!(s.rejected_level1 > 0, "level-1 bound never fired: {s:?}");
     }
 
     #[test]

@@ -9,10 +9,25 @@
 //!
 //! [`IntegralImage`] provides O(1) window sums, which the fast RFBME path
 //! ([`crate::rfbme::Rfbme::estimate`]) uses to derive *lower bounds* on tile
-//! SADs: `|Σ new_tile − Σ key_window| ≤ SAD(new_tile, key_window)` by the
-//! triangle inequality. A candidate offset whose summed lower bound already
-//! exceeds a receptive field's running-minimum error cannot win, so its SAD
-//! refinement is skipped entirely — the diff-tile early-exit.
+//! SADs. The bounds form a hierarchy, all instances of one inequality: for
+//! any partition of a window into bands, the triangle inequality gives
+//!
+//! ```text
+//! Σ_bands |Σ new_band − Σ key_band|  ≤  SAD(new, key)
+//! ```
+//!
+//! * **Level 0** ([`sad_lower_bound`]) uses the trivial one-band partition:
+//!   `|Σ new − Σ key| ≤ SAD`. One subtraction from two O(1) window sums.
+//! * **Level 1** ([`sad_lower_bound_rows`] / [`sad_lower_bound_cols`])
+//!   partitions the window into single-pixel-high rows (or single-pixel-wide
+//!   column strips). Each band sum is an O(1) summed-area-table band, so the
+//!   whole bound is O(h) (or O(w)) — and because splitting a partition can
+//!   only grow a sum of absolute values, every level-1 bound dominates the
+//!   level-0 bound while still never exceeding the true SAD.
+//!
+//! A candidate offset whose aggregated bound already exceeds a receptive
+//! field's running-minimum error cannot win, so its SAD refinement is
+//! skipped entirely — the diff-tile early-exit, made hierarchical.
 
 use eva2_tensor::GrayImage;
 
@@ -119,6 +134,94 @@ impl IntegralImage {
         let (y1, x1) = (y + h, x + w);
         self.sat[y1 * s + x1] + self.sat[y * s + x] - self.sat[y * s + x1] - self.sat[y1 * s + x]
     }
+
+    /// Sum over rows `0..y` restricted to columns `x..x+w`. Consecutive `y`
+    /// values differ by exactly one row band, which is how the row-band
+    /// bound walks a window in O(h) lookups instead of O(h) window sums.
+    #[inline]
+    fn row_prefix(&self, y: usize, x: usize, w: usize) -> u64 {
+        let s = self.width + 1;
+        self.sat[y * s + x + w] - self.sat[y * s + x]
+    }
+
+    /// Sum over columns `0..x` restricted to rows `y..y+h` (the transposed
+    /// companion of [`IntegralImage::row_prefix`]).
+    #[inline]
+    fn col_prefix(&self, y: usize, h: usize, x: usize) -> u64 {
+        let s = self.width + 1;
+        self.sat[(y + h) * s + x] - self.sat[y * s + x]
+    }
+}
+
+/// Level-0 SAD lower bound: `|Σ new − Σ key|` over the two windows.
+///
+/// Admissible by the triangle inequality (`|Σ(a−b)| ≤ Σ|a−b|`); O(1).
+#[inline]
+pub fn sad_lower_bound(
+    new_sat: &IntegralImage,
+    key_sat: &IntegralImage,
+    (ny, nx): (usize, usize),
+    (ky, kx): (usize, usize),
+    h: usize,
+    w: usize,
+) -> u64 {
+    new_sat
+        .window_sum(ny, nx, h, w)
+        .abs_diff(key_sat.window_sum(ky, kx, h, w))
+}
+
+/// Level-1 per-row SAD lower bound: `Σ_r |Σ new_row_r − Σ key_row_r|`.
+///
+/// The rows partition the window, so the bound is admissible (each term is
+/// ≤ that row's SAD) and dominates [`sad_lower_bound`] (splitting a sum
+/// into absolute parts can only grow it). Costs O(h): one summed-area band
+/// prefix per row boundary, no per-pixel work.
+#[inline]
+pub fn sad_lower_bound_rows(
+    new_sat: &IntegralImage,
+    key_sat: &IntegralImage,
+    (ny, nx): (usize, usize),
+    (ky, kx): (usize, usize),
+    h: usize,
+    w: usize,
+) -> u64 {
+    let mut acc = 0u64;
+    let mut pn = new_sat.row_prefix(ny, nx, w);
+    let mut pk = key_sat.row_prefix(ky, kx, w);
+    for r in 1..=h {
+        let cn = new_sat.row_prefix(ny + r, nx, w);
+        let ck = key_sat.row_prefix(ky + r, kx, w);
+        acc += (cn - pn).abs_diff(ck - pk);
+        pn = cn;
+        pk = ck;
+    }
+    acc
+}
+
+/// Level-1 per-column-strip SAD lower bound:
+/// `Σ_c |Σ new_col_c − Σ key_col_c|` — [`sad_lower_bound_rows`] transposed,
+/// O(w). Its band prefixes walk one summed-area row contiguously, so it is
+/// the cheaper of the two level-1 bounds and is evaluated first.
+#[inline]
+pub fn sad_lower_bound_cols(
+    new_sat: &IntegralImage,
+    key_sat: &IntegralImage,
+    (ny, nx): (usize, usize),
+    (ky, kx): (usize, usize),
+    h: usize,
+    w: usize,
+) -> u64 {
+    let mut acc = 0u64;
+    let mut pn = new_sat.col_prefix(ny, h, nx);
+    let mut pk = key_sat.col_prefix(ky, h, kx);
+    for c in 1..=w {
+        let cn = new_sat.col_prefix(ny, h, nx + c);
+        let ck = key_sat.col_prefix(ky, h, kx + c);
+        acc += (cn - pn).abs_diff(ck - pk);
+        pn = cn;
+        pk = ck;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -209,7 +312,52 @@ mod tests {
                 let lb = a.abs_diff(b);
                 let sad = sad_window(&new, &key, (y, x), (y + 1, x + 1), 8, 8) as u64;
                 assert!(lb <= sad, "lb {lb} > sad {sad} at ({y},{x})");
+                assert_eq!(
+                    lb,
+                    sad_lower_bound(&sat_new, &sat_key, (y, x), (y + 1, x + 1), 8, 8)
+                );
             }
         }
+    }
+
+    #[test]
+    fn level1_bounds_dominate_level0_and_stay_admissible() {
+        // The bound hierarchy on every window shape, including ragged ones:
+        //   level-0 ≤ level-1 (rows/cols) ≤ true SAD.
+        let new = textured(20, 17);
+        let key = textured(20, 17).translate(1, 2, 63);
+        let sat_new = IntegralImage::new(&new);
+        let sat_key = IntegralImage::new(&key);
+        for &(na, ka, h, w) in &[
+            ((0usize, 0usize), (0usize, 0usize), 8usize, 8usize),
+            ((3, 5), (1, 2), 7, 5),
+            ((10, 7), (12, 9), 1, 4),
+            ((0, 0), (11, 8), 9, 1),
+            ((5, 5), (5, 5), 3, 3),
+        ] {
+            let l0 = sad_lower_bound(&sat_new, &sat_key, na, ka, h, w);
+            let rows = sad_lower_bound_rows(&sat_new, &sat_key, na, ka, h, w);
+            let cols = sad_lower_bound_cols(&sat_new, &sat_key, na, ka, h, w);
+            let sad = sad_window(&new, &key, na, ka, h, w) as u64;
+            assert!(l0 <= rows && l0 <= cols, "level-1 must dominate level-0");
+            assert!(rows <= sad, "rows bound {rows} > sad {sad}");
+            assert!(cols <= sad, "cols bound {cols} > sad {sad}");
+        }
+    }
+
+    #[test]
+    fn level1_row_bound_exact_on_row_disjoint_difference() {
+        // A frame pair differing by a constant per row: each row's |Δ| is
+        // the row's exact SAD, so the per-row bound must be tight while
+        // level-0 may cancel across rows.
+        let key = GrayImage::filled(8, 8, 100);
+        let new = GrayImage::from_fn(8, 8, |y, _| if y % 2 == 0 { 110 } else { 90 });
+        let sat_new = IntegralImage::new(&new);
+        let sat_key = IntegralImage::new(&key);
+        let sad = sad_window(&new, &key, (0, 0), (0, 0), 8, 8) as u64;
+        let rows = sad_lower_bound_rows(&sat_new, &sat_key, (0, 0), (0, 0), 8, 8);
+        let l0 = sad_lower_bound(&sat_new, &sat_key, (0, 0), (0, 0), 8, 8);
+        assert_eq!(rows, sad, "row bound is exact here");
+        assert_eq!(l0, 0, "whole-window sums cancel");
     }
 }

@@ -1,10 +1,15 @@
-//! Property tests for the RFBME fast path: the diff-tile early exit and
-//! running-minimum pruning must return, for every receptive field, a motion
-//! vector whose SAD *cost* equals the exhaustive search's minimum. Ties may
-//! pick a different vector — never a different cost.
+//! Property tests for the RFBME fast path: the two-level best-first search
+//! must return, for every receptive field, a motion vector whose SAD *cost*
+//! equals the exhaustive search's minimum — and, against the in-tree
+//! reference model, the exact same *vectors* (the lexicographic
+//! `(error, |offset|², row-major index)` tie-break contract). The level-1
+//! bounds must be admissible (≤ the true SAD) on every window geometry,
+//! including ragged ones.
 
 use eva2_motion::rfbme::{RfGeometry, Rfbme, RfbmeResult, SearchParams};
-use eva2_motion::sad::sad_window;
+use eva2_motion::sad::{
+    sad_lower_bound, sad_lower_bound_cols, sad_lower_bound_rows, sad_window, IntegralImage,
+};
 use eva2_tensor::GrayImage;
 use proptest::prelude::*;
 
@@ -183,11 +188,82 @@ proptest! {
         let exhaustive = exhaustive_min_errors(rf, params, &key, &new);
         prop_assert_eq!(&fast.errors, &exhaustive, "per-field minimum SAD costs differ");
         assert_vectors_achieve_errors(rf, &key, &new, &fast);
-        // And the two in-tree implementations agree wholesale.
+        // All three in-tree implementations agree wholesale — vectors
+        // included (the best-first search reproduces the reference's
+        // tie-breaking exactly, under any visit order).
         let reference = rfbme.estimate_reference(&key, &new);
         prop_assert_eq!(&fast.errors, &reference.errors);
         prop_assert_eq!(fast.total_error, reference.total_error);
         prop_assert_eq!(fast.total_pixels, reference.total_pixels);
+        prop_assert_eq!(&fast.field, &reference.field, "vector fields differ");
+        let onelevel = rfbme.estimate_onelevel(&key, &new);
+        prop_assert_eq!(&onelevel.errors, &reference.errors);
+        prop_assert_eq!(&onelevel.field, &reference.field);
+        // The pruning counters partition the candidates.
+        let s = fast.search;
+        prop_assert_eq!(
+            s.candidates,
+            s.rejected_level0 + s.rejected_level1 + s.refined
+        );
+    }
+
+    #[test]
+    fn level1_bounds_admissible_on_every_window_geometry(
+        key in frame_strategy(21, 19),
+        noise_seed in 0u64..1000,
+        ny in 0usize..10,
+        nx in 0usize..9,
+        ky in 0usize..10,
+        kx in 0usize..9,
+        h in 1usize..=11,
+        w in 1usize..=10,
+    ) {
+        // Arbitrary (including ragged, non-square, 1-wide/1-high) windows:
+        // level-0 ≤ level-1 rows/cols ≤ true SAD, always.
+        let mut state = noise_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut new = key.clone();
+        for _ in 0..40 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = (state >> 33) as usize % 21;
+            let x = (state >> 13) as usize % 19;
+            new.set(y, x, (state >> 5) as u8);
+        }
+        let sat_new = IntegralImage::new(&new);
+        let sat_key = IntegralImage::new(&key);
+        let na = (ny, nx);
+        let ka = (ky, kx);
+        prop_assume!(ny + h <= 21 && ky + h <= 21 && nx + w <= 19 && kx + w <= 19);
+        let l0 = sad_lower_bound(&sat_new, &sat_key, na, ka, h, w);
+        let rows = sad_lower_bound_rows(&sat_new, &sat_key, na, ka, h, w);
+        let cols = sad_lower_bound_cols(&sat_new, &sat_key, na, ka, h, w);
+        let sad = sad_window(&new, &key, na, ka, h, w) as u64;
+        prop_assert!(l0 <= rows, "rows bound must dominate level 0");
+        prop_assert!(l0 <= cols, "cols bound must dominate level 0");
+        prop_assert!(rows <= sad, "rows bound {} > sad {}", rows, sad);
+        prop_assert!(cols <= sad, "cols bound {} > sad {}", cols, sad);
+    }
+
+    #[test]
+    fn high_motion_and_ragged_geometry_match_reference(
+        key in frame_strategy(26, 22),
+        dy in -9isize..=9,
+        dx in -9isize..=9,
+        size in 6usize..=14,
+        stride in 3usize..=6,
+        padding in 0usize..=4,
+    ) {
+        // Large motion (up to the window edge and beyond) over frames that
+        // are NOT multiples of the stride — tile grids with leftover pixels
+        // and clipped receptive fields at every border.
+        let new = key.translate(dy, dx, 201);
+        let rf = RfGeometry { size, stride, padding };
+        let rfbme = Rfbme::new(rf, SearchParams { radius: 7, step: 1 });
+        let fast = rfbme.estimate(&key, &new);
+        let reference = rfbme.estimate_reference(&key, &new);
+        prop_assert_eq!(&fast.errors, &reference.errors);
+        prop_assert_eq!(fast.total_error, reference.total_error);
+        prop_assert_eq!(fast.total_pixels, reference.total_pixels);
+        prop_assert_eq!(&fast.field, &reference.field, "vector fields differ");
     }
 
     #[test]
@@ -207,6 +283,10 @@ proptest! {
         let exhaustive = exhaustive_min_errors(rf, params, &key, &new);
         prop_assert_eq!(&fast.errors, &exhaustive);
         assert_vectors_achieve_errors(rf, &key, &new, &fast);
+        // All-ties is the adversarial case for tie-sensitive pruning: the
+        // kept vectors must still match the reference exactly.
+        let reference = rfbme.estimate_reference(&key, &new);
+        prop_assert_eq!(&fast.field, &reference.field, "tie-break divergence");
     }
 }
 

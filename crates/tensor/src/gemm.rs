@@ -643,10 +643,70 @@ pub fn col2im_into(
     }
 }
 
+/// Single-depth-block convolution GEMM epilogue shared by the single-frame
+/// and batched forward paths (`k_dim ≤ KC`): the unpacked-B micro-kernel
+/// reads the row-major patch matrix `b` directly (no B-panel repack — the
+/// tile's B slab is L1-resident at these shapes) and each output tile is
+/// written in one `C = bias + A·B` pass ([`store_tile_bias`]), skipping the
+/// zero/bias pre-init and the read-modify-write of the accumulate loop.
+/// Ragged final column tiles go through one packed pad panel
+/// (`pad_panel`), exactly as `pack_b_block` would lay them out.
+///
+/// Bit-identical to packed-B + bias-prefill + [`add_tile`]: the kernel sees
+/// the same operand values in the same accumulation order, and
+/// `bias + tile` is computed once either way.
+#[allow(clippy::too_many_arguments)] // the full product + epilogue state
+fn gemm_direct_bias(
+    m: usize,
+    n: usize,
+    k_dim: usize,
+    packed_a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    pad_panel: &mut Vec<f32>,
+) {
+    debug_assert!(k_dim <= KC && k_dim > 0 && n > 0);
+    let m_panels = m.div_ceil(MR);
+    let n_panels = n.div_ceil(NR);
+    let full_panels = n / NR;
+    if full_panels < n_panels {
+        // Pack the ragged tail panel once (zero pad lanes).
+        let nr = n - full_panels * NR;
+        pad_panel.resize(NR * k_dim, 0.0);
+        for p in 0..k_dim {
+            let src = &b[p * n + full_panels * NR..(p + 1) * n];
+            let dst = &mut pad_panel[p * NR..(p + 1) * NR];
+            dst[..nr].copy_from_slice(src);
+            dst[nr..].fill(0.0);
+        }
+    }
+    for jp in 0..n_panels {
+        let nr = NR.min(n - jp * NR);
+        for ip in 0..m_panels {
+            let mr = MR.min(m - ip * MR);
+            let a_panel = &packed_a[ip * MR * k_dim..(ip + 1) * MR * k_dim];
+            let tile = if jp < full_panels {
+                microkernel_direct(k_dim, a_panel, &b[jp * NR..], n)
+            } else {
+                microkernel(k_dim, a_panel, pad_panel)
+            };
+            store_tile_bias(&tile, out, n, ip * MR, jp * NR, mr, nr, bias);
+        }
+    }
+}
+
 /// im2col + GEMM convolution forward pass.
 ///
 /// `weights` is the flattened `[oc][ic][ky][kx]` filter bank, `bias` one
 /// value per output channel. Returns the `C_out × H_out × W_out` output.
+///
+/// When the whole depth fits one [`KC`] block (`C_in·K² ≤ 256` — true for
+/// every zoo prefix layer), the product runs through [`gemm_direct_bias`]:
+/// the PR-4 batched innovations (unpacked-B micro-kernel, single-pass
+/// `C = bias + A·B` store) ported to the single-frame path, bit-identical
+/// to the packed accumulate loop it bypasses. Deeper products keep the
+/// packed loop (which may N-split under the `parallel` feature).
 ///
 /// # Panics
 ///
@@ -677,6 +737,33 @@ pub fn conv2d_forward(
         conv_output_len(shape.width, kernel, stride, padding),
     );
     let (_, n) = im2col_into(input, kernel, stride, padding, &mut scratch.cols);
+    let direct = k_dim > 0 && k_dim <= KC && n > 0 && out_channels > 0;
+    // Keep the N-split for products the parallel feature would thread —
+    // the serial direct path would silently serialize them (single-depth-
+    // block N-splits round identically, so either route is bit-identical).
+    #[cfg(feature = "parallel")]
+    let direct = direct && auto_threads(out_channels, n, k_dim) == 1;
+    if direct {
+        pack_a_full(
+            MatRef::new(weights, k_dim, 1),
+            out_channels,
+            k_dim,
+            &mut scratch.packs.a,
+        );
+        // Every element is written by the store pass.
+        let mut out = vec![0.0f32; out_channels * n];
+        gemm_direct_bias(
+            out_channels,
+            n,
+            k_dim,
+            &scratch.packs.a,
+            &scratch.cols,
+            bias,
+            &mut out,
+            &mut scratch.packs.b,
+        );
+        return Tensor3::from_vec(out_shape, out);
+    }
     let mut out = Tensor3::zeros(out_shape);
     for (oc, &b) in bias.iter().enumerate() {
         out.channel_mut(oc).fill(b);
@@ -779,7 +866,6 @@ pub fn conv2d_forward_batch(
         k_dim,
         &mut scratch.packs.a,
     );
-    let m_panels = out_channels.div_ceil(MR);
     // Sectioned row-major patch matrices, one per frame, sized once for
     // the batch (fully overwritten, so no per-frame zero-fill).
     let section = k_dim * n;
@@ -792,39 +878,23 @@ pub fn conv2d_forward_batch(
     }
     let mut outs = Vec::with_capacity(inputs.len());
     if k_dim <= KC {
-        // Single-depth-block fast path: unpacked-B micro-kernel + one-pass
-        // bias store. Ragged final tiles use one packed pad panel.
-        let n_panels = n.div_ceil(NR);
-        let full_panels = n / NR;
-        let pad_panel = &mut scratch.packs.b;
+        // Single-depth-block fast path, shared with the single-frame
+        // conv2d_forward: unpacked-B micro-kernel + one-pass bias store
+        // (`gemm_direct_bias`). What the batch adds on top is the single
+        // A-pack above serving every frame.
         for f in 0..inputs.len() {
             let b = &cols[f * section..(f + 1) * section];
-            if full_panels < n_panels {
-                // Pack the ragged tail panel once per frame (zero pad
-                // lanes), exactly as pack_b_block would.
-                let nr = n - full_panels * NR;
-                pad_panel.resize(NR * k_dim, 0.0);
-                for p in 0..k_dim {
-                    let src = &b[p * n + full_panels * NR..(p + 1) * n];
-                    let dst = &mut pad_panel[p * NR..(p + 1) * NR];
-                    dst[..nr].copy_from_slice(src);
-                    dst[nr..].fill(0.0);
-                }
-            }
             let mut out = vec![0.0f32; out_channels * n];
-            for jp in 0..n_panels {
-                let nr = NR.min(n - jp * NR);
-                for ip in 0..m_panels {
-                    let mr = MR.min(out_channels - ip * MR);
-                    let a_panel = &scratch.packs.a[ip * MR * k_dim..(ip + 1) * MR * k_dim];
-                    let tile = if jp < full_panels {
-                        microkernel_direct(k_dim, a_panel, &b[jp * NR..], n)
-                    } else {
-                        microkernel(k_dim, a_panel, pad_panel)
-                    };
-                    store_tile_bias(&tile, &mut out, n, ip * MR, jp * NR, mr, nr, bias);
-                }
-            }
+            gemm_direct_bias(
+                out_channels,
+                n,
+                k_dim,
+                &scratch.packs.a,
+                b,
+                bias,
+                &mut out,
+                &mut scratch.packs.b,
+            );
             outs.push(Tensor3::from_vec(out_shape, out));
         }
     } else {
@@ -1176,6 +1246,42 @@ mod tests {
             conv2d_forward_batch(&[], &[], &[], 0, 1, 1, 0, &mut scratch).is_empty(),
             "empty batch"
         );
+    }
+
+    #[test]
+    fn direct_single_frame_conv_bit_identical_to_packed_loop() {
+        // conv2d_forward's single-depth-block fast path (unpacked-B kernel
+        // + one-pass bias store) must produce the exact bits of the packed
+        // accumulate loop it bypasses: bias-prefill + gemm_nn over the same
+        // patch matrix.
+        let mut scratch = GemmScratch::new();
+        for &(c, h, w, oc, k, s, p) in &[
+            (2usize, 6usize, 5usize, 3usize, 3usize, 1usize, 1usize),
+            (3, 8, 8, 4, 5, 2, 2),
+            (1, 4, 4, 2, 4, 4, 0),
+            // Ragged N (25 = one full NR panel + 9 pad lanes).
+            (2, 5, 5, 3, 3, 1, 1),
+            // N smaller than one NR panel.
+            (2, 3, 3, 5, 3, 1, 0),
+        ] {
+            let input = seq_input(c, h, w);
+            let (weights, bias) = weights_for(oc, c, k);
+            let got = conv2d_forward(&input, &weights, &bias, oc, k, s, p, &mut scratch);
+            let k_dim = c * k * k;
+            assert!(k_dim <= KC, "test shapes must take the direct path");
+            let mut cols = Vec::new();
+            let (_, n) = im2col_into(&input, k, s, p, &mut cols);
+            let mut want = vec![0.0f32; oc * n];
+            for (ch, &b) in bias.iter().enumerate() {
+                want[ch * n..(ch + 1) * n].fill(b);
+            }
+            gemm_nn(oc, n, k_dim, &weights, &cols, &mut want);
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "direct path must be bit-identical (k{k}s{s}p{p})"
+            );
+        }
     }
 
     #[test]
