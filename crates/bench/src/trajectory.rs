@@ -15,6 +15,7 @@ use eva2_cnn::zoo;
 use eva2_core::executor::{AmcConfig, AmcExecutor};
 use eva2_core::pipeline::PipelinedExecutor;
 use eva2_core::policy::PolicyConfig;
+use eva2_core::serve::Engine;
 use eva2_core::sparse::RleActivation;
 use eva2_core::warp::{warp_activation, warp_activation_sparse};
 use eva2_motion::rfbme::{Rfbme, SearchParams};
@@ -25,6 +26,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Measurement effort: the committed trajectory uses [`Mode::Full`]; CI's
@@ -104,6 +106,14 @@ pub struct Measurements {
     pub predicted_frame_fused_over_dense: f64,
     /// Predicted frame: serial executor over the streaming pipeline.
     pub predicted_serial_over_pipelined: f64,
+    /// Audited heap footprint (bytes) of one serving session holding key
+    /// state for the FasterM analogue — the figure the serving engine's
+    /// memory budgets ([`EngineLimits::max_session_bytes`] /
+    /// `max_total_bytes`) are enforced against. Tracked so a PR that
+    /// bloats per-stream state shows up in the trajectory.
+    ///
+    /// [`EngineLimits::max_session_bytes`]: eva2_core::serve::EngineLimits
+    pub session_memory_footprint: f64,
 }
 
 /// One speedup ratio the CI gate compares against the committed trajectory.
@@ -456,6 +466,26 @@ pub fn measure(mode: Mode) -> Measurements {
     let predicted_serial_over_pipelined = pred_ns / pred_pipe_ns;
     println!("predicted frame serial/pipelined: {predicted_serial_over_pipelined:.2}x");
 
+    // ------------------------------------------------------------------
+    // Serving-session memory: the audited footprint one stream holds in
+    // steady state (struct + key image + RLE/sparse/decoded activations +
+    // RFBME scratch). Not a timing — a capacity figure for the lifecycle
+    // budgets.
+    // ------------------------------------------------------------------
+    let session_memory_footprint = {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let mut engine =
+            Engine::new(net, AmcConfig::default()).expect("default serving config is valid");
+        let mut session = engine
+            .open_session()
+            .expect("unlimited engine has capacity");
+        engine.process(&mut session, &f0).expect("admitted");
+        engine.process(&mut session, &f1).expect("admitted");
+        let bytes = session.memory_footprint();
+        println!("session memory footprint (steady state): {bytes} bytes");
+        bytes as f64
+    };
+
     Measurements {
         entries,
         conv_speedup,
@@ -468,6 +498,7 @@ pub fn measure(mode: Mode) -> Measurements {
         rfbme_twolevel_over_onelevel,
         predicted_frame_fused_over_dense,
         predicted_serial_over_pipelined,
+        session_memory_footprint,
     }
 }
 
@@ -502,13 +533,14 @@ impl Measurements {
         }
         let _ = write!(
             body,
-            "  }},\n  \"convhead_sparse_over_densify_50pct\": {:.2},\n  \"key_over_predicted_frame\": {:.2},\n  \"rfbme_reference_over_fast\": {:.2},\n  \"rfbme_twolevel_over_onelevel\": {:.2},\n  \"predicted_frame_fused_over_dense\": {:.2},\n  \"predicted_serial_over_pipelined\": {:.2}\n}}\n",
+            "  }},\n  \"convhead_sparse_over_densify_50pct\": {:.2},\n  \"key_over_predicted_frame\": {:.2},\n  \"rfbme_reference_over_fast\": {:.2},\n  \"rfbme_twolevel_over_onelevel\": {:.2},\n  \"predicted_frame_fused_over_dense\": {:.2},\n  \"predicted_serial_over_pipelined\": {:.2},\n  \"session_memory_footprint\": {:.0}\n}}\n",
             self.convhead_sparse_over_densify,
             self.key_over_predicted,
             self.rfbme_reference_over_fast,
             self.rfbme_twolevel_over_onelevel,
             self.predicted_frame_fused_over_dense,
-            self.predicted_serial_over_pipelined
+            self.predicted_serial_over_pipelined,
+            self.session_memory_footprint
         );
         body
     }
@@ -577,6 +609,15 @@ impl Measurements {
             value: self.predicted_serial_over_pipelined,
             advisory: true,
         });
+        // A capacity figure, not a speedup: `Vec` growth policy and
+        // allocator round-up differ across toolchains, so byte-for-byte
+        // bands would flake on a toolchain bump. Advisory keeps bloat
+        // visible without gating on it.
+        v.push(TrackedRatio {
+            key: "session_memory_footprint".to_string(),
+            value: self.session_memory_footprint,
+            advisory: true,
+        });
         v
     }
 }
@@ -636,6 +677,7 @@ mod tests {
             rfbme_twolevel_over_onelevel: 1.8,
             predicted_frame_fused_over_dense: 1.4,
             predicted_serial_over_pipelined: 1.15,
+            session_memory_footprint: 123456.0,
         };
         let json = m.to_json();
         for ratio in m.tracked_ratios() {
@@ -664,6 +706,7 @@ mod tests {
             rfbme_twolevel_over_onelevel: 1.0,
             predicted_frame_fused_over_dense: 1.0,
             predicted_serial_over_pipelined: 1.0,
+            session_memory_footprint: 1.0,
         };
         let advisory: Vec<String> = m
             .tracked_ratios()
@@ -676,7 +719,8 @@ mod tests {
             vec![
                 "batched_prefix_over_single",
                 "convhead_sparse_over_densify_50pct",
-                "predicted_serial_over_pipelined"
+                "predicted_serial_over_pipelined",
+                "session_memory_footprint"
             ]
         );
     }

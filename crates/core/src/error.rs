@@ -47,6 +47,61 @@ pub enum AmcError {
         /// The session configuration's resolved target layer.
         session: usize,
     },
+    /// A session was submitted to an engine that did not open it. Running
+    /// one engine's key-frame state against another engine's network would
+    /// silently produce garbage, so the submission is refused instead.
+    EngineMismatch {
+        /// Id of the offending session (unique per opening engine).
+        session: u64,
+    },
+    /// `Engine::open_session*` was refused because the engine already holds
+    /// its configured maximum number of live sessions
+    /// (`EngineLimits::max_sessions`). Close or evict a session first.
+    EngineAtCapacity {
+        /// The configured session limit.
+        limit: usize,
+    },
+    /// A submitted frame was shed by admission control: serving it would
+    /// exceed a per-tick budget (`EngineLimits::max_frames_per_tick` or
+    /// `max_keys_per_tick`). The session is untouched — resubmitting the
+    /// frame on a later tick is safe and will produce the same result it
+    /// would have produced now.
+    BudgetExceeded {
+        /// Which budget was exhausted (`"frames per tick"` /
+        /// `"key frames per tick"`).
+        what: &'static str,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The session was evicted by the engine (admission revoked) and can no
+    /// longer submit frames; open a fresh session to resume the stream.
+    SessionEvicted {
+        /// Id of the evicted session.
+        session: u64,
+    },
+    /// A submitted frame's dimensions do not match the geometry the
+    /// serving network expects. The expected geometry is the network's input
+    /// shape, so it cannot be changed mid-stream; a renegotiated source
+    /// must rescale frames (or be served by an engine built for the new
+    /// resolution).
+    FrameGeometryMismatch {
+        /// Height the network was built for.
+        expected_height: usize,
+        /// Width the network was built for.
+        expected_width: usize,
+        /// Height of the submitted frame.
+        got_height: usize,
+        /// Width of the submitted frame.
+        got_width: usize,
+    },
+    /// An internal serving invariant was violated. This is a bug report,
+    /// not an operational condition — but a serving process must not be
+    /// killed by one bad stream, so it surfaces as a typed error instead
+    /// of a panic.
+    Internal {
+        /// Which invariant was violated.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for AmcError {
@@ -73,6 +128,35 @@ impl fmt::Display for AmcError {
                 f,
                 "session target layer {session} does not match engine target layer {engine}"
             ),
+            AmcError::EngineMismatch { session } => {
+                write!(f, "session {session} was opened by a different engine")
+            }
+            AmcError::EngineAtCapacity { limit } => write!(
+                f,
+                "engine is at its session capacity ({limit} live sessions)"
+            ),
+            AmcError::BudgetExceeded { what, budget } => write!(
+                f,
+                "frame shed by admission control: {what} budget ({budget}) exhausted this tick"
+            ),
+            AmcError::SessionEvicted { session } => write!(
+                f,
+                "session {session} was evicted by the engine; open a fresh session"
+            ),
+            AmcError::FrameGeometryMismatch {
+                expected_height,
+                expected_width,
+                got_height,
+                got_width,
+            } => write!(
+                f,
+                "frame geometry {got_height}x{got_width} does not match the network's \
+                 input geometry {expected_height}x{expected_width} (rescale the frame \
+                 or serve it from an engine built for that resolution)"
+            ),
+            AmcError::Internal { what } => {
+                write!(f, "internal serving invariant violated: {what}")
+            }
         }
     }
 }
@@ -96,6 +180,41 @@ mod tests {
         }
         .to_string()
         .contains("search step"));
+    }
+
+    #[test]
+    fn lifecycle_variants_display_is_informative() {
+        assert!(AmcError::EngineAtCapacity { limit: 3 }
+            .to_string()
+            .contains('3'));
+        let shed = AmcError::BudgetExceeded {
+            what: "key frames per tick",
+            budget: 2,
+        }
+        .to_string();
+        assert!(
+            shed.contains("key frames per tick") && shed.contains('2'),
+            "{shed}"
+        );
+        assert!(AmcError::SessionEvicted { session: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(AmcError::EngineMismatch { session: 4 }
+            .to_string()
+            .contains("different engine"));
+        let geom = AmcError::FrameGeometryMismatch {
+            expected_height: 48,
+            expected_width: 48,
+            got_height: 24,
+            got_width: 24,
+        }
+        .to_string();
+        assert!(geom.contains("48x48") && geom.contains("24x24"), "{geom}");
+        assert!(AmcError::Internal {
+            what: "one prefix activation per key frame"
+        }
+        .to_string()
+        .contains("invariant"));
     }
 
     #[test]

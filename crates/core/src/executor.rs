@@ -54,6 +54,14 @@ pub struct AmcConfig {
     pub fixed_point: bool,
     /// Near-zero suppression threshold for the sparse activation store.
     pub sparsity_threshold: f32,
+    /// Confidence bound on the RFBME residual: when a frame the policy
+    /// decided *predicted* carries a per-pixel block error above this, the
+    /// match did not explain the frame (occlusion, corruption, a tolerated
+    /// cut) and warping would propagate garbage — the frame is degraded to
+    /// a key frame instead (§III-C), counted in
+    /// [`ExecStats::forced_keys`]. The default (`f32::INFINITY`) disables
+    /// the bound.
+    pub max_residual_error: f32,
 }
 
 impl Default for AmcConfig {
@@ -68,6 +76,7 @@ impl Default for AmcConfig {
             },
             fixed_point: false,
             sparsity_threshold: 1.0 / 256.0,
+            max_residual_error: f32::INFINITY,
         }
     }
 }
@@ -94,6 +103,9 @@ impl AmcConfig {
         }
         if !self.sparsity_threshold.is_finite() || self.sparsity_threshold < 0.0 {
             return invalid("sparsity threshold must be finite and non-negative");
+        }
+        if self.max_residual_error.is_nan() || self.max_residual_error < 0.0 {
+            return invalid("max residual error must be non-negative (INFINITY disables it)");
         }
         match self.policy {
             PolicyConfig::AlwaysKey => {}
@@ -161,6 +173,13 @@ impl AmcConfigBuilder {
         self
     }
 
+    /// Sets the residual-error confidence bound above which a predicted
+    /// frame is degraded to a key frame (`f32::INFINITY` disables it).
+    pub fn max_residual_error(mut self, bound: f32) -> Self {
+        self.config.max_residual_error = bound;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -219,6 +238,15 @@ pub struct ExecStats {
     pub rfbme_level1_rejects: u64,
     /// Total warp interpolations.
     pub warp_interpolations: u64,
+    /// Key frames forced by the residual confidence bound
+    /// ([`AmcConfig::max_residual_error`]): the policy said *predicted*
+    /// but the RFBME match could not explain the frame, so the executor
+    /// degraded it to a key frame rather than warp garbage (a subset of
+    /// [`ExecStats::key_frames`]).
+    pub forced_keys: usize,
+    /// Key-state evictions this stream survived (serving-engine memory
+    /// management); each one forces the next frame to re-key.
+    pub evictions: usize,
 }
 
 impl ExecStats {
@@ -330,7 +358,22 @@ impl<'n> AmcExecutor<'n> {
     }
 
     /// Processes one frame through AMC.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the frame is rejected with a typed error — today only
+    /// [`AmcError::FrameGeometryMismatch`], a frame whose resolution
+    /// differs from the stored key frame's. Use
+    /// [`AmcExecutor::try_process`] to handle rejection instead.
     pub fn process(&mut self, image: &GrayImage) -> AmcFrameResult {
+        self.try_process(image)
+            .unwrap_or_else(|e| panic!("AMC rejected the frame: {e}"))
+    }
+
+    /// [`AmcExecutor::process`] returning frame rejection as a typed
+    /// [`AmcError`] instead of panicking — the serving-grade entry point
+    /// (the multi-stream [`crate::serve::Engine`] is fallible throughout).
+    pub fn try_process(&mut self, image: &GrayImage) -> Result<AmcFrameResult, AmcError> {
         self.core.process(self.net, &mut self.scratch, image)
     }
 
@@ -341,6 +384,11 @@ impl<'n> AmcExecutor<'n> {
     /// stored) for results to match [`AmcExecutor::process`]. This is the
     /// entry point for executors that compute motion elsewhere — the
     /// pipelined executor's worker thread, or replayed codec vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the frame is rejected with a typed error (see
+    /// [`AmcExecutor::process`]).
     pub fn process_with_motion(
         &mut self,
         image: &GrayImage,
@@ -348,6 +396,7 @@ impl<'n> AmcExecutor<'n> {
     ) -> AmcFrameResult {
         self.core
             .process_with_motion_hook(self.net, &mut self.scratch, image, motion, |_| {})
+            .unwrap_or_else(|e| panic!("AMC rejected the frame: {e}"))
     }
 
     /// [`AmcExecutor::process_with_motion`] with a hook invoked right after
@@ -361,13 +410,9 @@ impl<'n> AmcExecutor<'n> {
         motion: Option<RfbmeResult>,
         after_decision: impl FnOnce(FrameKind),
     ) -> AmcFrameResult {
-        self.core.process_with_motion_hook(
-            self.net,
-            &mut self.scratch,
-            image,
-            motion,
-            after_decision,
-        )
+        self.core
+            .process_with_motion_hook(self.net, &mut self.scratch, image, motion, after_decision)
+            .unwrap_or_else(|e| panic!("AMC rejected the frame: {e}"))
     }
 
     /// Convenience: processes a slice of frames, returning per-frame results.
@@ -613,6 +658,53 @@ mod tests {
     }
 
     #[test]
+    fn try_process_rejects_geometry_change_with_typed_error() {
+        let z = zoo::tiny_fasterm(0);
+        let mut amc = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
+        amc.process(&textured_frame(48, 48, 0));
+        let err = amc.try_process(&textured_frame(32, 32, 0));
+        assert!(
+            matches!(
+                err,
+                Err(AmcError::FrameGeometryMismatch {
+                    expected_height: 48,
+                    got_height: 32,
+                    ..
+                })
+            ),
+            "got {err:?}"
+        );
+        // The stream is undisturbed and keeps serving at its resolution:
+        // an unchanged scene still lands the cheap predicted path.
+        assert_eq!(amc.stats().frames, 1);
+        assert!(!amc.process(&textured_frame(48, 48, 0)).is_key);
+        // The geometry is fixed by the network, so the off-shape frame is
+        // rejected even on a fresh stream.
+        amc.reset();
+        assert!(amc.try_process(&textured_frame(32, 32, 0)).is_err());
+        assert!(amc.try_process(&textured_frame(48, 48, 0)).unwrap().is_key);
+    }
+
+    #[test]
+    fn residual_bound_forces_keys_in_executor_too() {
+        let z = zoo::tiny_fasterm(0);
+        let cfg = AmcConfig {
+            policy: PolicyConfig::BlockError {
+                threshold: f32::INFINITY,
+                max_gap: 1000,
+            },
+            max_residual_error: 0.5,
+            ..Default::default()
+        };
+        let mut amc = AmcExecutor::try_new(&z.network, cfg).unwrap();
+        amc.process(&textured_frame(48, 48, 0));
+        let noise = GrayImage::from_fn(48, 48, |y, x| ((y * 37 + x * 101) % 255) as u8);
+        assert!(amc.process(&noise).is_key);
+        assert_eq!(amc.stats().forced_keys, 1);
+        assert_eq!(amc.stats().key_frames, 2);
+    }
+
+    #[test]
     fn try_new_reports_bad_config() {
         let z = zoo::tiny_fasterm(0);
         let cfg = AmcConfig {
@@ -634,6 +726,7 @@ mod tests {
             .policy(PolicyConfig::StaticRate { period: 3 })
             .fixed_point(true)
             .sparsity_threshold(0.25)
+            .max_residual_error(2.5)
             .build()
             .unwrap();
         assert_eq!(
@@ -645,6 +738,7 @@ mod tests {
                 policy: PolicyConfig::StaticRate { period: 3 },
                 fixed_point: true,
                 sparsity_threshold: 0.25,
+                max_residual_error: 2.5,
             }
         );
         assert!(AmcConfig::builder().build().is_ok(), "defaults are valid");
@@ -656,6 +750,8 @@ mod tests {
             AmcConfig::builder().search(SearchParams { radius: 4, step: 0 }),
             AmcConfig::builder().sparsity_threshold(f32::NAN),
             AmcConfig::builder().sparsity_threshold(-0.5),
+            AmcConfig::builder().max_residual_error(f32::NAN),
+            AmcConfig::builder().max_residual_error(-1.0),
             AmcConfig::builder().policy(PolicyConfig::StaticRate { period: 0 }),
             AmcConfig::builder().policy(PolicyConfig::BlockError {
                 threshold: f32::NAN,

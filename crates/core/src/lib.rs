@@ -41,13 +41,13 @@
 //! let net = Arc::new(zoo::tiny_fasterm(7).network);
 //! let config = AmcConfig::builder().build().expect("defaults are valid");
 //! let mut engine = Engine::new(net, config).expect("resolvable target");
-//! let mut stream = engine.open_session();
+//! let mut stream = engine.open_session().expect("engine has capacity");
 //! let frame = GrayImage::from_fn(48, 48, |y, x| {
 //!     (120.0 + 60.0 * ((y as f32) * 0.3).sin() * ((x as f32) * 0.2).cos()) as u8
 //! });
-//! let first = engine.process(&mut stream, &frame);
+//! let first = engine.process(&mut stream, &frame).unwrap();
 //! assert!(first.is_key, "a stream's first frame is always a key frame");
-//! let second = engine.process(&mut stream, &frame);
+//! let second = engine.process(&mut stream, &frame).unwrap();
 //! // An unchanged scene with the default policy yields a cheap predicted frame.
 //! assert!(!second.is_key);
 //! ```
@@ -67,6 +67,6 @@ pub use error::AmcError;
 pub use executor::{AmcConfig, AmcConfigBuilder, AmcExecutor, AmcFrameResult, WarpMode};
 pub use pipeline::{FrameExecutor, PipelinedExecutor};
 pub use policy::{FrameMetrics, KeyFramePolicy};
-pub use serve::{Engine, StreamSession};
+pub use serve::{Engine, EngineLimits, StreamSession};
 pub use sparse::RleActivation;
 pub use target::TargetSelection;

@@ -70,11 +70,17 @@ pub enum FrameKind {
 
 /// Decides, per frame, whether to spend a key frame.
 ///
-/// Implementations may keep internal state (e.g. hysteresis); the executor
-/// calls [`KeyFramePolicy::decide`] once per non-initial frame and
-/// [`KeyFramePolicy::note_key_frame`] whenever a key frame actually runs.
+/// Implementations may keep internal state (e.g. hysteresis), but must
+/// mutate it only in [`KeyFramePolicy::note_key_frame`]:
+/// [`KeyFramePolicy::decide`] is called once per non-initial frame the
+/// serving engine *classifies*, and a classified frame may still be shed
+/// by backpressure before it executes (see
+/// [`serve`](crate::serve#lifecycle--failure-modes)) — a `decide` with
+/// side effects would observe frames that never ran. All shipped policies
+/// are pure functions of the metrics.
 pub trait KeyFramePolicy: std::fmt::Debug + Send {
-    /// Chooses the frame kind given the motion metrics.
+    /// Chooses the frame kind given the motion metrics. Must be
+    /// side-effect-free (the call may be speculative; see the trait docs).
     fn decide(&mut self, metrics: &FrameMetrics) -> FrameKind;
 
     /// Notifies the policy that a key frame was executed.

@@ -28,7 +28,9 @@
 //! per batch, the unpacked-B micro-kernel skips the per-frame repack, and
 //! outputs store in a single bias+product pass. Batching across streams is
 //! strictly better than within one stream — it adds no latency, because no
-//! stream waits on its own future frames.
+//! stream waits on its own future frames. Key frames of different
+//! resolutions batch in per-shape groups (sessions need not share an input
+//! resolution, only a target layer).
 //!
 //! # The predicted-frame fast path
 //!
@@ -44,6 +46,60 @@
 //! mirroring the hardware's sparse activation memory. The fused seam is
 //! bit-identical to dense-warp-then-extract, so the wrapper guarantee
 //! below is unaffected.
+//!
+//! # Lifecycle & failure modes
+//!
+//! A long-running serving process cannot afford a panic, an unbounded
+//! buffer, or a silently wrong frame, so the engine wraps the AMC state
+//! machine in an explicit lifecycle. Every submission returns
+//! `Result<AmcFrameResult, AmcError>`: the engine either serves a correct
+//! frame or tells the caller exactly why it refused.
+//!
+//! * **Admission control.** [`EngineLimits::max_sessions`] caps concurrent
+//!   sessions: [`Engine::open_session`] returns
+//!   [`AmcError::EngineAtCapacity`] when the cap is reached. Dropping a
+//!   [`StreamSession`] (or retiring one with [`Engine::evict_session`])
+//!   frees its slot immediately.
+//! * **Backpressure.** Each [`Engine::process_batch`] call is one *tick*.
+//!   [`EngineLimits::max_frames_per_tick`] and
+//!   [`EngineLimits::max_key_frames_per_tick`] bound the work one tick may
+//!   admit; excess frames are *shed* with [`AmcError::BudgetExceeded`].
+//!   Shedding happens strictly before any state mutation — a shed frame
+//!   leaves its session's counters, key state, and policy untouched, so
+//!   resubmitting it next tick is bit-identical to having submitted it
+//!   then. (Key-frame policies keep their state in
+//!   [`KeyFramePolicy::note_key_frame`], never in `decide`, which makes
+//!   the classify step side-effect-free.)
+//! * **Eviction & rehydration.** [`StreamSession::memory_footprint`]
+//!   audits a session's heap use (key image + compressed/sparse/decoded
+//!   activations + RFBME scratch, by allocated capacity).
+//!   [`Engine::maintain`] drops the key state of sessions idle for
+//!   [`EngineLimits::idle_evict_ticks`] ticks and then least-recently-used
+//!   sessions until the total fits [`EngineLimits::max_total_bytes`];
+//!   a session whose own footprint exceeds
+//!   [`EngineLimits::max_session_bytes`] after a key frame is trimmed
+//!   immediately. Eviction is transparent: the session's next frame
+//!   *rehydrates* through the forced-key seam (no stored state ⇒ key
+//!   frame), bit-identical to a fresh session from that key frame onward.
+//!   [`Engine::evict_session`] is the hard variant — it revokes admission,
+//!   and further submissions return [`AmcError::SessionEvicted`].
+//! * **Graceful degradation.** When RFBME cannot explain a frame — the
+//!   residual per-pixel block error exceeds
+//!   [`AmcConfig::max_residual_error`](crate::executor::AmcConfig::max_residual_error)
+//!   — the engine refuses to warp garbage and forces a key frame instead
+//!   (§III-C of the paper), counted in [`ExecStats::forced_keys`].
+//! * **Typed internal errors.** Invariant violations that previously
+//!   panicked (missing key state or motion on a predicted frame, a
+//!   short batched-prefix result) now surface as [`AmcError::Internal`];
+//!   submitting a frame whose geometry differs from the stored key state
+//!   returns [`AmcError::FrameGeometryMismatch`]; submitting a session to
+//!   an engine that did not open it returns [`AmcError::EngineMismatch`].
+//!
+//! `crates/core/tests/lifecycle_faults.rs` drives all of this under a
+//! deterministic fault-injection harness (dropped frames, corruption,
+//! saturation, scene cuts, mid-stream resolution changes) and asserts the
+//! engine never panics: every submission yields a correct frame or a typed
+//! error.
 //!
 //! # The single-stream wrapper guarantee
 //!
@@ -68,17 +124,17 @@
 //!
 //! let net = Arc::new(zoo::tiny_fasterm(7).network);
 //! let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
-//! let mut cam_a = engine.open_session();
-//! let mut cam_b = engine.open_session();
+//! let mut cam_a = engine.open_session().unwrap();
+//! let mut cam_b = engine.open_session().unwrap();
 //! let frame = GrayImage::from_fn(48, 48, |y, x| {
 //!     (120 + ((y * 7 + x * 3) % 64)) as u8
 //! });
 //! // Batched submission: both streams' first frames are key frames and
 //! // share one batched prefix pass.
 //! let results = engine.process_batch([(&mut cam_a, &frame), (&mut cam_b, &frame)]);
-//! assert!(results.iter().all(|r| r.is_key));
+//! assert!(results.iter().all(|r| r.as_ref().unwrap().is_key));
 //! // Streams advance independently.
-//! let r = engine.process(&mut cam_a, &frame);
+//! let r = engine.process(&mut cam_a, &frame).unwrap();
 //! assert!(!r.is_key);
 //! assert_eq!(cam_a.stats().frames, 2);
 //! assert_eq!(cam_b.stats().frames, 1);
@@ -93,7 +149,9 @@ use eva2_cnn::network::Network;
 use eva2_motion::rfbme::{RfGeometry, Rfbme, RfbmeResult, RfbmeScratch};
 use eva2_tensor::interp::Interpolation;
 use eva2_tensor::{GemmScratch, GrayImage, SparseActivation, Tensor3};
-use std::sync::Arc;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Weak};
 
 /// Stored key-frame state: the pixel buffer and the sparse activation
 /// buffer.
@@ -107,6 +165,37 @@ struct KeyState {
     /// Decoded copy kept for software-speed warping (the hardware decodes
     /// through the sparsity lanes on the fly).
     decoded: Tensor3,
+}
+
+impl KeyState {
+    /// Heap bytes held by the stored buffers (allocated capacity).
+    fn heap_bytes(&self) -> usize {
+        self.image.heap_bytes()
+            + self.rle.heap_bytes()
+            + self.sparse.heap_bytes()
+            + self.decoded.heap_bytes()
+    }
+}
+
+/// The classification of one submitted frame, produced by
+/// [`SessionCore::classify`] *without* mutating the session. A plan is
+/// either committed ([`SessionCore::commit_frame`]) and executed, or
+/// discarded when the engine sheds the frame — which is what lets
+/// backpressure reject work without corrupting admitted streams.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FramePlan {
+    kind: FrameKind,
+    /// The policy said `Predicted` but the residual block error exceeded
+    /// the confidence bound, so the frame was degraded to a key frame.
+    forced: bool,
+    metrics: Option<FrameMetrics>,
+    rfbme_ops: u64,
+}
+
+impl FramePlan {
+    pub(crate) fn kind(&self) -> FrameKind {
+        self.kind
+    }
 }
 
 /// The per-stream AMC state machine: everything one video stream needs
@@ -126,6 +215,11 @@ pub(crate) struct SessionCore {
     warp_mode: WarpMode,
     fixed_point: bool,
     sparsity_threshold: f32,
+    max_residual_error: f32,
+    /// Frame geometry the network was built for; every submitted frame is
+    /// validated against it before any state is touched.
+    input_h: usize,
+    input_w: usize,
     policy: Box<dyn KeyFramePolicy>,
     state: Option<KeyState>,
     frames_since_key: usize,
@@ -147,6 +241,9 @@ impl SessionCore {
             warp_mode: config.warp,
             fixed_point: config.fixed_point,
             sparsity_threshold: config.sparsity_threshold,
+            max_residual_error: config.max_residual_error,
+            input_h: net.input_shape().height,
+            input_w: net.input_shape().width,
             policy: config.policy.build(),
             state: None,
             frames_since_key: 0,
@@ -189,6 +286,53 @@ impl SessionCore {
         self.frames_since_key = 0;
     }
 
+    pub(crate) fn has_state(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Drops the stored key state *and* the RFBME scratch, returning the
+    /// session to its just-opened memory footprint. The next frame
+    /// rehydrates through the forced-key seam (no state ⇒ key frame) and
+    /// is bit-identical to a fresh session from that frame on — scratch
+    /// contents never influence results (see `RfbmeScratch`). Returns
+    /// whether key state was actually present; only real state drops count
+    /// in [`ExecStats::evictions`].
+    pub(crate) fn evict_state(&mut self) -> bool {
+        let had_state = self.state.is_some();
+        self.state = None;
+        self.frames_since_key = 0;
+        self.rfbme_scratch = RfbmeScratch::new();
+        if had_state {
+            self.stats.evictions += 1;
+        }
+        had_state
+    }
+
+    /// Audited heap use of this session: the struct itself plus the stored
+    /// key-frame buffers and the RFBME scratch, by allocated capacity.
+    pub(crate) fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.rfbme_scratch.heap_bytes()
+            + self.state.as_ref().map_or(0, KeyState::heap_bytes)
+    }
+
+    /// Rejects a frame whose geometry differs from the network's input
+    /// shape. The check is network-anchored rather than state-anchored so
+    /// it also catches a wrong-resolution *first* frame (and frames after
+    /// eviction or reset) before any CNN or RFBME work touches them —
+    /// RFBME, warping, and the CNN head are all undefined off-geometry.
+    pub(crate) fn check_geometry(&self, image: &GrayImage) -> Result<(), AmcError> {
+        if (self.input_h, self.input_w) != (image.height(), image.width()) {
+            return Err(AmcError::FrameGeometryMismatch {
+                expected_height: self.input_h,
+                expected_width: self.input_w,
+                got_height: image.height(),
+                got_width: image.width(),
+            });
+        }
+        Ok(())
+    }
+
     pub(crate) fn key_activation(&self) -> Option<&RleActivation> {
         self.state.as_ref().map(|s| &s.rle)
     }
@@ -207,30 +351,55 @@ impl SessionCore {
         )
     }
 
-    /// Opens a frame: bumps the per-stream counters, derives the metrics,
-    /// and asks the policy for the frame kind. Must be followed by exactly
-    /// one matching `finish_key_frame`/`finish_predicted`.
-    pub(crate) fn begin_frame(
-        &mut self,
-        motion: &Option<RfbmeResult>,
-    ) -> (FrameKind, Option<FrameMetrics>, u64) {
-        self.stats.frames += 1;
-        self.frames_since_key += 1;
+    /// Classifies a frame without committing anything: derives the metrics
+    /// the incoming frame *would* see, asks the policy, and applies the
+    /// residual-error confidence bound. Counters are untouched, so a plan
+    /// may be discarded (frame shed) with no trace.
+    pub(crate) fn classify(&mut self, motion: &Option<RfbmeResult>) -> FramePlan {
         let metrics = motion
             .as_ref()
-            .map(|m| FrameMetrics::from_rfbme(m, self.frames_since_key));
+            .map(|m| FrameMetrics::from_rfbme(m, self.frames_since_key + 1));
         let rfbme_ops = motion.as_ref().map_or(0, |m| m.ops());
-        self.stats.rfbme_ops += rfbme_ops;
+        let mut kind = match &metrics {
+            None => FrameKind::Key,
+            Some(m) => self.policy.decide(m),
+        };
+        let mut forced = false;
+        if kind == FrameKind::Predicted {
+            if let Some(m) = &metrics {
+                // Graceful degradation (§III-C): a residual this large
+                // means motion estimation failed to explain the frame
+                // (occlusion, corruption, a cut the policy tolerated) —
+                // warping would propagate garbage, so spend a key frame.
+                if m.block_error_per_pixel > self.max_residual_error {
+                    kind = FrameKind::Key;
+                    forced = true;
+                }
+            }
+        }
+        FramePlan {
+            kind,
+            forced,
+            metrics,
+            rfbme_ops,
+        }
+    }
+
+    /// Commits an admitted plan: bumps the per-stream frame and RFBME
+    /// counters. Must be followed by exactly one matching
+    /// `finish_key_frame`/`finish_predicted`.
+    pub(crate) fn commit_frame(&mut self, plan: &FramePlan, motion: &Option<RfbmeResult>) {
+        self.stats.frames += 1;
+        self.frames_since_key += 1;
+        self.stats.rfbme_ops += plan.rfbme_ops;
         if let Some(m) = motion.as_ref() {
             self.stats.rfbme_candidates += m.search.candidates;
             self.stats.rfbme_level0_rejects += m.search.rejected_level0;
             self.stats.rfbme_level1_rejects += m.search.rejected_level1;
         }
-        let kind = match &metrics {
-            None => FrameKind::Key,
-            Some(m) => self.policy.decide(m),
-        };
-        (kind, metrics, rfbme_ops)
+        if plan.forced {
+            self.stats.forced_keys += 1;
+        }
     }
 
     /// Completes a key frame from its already-computed prefix activation:
@@ -275,6 +444,13 @@ impl SessionCore {
 
     /// Completes a predicted frame: warps (or memoizes) the stored
     /// activation and runs the sparse suffix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError::Internal`] when no key state is stored — a
+    /// violated invariant (classification decides `Predicted` only with
+    /// state present), surfaced as a typed error instead of a panic so a
+    /// serving process survives it.
     pub(crate) fn finish_predicted(
         &mut self,
         net: &Network,
@@ -282,8 +458,12 @@ impl SessionCore {
         motion: &RfbmeResult,
         metrics: Option<FrameMetrics>,
         rfbme_ops: u64,
-    ) -> AmcFrameResult {
-        let state = self.state.as_ref().expect("predicted frame requires state");
+    ) -> Result<AmcFrameResult, AmcError> {
+        let Some(state) = self.state.as_ref() else {
+            return Err(AmcError::Internal {
+                what: "predicted frame requires stored key state",
+            });
+        };
         // Both arms feed the suffix through the sparse entry point: zero
         // runs in the stored/warped activation are skipped, not densified
         // and multiplied (§IV skip-zero behaviour). Warping emits the
@@ -318,7 +498,7 @@ impl SessionCore {
         }
         let suffix_macs = self.total_macs - self.prefix_macs;
         self.stats.macs += suffix_macs;
-        AmcFrameResult {
+        Ok(AmcFrameResult {
             output,
             is_key: false,
             macs_executed: suffix_macs,
@@ -326,7 +506,7 @@ impl SessionCore {
             warp: warp_stats,
             metrics,
             compression: None,
-        }
+        })
     }
 
     /// The serial whole-frame path: estimate, decide, execute.
@@ -335,7 +515,8 @@ impl SessionCore {
         net: &Network,
         scratch: &mut GemmScratch,
         image: &GrayImage,
-    ) -> AmcFrameResult {
+    ) -> Result<AmcFrameResult, AmcError> {
+        self.check_geometry(image)?;
         // EVA² always runs RFBME — its block errors drive the key-frame
         // choice module even when warping is disabled (memoization mode).
         let motion = self.estimate_motion(image);
@@ -353,21 +534,124 @@ impl SessionCore {
         image: &GrayImage,
         motion: Option<RfbmeResult>,
         after_decision: impl FnOnce(FrameKind),
-    ) -> AmcFrameResult {
-        let (kind, metrics, rfbme_ops) = self.begin_frame(&motion);
-        after_decision(kind);
-        match kind {
+    ) -> Result<AmcFrameResult, AmcError> {
+        self.check_geometry(image)?;
+        let plan = self.classify(&motion);
+        self.commit_frame(&plan, &motion);
+        after_decision(plan.kind);
+        match plan.kind {
             FrameKind::Key => {
                 let input = image.to_tensor();
                 let act = net.forward_prefix_scratch(&input, self.target, scratch);
-                self.finish_key_frame(net, scratch, image, act, metrics, rfbme_ops)
+                Ok(self.finish_key_frame(net, scratch, image, act, plan.metrics, plan.rfbme_ops))
             }
             FrameKind::Predicted => {
-                let motion = motion.expect("predicted frame requires motion");
-                self.finish_predicted(net, scratch, &motion, metrics, rfbme_ops)
+                let motion = motion.ok_or(AmcError::Internal {
+                    what: "predicted frame requires a motion estimate",
+                })?;
+                self.finish_predicted(net, scratch, &motion, plan.metrics, plan.rfbme_ops)
             }
         }
     }
+}
+
+/// Resource limits a serving [`Engine`] enforces — the admission-control,
+/// backpressure, and memory-budget knobs of the
+/// [lifecycle](self#lifecycle--failure-modes). The default is
+/// [`EngineLimits::unlimited`]: every limit at its type's maximum, which
+/// preserves the pre-lifecycle behaviour exactly (nothing is ever shed or
+/// evicted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineLimits {
+    /// Maximum concurrently admitted sessions; `open_session*` beyond this
+    /// returns [`AmcError::EngineAtCapacity`]. Dropped and retired
+    /// sessions free their slots.
+    pub max_sessions: usize,
+    /// Maximum frames one [`Engine::process_batch`] tick admits; excess
+    /// frames are shed with [`AmcError::BudgetExceeded`] and may be
+    /// resubmitted next tick.
+    pub max_frames_per_tick: usize,
+    /// Maximum key frames one tick admits — key frames cost a full CNN
+    /// prefix, so this is the knob that bounds tail latency when many
+    /// streams cut scenes at once. Excess *key* frames are shed (predicted
+    /// frames in the same tick still run).
+    pub max_key_frames_per_tick: usize,
+    /// Per-session memory budget: a session whose
+    /// [`StreamSession::memory_footprint`] exceeds this after a key frame
+    /// has its state evicted immediately (it degrades to bounded-memory
+    /// all-key serving rather than growing).
+    pub max_session_bytes: usize,
+    /// Engine-wide memory budget over all admitted sessions' audited
+    /// footprints, enforced by LRU eviction in [`Engine::maintain`].
+    pub max_total_bytes: usize,
+    /// A session idle for at least this many ticks has its key state
+    /// evicted by [`Engine::maintain`].
+    pub idle_evict_ticks: u64,
+}
+
+impl EngineLimits {
+    /// No limits: nothing is refused, shed, or evicted.
+    pub const fn unlimited() -> Self {
+        Self {
+            max_sessions: usize::MAX,
+            max_key_frames_per_tick: usize::MAX,
+            max_frames_per_tick: usize::MAX,
+            max_session_bytes: usize::MAX,
+            max_total_bytes: usize::MAX,
+            idle_evict_ticks: u64::MAX,
+        }
+    }
+
+    /// Checks every limit invariant: a zero limit would admit no work at
+    /// all (or evict on every tick) and is always a configuration mistake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError::InvalidConfig`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), AmcError> {
+        let invalid = |reason: &'static str| Err(AmcError::InvalidConfig { reason });
+        if self.max_sessions == 0 {
+            return invalid("engine limit max_sessions must be at least 1");
+        }
+        if self.max_frames_per_tick == 0 {
+            return invalid("engine limit max_frames_per_tick must be at least 1");
+        }
+        if self.max_key_frames_per_tick == 0 {
+            return invalid("engine limit max_key_frames_per_tick must be at least 1");
+        }
+        if self.max_session_bytes == 0 {
+            return invalid("engine limit max_session_bytes must be at least 1");
+        }
+        if self.max_total_bytes == 0 {
+            return invalid("engine limit max_total_bytes must be at least 1");
+        }
+        if self.idle_evict_ticks == 0 {
+            return invalid("engine limit idle_evict_ticks must be at least 1");
+        }
+        Ok(())
+    }
+}
+
+impl Default for EngineLimits {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// Engine-side bookkeeping for one admitted session, shared through an
+/// [`Arc`]: the session owns the strong reference, the engine holds a
+/// [`Weak`] — so dropping a [`StreamSession`] frees its admission slot
+/// with no unregister call, and the engine can observe recency and
+/// audited footprint without borrowing the session.
+#[derive(Debug)]
+struct SessionSlot {
+    /// Tick of the last admitted frame (LRU ordering for eviction).
+    last_tick: AtomicU64,
+    /// Audited footprint as of the last completed frame.
+    bytes: AtomicUsize,
+    /// Set by [`Engine::evict_session`]: admission is revoked and further
+    /// submissions return [`AmcError::SessionEvicted`].
+    retired: AtomicBool,
 }
 
 /// A serving engine: one network, shared scratch pools, any number of
@@ -375,6 +659,7 @@ impl SessionCore {
 pub struct Engine {
     net: Arc<Network>,
     base: AmcConfig,
+    limits: EngineLimits,
     target: usize,
     rf: RfGeometry,
     prefix_macs: u64,
@@ -388,56 +673,85 @@ pub struct Engine {
     /// one engine's key state against another engine's network.
     engine_id: u64,
     next_session: u64,
+    /// One `process_batch` call = one tick (the backpressure and idleness
+    /// clock).
+    tick: u64,
+    /// Weak handles to every admitted session's bookkeeping slot; dead
+    /// weaks (dropped sessions) are pruned on admission and maintenance.
+    slots: Vec<Weak<SessionSlot>>,
 }
 
 /// Source of process-unique [`Engine`] identities.
-static NEXT_ENGINE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Engine(net={}, target={}, rf={:?}, sessions_opened={})",
+            "Engine(net={}, target={}, rf={:?}, sessions_opened={}, tick={})",
             self.net.name(),
             self.target,
             self.rf,
-            self.next_session
+            self.next_session,
+            self.tick
         )
     }
 }
 
 impl Engine {
     /// Creates an engine over `net` with `config` as the default session
-    /// configuration.
+    /// configuration and no resource limits
+    /// ([`EngineLimits::unlimited`]).
     ///
     /// # Errors
     ///
     /// Returns [`AmcError`] when the configuration fails validation or its
     /// target selection cannot be resolved for `net`.
     pub fn new(net: Arc<Network>, config: AmcConfig) -> Result<Self, AmcError> {
+        Self::with_limits(net, config, EngineLimits::unlimited())
+    }
+
+    /// Creates an engine with explicit resource limits — the serving
+    /// lifecycle's admission-control and memory-budget knobs (see the
+    /// [module docs](self#lifecycle--failure-modes)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError`] when the configuration or the limits fail
+    /// validation, or the target selection cannot be resolved for `net`.
+    pub fn with_limits(
+        net: Arc<Network>,
+        config: AmcConfig,
+        limits: EngineLimits,
+    ) -> Result<Self, AmcError> {
         config.validate()?;
+        limits.validate()?;
         let (target, rf) = config.target.geometry(&net)?;
         let prefix_macs = net.prefix_macs(target);
         let total_macs = net.total_macs();
         Ok(Self {
             net,
             base: config,
+            limits,
             target,
             rf,
             prefix_macs,
             total_macs,
             scratch: GemmScratch::new(),
-            engine_id: NEXT_ENGINE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            engine_id: NEXT_ENGINE_ID.fetch_add(1, Relaxed),
             next_session: 0,
+            tick: 0,
+            slots: Vec::new(),
         })
     }
 
-    fn check_session(&self, session: &StreamSession) {
-        assert_eq!(
-            session.engine_id, self.engine_id,
-            "session {} was opened by a different engine",
-            session.id
-        );
+    fn check_session(&self, session: &StreamSession) -> Result<(), AmcError> {
+        if session.engine_id != self.engine_id {
+            return Err(AmcError::EngineMismatch {
+                session: session.id,
+            });
+        }
+        Ok(())
     }
 
     /// The served network.
@@ -448,6 +762,11 @@ impl Engine {
     /// The default session configuration.
     pub fn config(&self) -> AmcConfig {
         self.base
+    }
+
+    /// The resource limits this engine enforces.
+    pub fn limits(&self) -> EngineLimits {
+        self.limits
     }
 
     /// The resolved target layer index (shared by all sessions).
@@ -470,10 +789,39 @@ impl Engine {
         self.total_macs
     }
 
+    /// Ticks elapsed (one per [`Engine::process_batch`] call, including
+    /// batches of one through [`Engine::process`]).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Currently admitted sessions: alive (not dropped) and not retired.
+    pub fn session_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(Weak::upgrade)
+            .filter(|s| !s.retired.load(Relaxed))
+            .count()
+    }
+
+    /// Sum of every live session's audited footprint, as of each
+    /// session's last completed frame.
+    pub fn total_session_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(Weak::upgrade)
+            .map(|s| s.bytes.load(Relaxed))
+            .sum()
+    }
+
     /// Opens a new stream session with the engine's default configuration.
-    pub fn open_session(&mut self) -> StreamSession {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError::EngineAtCapacity`] when
+    /// [`EngineLimits::max_sessions`] sessions are already admitted.
+    pub fn open_session(&mut self) -> Result<StreamSession, AmcError> {
         self.open_session_with(self.base)
-            .expect("engine config validated at construction")
     }
 
     /// Opens a new stream session with a per-stream configuration —
@@ -482,11 +830,18 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`AmcError`] when the configuration fails validation, or
+    /// Returns [`AmcError`] when the configuration fails validation,
     /// [`AmcError::SessionTargetMismatch`] when it resolves to a different
     /// target layer than the engine's (all sessions must share the
-    /// engine's batched prefix split point).
+    /// engine's batched prefix split point), or
+    /// [`AmcError::EngineAtCapacity`] when the session cap is reached.
     pub fn open_session_with(&mut self, config: AmcConfig) -> Result<StreamSession, AmcError> {
+        self.slots.retain(|w| w.strong_count() > 0);
+        if self.session_count() >= self.limits.max_sessions {
+            return Err(AmcError::EngineAtCapacity {
+                limit: self.limits.max_sessions,
+            });
+        }
         let core = SessionCore::new(&self.net, &config)?;
         if core.target() != self.target {
             return Err(AmcError::SessionTargetMismatch {
@@ -496,23 +851,35 @@ impl Engine {
         }
         let id = self.next_session;
         self.next_session += 1;
+        let slot = Arc::new(SessionSlot {
+            last_tick: AtomicU64::new(self.tick),
+            bytes: AtomicUsize::new(core.memory_footprint()),
+            retired: AtomicBool::new(false),
+        });
+        self.slots.push(Arc::downgrade(&slot));
         Ok(StreamSession {
             id,
             engine_id: self.engine_id,
             core,
+            slot,
         })
     }
 
     /// Processes one frame of one stream — identical in behaviour (and
     /// bits) to a batch of one.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `session` was opened by a different engine (its key
-    /// state would otherwise silently run against the wrong network).
-    pub fn process(&mut self, session: &mut StreamSession, frame: &GrayImage) -> AmcFrameResult {
-        self.check_session(session);
-        session.core.process(&self.net, &mut self.scratch, frame)
+    /// See [`Engine::process_batch`] — every admission and execution error
+    /// surfaces here the same way.
+    pub fn process(
+        &mut self,
+        session: &mut StreamSession,
+        frame: &GrayImage,
+    ) -> Result<AmcFrameResult, AmcError> {
+        self.process_batch([(session, frame)])
+            .pop()
+            .expect("a batch of one job yields one result")
     }
 
     /// Processes one frame from each of several streams, batching the
@@ -520,81 +887,238 @@ impl Engine {
     ///
     /// Every frame is classified by its own session's RFBME estimate and
     /// policy (in submission order); the frames decided *key* then share
-    /// one `forward_prefix_batched` pass before each session completes its
-    /// frame (sparse store refresh + suffix for keys, warp + suffix for
-    /// predicted). Results come back in submission order and are
-    /// bit-identical to processing each `(session, frame)` pair serially
-    /// through [`Engine::process`].
+    /// one `forward_prefix_batched` pass before each
+    /// session completes its frame (sparse store refresh + suffix for
+    /// keys, warp + suffix for predicted). Results come back in submission
+    /// order and are bit-identical to processing each `(session, frame)`
+    /// pair serially through [`Engine::process`].
     ///
-    /// Frames must share the engine network's input resolution (all
-    /// sessions of one engine serve one model).
+    /// One call is one *tick*: the unit of the per-tick frame and
+    /// key-frame budgets and of the idle-eviction clock.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when any session was opened by a different engine.
+    /// Each job fails independently; an error never disturbs the other
+    /// jobs, and a failed job's session is left exactly as it was:
+    ///
+    /// * [`AmcError::EngineMismatch`] — the session was opened by a
+    ///   different engine.
+    /// * [`AmcError::SessionEvicted`] — the session was retired by
+    ///   [`Engine::evict_session`].
+    /// * [`AmcError::BudgetExceeded`] — the tick's frame or key-frame
+    ///   budget was exhausted before this job; resubmit next tick.
+    /// * [`AmcError::FrameGeometryMismatch`] — the frame's resolution
+    ///   differs from the network's input shape.
+    /// * [`AmcError::Internal`] — a violated engine invariant (never
+    ///   expected; returned instead of panicking so serving survives it).
     pub fn process_batch<'a>(
         &mut self,
         jobs: impl IntoIterator<Item = (&'a mut StreamSession, &'a GrayImage)>,
-    ) -> Vec<AmcFrameResult> {
-        struct Plan {
-            kind: FrameKind,
-            metrics: Option<FrameMetrics>,
-            rfbme_ops: u64,
-            motion: Option<RfbmeResult>,
+    ) -> Vec<Result<AmcFrameResult, AmcError>> {
+        enum Plan {
+            Key {
+                metrics: Option<FrameMetrics>,
+                rfbme_ops: u64,
+            },
+            Predicted {
+                metrics: Option<FrameMetrics>,
+                rfbme_ops: u64,
+                motion: RfbmeResult,
+            },
         }
         let mut jobs: Vec<(&mut StreamSession, &GrayImage)> = jobs.into_iter().collect();
-        // Phase 1: per-stream motion estimation + key-frame decision, in
-        // submission order (independent across sessions, so identical to
-        // the serial interleaving).
-        let mut plans = Vec::with_capacity(jobs.len());
-        let mut key_inputs = Vec::new();
+        self.tick += 1;
+        let tick = self.tick;
+        let limits = self.limits;
+        let engine_id = self.engine_id;
+        // Phase 1: admission + per-stream motion estimation + key-frame
+        // decision, in submission order (independent across sessions, so
+        // identical to the serial interleaving). Shedding happens here,
+        // strictly before any session mutation.
+        let mut admitted = 0usize;
+        let mut admitted_keys = 0usize;
+        let mut plans: Vec<Result<Plan, AmcError>> = Vec::with_capacity(jobs.len());
+        // Key-frame prefix inputs; the geometry check guarantees they all
+        // share the network's input shape, as `forward_prefix_batched`
+        // requires.
+        let mut key_inputs: Vec<Tensor3> = Vec::new();
         for (session, frame) in jobs.iter_mut() {
-            self.check_session(session);
-            let motion = session.core.estimate_motion(frame);
-            let (kind, metrics, rfbme_ops) = session.core.begin_frame(&motion);
-            if kind == FrameKind::Key {
-                key_inputs.push(frame.to_tensor());
-            }
-            plans.push(Plan {
-                kind,
-                metrics,
-                rfbme_ops,
-                motion,
-            });
+            let plan = (|| {
+                if session.engine_id != engine_id {
+                    return Err(AmcError::EngineMismatch {
+                        session: session.id,
+                    });
+                }
+                if session.slot.retired.load(Relaxed) {
+                    return Err(AmcError::SessionEvicted {
+                        session: session.id,
+                    });
+                }
+                if admitted >= limits.max_frames_per_tick {
+                    return Err(AmcError::BudgetExceeded {
+                        what: "frames per tick",
+                        budget: limits.max_frames_per_tick,
+                    });
+                }
+                session.core.check_geometry(frame)?;
+                let motion = session.core.estimate_motion(frame);
+                let plan = session.core.classify(&motion);
+                if plan.kind() == FrameKind::Key && admitted_keys >= limits.max_key_frames_per_tick
+                {
+                    return Err(AmcError::BudgetExceeded {
+                        what: "key frames per tick",
+                        budget: limits.max_key_frames_per_tick,
+                    });
+                }
+                // Admitted: from here on the frame is committed.
+                session.core.commit_frame(&plan, &motion);
+                admitted += 1;
+                session.slot.last_tick.store(tick, Relaxed);
+                match plan.kind() {
+                    FrameKind::Key => {
+                        admitted_keys += 1;
+                        key_inputs.push(frame.to_tensor());
+                        Ok(Plan::Key {
+                            metrics: plan.metrics,
+                            rfbme_ops: plan.rfbme_ops,
+                        })
+                    }
+                    FrameKind::Predicted => {
+                        let motion = motion.ok_or(AmcError::Internal {
+                            what: "predicted frame requires a motion estimate",
+                        })?;
+                        Ok(Plan::Predicted {
+                            metrics: plan.metrics,
+                            rfbme_ops: plan.rfbme_ops,
+                            motion,
+                        })
+                    }
+                }
+            })();
+            plans.push(plan);
         }
-        // Phase 2: one batched prefix pass over every key frame in the
-        // batch (bit-identical per frame to the serial prefix).
+        // Phase 2: one batched prefix pass over every admitted key frame
+        // (bit-identical per frame to the serial prefix).
         let mut acts = self
             .net
             .forward_prefix_batched(key_inputs, self.target, &mut self.scratch)
             .into_iter();
         // Phase 3: per-stream completion, in submission order.
-        jobs.into_iter()
-            .zip(plans)
-            .map(|((session, frame), plan)| match plan.kind {
-                FrameKind::Key => {
-                    let act = acts.next().expect("one prefix activation per key frame");
-                    session.core.finish_key_frame(
-                        &self.net,
-                        &mut self.scratch,
-                        frame,
-                        act,
-                        plan.metrics,
-                        plan.rfbme_ops,
-                    )
-                }
-                FrameKind::Predicted => {
-                    let motion = plan.motion.expect("predicted frame requires motion");
-                    session.core.finish_predicted(
-                        &self.net,
-                        &mut self.scratch,
-                        &motion,
-                        plan.metrics,
-                        plan.rfbme_ops,
-                    )
-                }
-            })
-            .collect()
+        let mut results = Vec::with_capacity(jobs.len());
+        for ((session, frame), plan) in jobs.into_iter().zip(plans) {
+            let result = match plan {
+                Err(e) => Err(e),
+                Ok(Plan::Key { metrics, rfbme_ops }) => match acts.next() {
+                    None => Err(AmcError::Internal {
+                        what: "one prefix activation per key frame",
+                    }),
+                    Some(act) => {
+                        let r = session.core.finish_key_frame(
+                            &self.net,
+                            &mut self.scratch,
+                            frame,
+                            act,
+                            metrics,
+                            rfbme_ops,
+                        );
+                        // Per-session budget: rather than let one stream
+                        // grow past its allowance, trim its state — the
+                        // stream degrades to bounded-memory all-key
+                        // serving instead of failing.
+                        if session.core.memory_footprint() > limits.max_session_bytes {
+                            session.core.evict_state();
+                        }
+                        Ok(r)
+                    }
+                },
+                Ok(Plan::Predicted {
+                    metrics,
+                    rfbme_ops,
+                    motion,
+                }) => session.core.finish_predicted(
+                    &self.net,
+                    &mut self.scratch,
+                    &motion,
+                    metrics,
+                    rfbme_ops,
+                ),
+            };
+            if result.is_ok() {
+                session
+                    .slot
+                    .bytes
+                    .store(session.core.memory_footprint(), Relaxed);
+            }
+            results.push(result);
+        }
+        results
+    }
+
+    /// Housekeeping over the offered sessions: evicts the key state of
+    /// sessions idle for at least [`EngineLimits::idle_evict_ticks`]
+    /// ticks, then least-recently-used sessions until the engine-wide
+    /// audited footprint fits [`EngineLimits::max_total_bytes`]. Returns
+    /// the number of evictions performed.
+    ///
+    /// Eviction is transparent (see
+    /// [`StreamSession::evict_state`]): an evicted stream's next frame
+    /// rehydrates as a key frame. The engine can only evict sessions it is
+    /// *offered* — sessions held elsewhere still count toward the total
+    /// (their slots are live), so a caller wanting the budget enforced
+    /// must offer every session it holds.
+    pub fn maintain<'a>(
+        &mut self,
+        sessions: impl IntoIterator<Item = &'a mut StreamSession>,
+    ) -> usize {
+        self.slots.retain(|w| w.strong_count() > 0);
+        let mut own: Vec<&mut StreamSession> = sessions
+            .into_iter()
+            .filter(|s| s.engine_id == self.engine_id)
+            .collect();
+        let tick = self.tick;
+        let mut evicted = 0usize;
+        for session in own.iter_mut() {
+            if session.core.has_state()
+                && tick.saturating_sub(session.slot.last_tick.load(Relaxed))
+                    >= self.limits.idle_evict_ticks
+                && session.evict_state()
+            {
+                evicted += 1;
+            }
+        }
+        while self.total_session_bytes() > self.limits.max_total_bytes {
+            let victim = own
+                .iter_mut()
+                .filter(|s| s.core.has_state())
+                .min_by_key(|s| (s.slot.last_tick.load(Relaxed), s.id));
+            let Some(victim) = victim else {
+                // Nothing offered is evictable; the budget cannot be met
+                // from here.
+                break;
+            };
+            if victim.evict_state() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Hard-evicts a session: drops its state *and revokes its
+    /// admission*. The slot is freed immediately (another session may be
+    /// opened in its place) and every later submission of this session
+    /// returns [`AmcError::SessionEvicted`]. Use
+    /// [`StreamSession::evict_state`] (or [`Engine::maintain`]) for the
+    /// soft, transparent variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError::EngineMismatch`] when `session` was opened by a
+    /// different engine.
+    pub fn evict_session(&mut self, session: &mut StreamSession) -> Result<(), AmcError> {
+        self.check_session(session)?;
+        session.slot.retired.store(true, Relaxed);
+        session.evict_state();
+        Ok(())
     }
 }
 
@@ -608,6 +1132,10 @@ pub struct StreamSession {
     /// submission (see [`Engine::process`]).
     engine_id: u64,
     core: SessionCore,
+    /// Shared bookkeeping with the engine (recency, footprint, retired
+    /// flag); the engine holds only a [`Weak`], so dropping the session
+    /// frees its admission slot.
+    slot: Arc<SessionSlot>,
 }
 
 impl StreamSession {
@@ -627,9 +1155,38 @@ impl StreamSession {
     }
 
     /// Drops stored state, forcing this stream's next frame to be a key
-    /// frame (e.g. on a known scene cut or after a seek).
+    /// frame (e.g. on a known scene cut or after a seek). Unlike
+    /// [`StreamSession::evict_state`] this keeps the RFBME scratch and is
+    /// not counted as an eviction.
     pub fn reset(&mut self) {
-        self.core.reset()
+        self.core.reset();
+        self.slot.bytes.store(self.core.memory_footprint(), Relaxed);
+    }
+
+    /// Evicts this session's key state and RFBME scratch, returning it to
+    /// its just-opened footprint; counted in [`ExecStats::evictions`] when
+    /// key state was present (the returned flag). The next frame
+    /// *rehydrates* as a key frame, bit-identical to a fresh session from
+    /// that frame on.
+    pub fn evict_state(&mut self) -> bool {
+        let had_state = self.core.evict_state();
+        self.slot.bytes.store(self.core.memory_footprint(), Relaxed);
+        had_state
+    }
+
+    /// Audited heap footprint: the session struct plus the stored key
+    /// image, compressed/sparse/decoded activations, and RFBME scratch,
+    /// by allocated capacity. This is the figure the engine's
+    /// [`EngineLimits::max_session_bytes`] / `max_total_bytes` budgets
+    /// are enforced against.
+    pub fn memory_footprint(&self) -> usize {
+        self.core.memory_footprint()
+    }
+
+    /// Whether [`Engine::evict_session`] has revoked this session's
+    /// admission (submissions return [`AmcError::SessionEvicted`]).
+    pub fn is_evicted(&self) -> bool {
+        self.slot.retired.load(Relaxed)
     }
 
     /// The compressed key activation currently buffered, if any.
@@ -670,18 +1227,18 @@ mod tests {
     fn sessions_are_independent() {
         let net = Arc::new(zoo::tiny_fasterm(0).network);
         let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
-        let mut a = engine.open_session();
-        let mut b = engine.open_session();
+        let mut a = engine.open_session().unwrap();
+        let mut b = engine.open_session().unwrap();
         assert_ne!(a.id(), b.id());
         let f = frame(0);
-        assert!(engine.process(&mut a, &f).is_key);
+        assert!(engine.process(&mut a, &f).unwrap().is_key);
         // Session b has no key state yet; its first frame is still key.
-        assert!(engine.process(&mut b, &f).is_key);
-        assert!(!engine.process(&mut a, &f).is_key);
+        assert!(engine.process(&mut b, &f).unwrap().is_key);
+        assert!(!engine.process(&mut a, &f).unwrap().is_key);
         assert_eq!(a.stats().frames, 2);
         assert_eq!(b.stats().frames, 1);
         b.reset();
-        assert!(engine.process(&mut b, &f).is_key);
+        assert!(engine.process(&mut b, &f).unwrap().is_key);
     }
 
     #[test]
@@ -689,13 +1246,15 @@ mod tests {
         let z = zoo::tiny_fasterm(3);
         let net = Arc::new(zoo::tiny_fasterm(3).network);
         let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
-        let mut sessions: Vec<StreamSession> = (0..3).map(|_| engine.open_session()).collect();
+        let mut sessions: Vec<StreamSession> =
+            (0..3).map(|_| engine.open_session().unwrap()).collect();
         let frames: Vec<GrayImage> = (0..3).map(|i| frame(i * 5)).collect();
         // All three first frames are key frames → batched prefix.
         let jobs = sessions.iter_mut().zip(frames.iter());
         let results = engine.process_batch(jobs);
-        assert!(results.iter().all(|r| r.is_key));
         for (f, r) in frames.iter().zip(&results) {
+            let r = r.as_ref().unwrap();
+            assert!(r.is_key);
             let mut serial = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
             let want = serial.process(f);
             assert_eq!(r.output.as_slice(), want.output.as_slice());
@@ -708,13 +1267,19 @@ mod tests {
     fn mixed_batch_handles_keys_and_predicted() {
         let net = Arc::new(zoo::tiny_fasterm(1).network);
         let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
-        let mut a = engine.open_session();
-        let mut b = engine.open_session();
+        let mut a = engine.open_session().unwrap();
+        let mut b = engine.open_session().unwrap();
         let f0 = frame(0);
-        engine.process(&mut a, &f0); // a has key state
+        engine.process(&mut a, &f0).unwrap(); // a has key state
         let results = engine.process_batch([(&mut a, &f0), (&mut b, &f0)]);
-        assert!(!results[0].is_key, "a predicts its unchanged scene");
-        assert!(results[1].is_key, "b's first frame is key");
+        assert!(
+            !results[0].as_ref().unwrap().is_key,
+            "a predicts its unchanged scene"
+        );
+        assert!(
+            results[1].as_ref().unwrap().is_key,
+            "b's first frame is key"
+        );
         assert_eq!(a.stats().key_frames, 1);
         assert_eq!(b.stats().key_frames, 1);
     }
@@ -723,16 +1288,16 @@ mod tests {
     fn sessions_surface_rfbme_pruning_counters() {
         let net = Arc::new(zoo::tiny_fasterm(0).network);
         let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
-        let mut session = engine.open_session();
+        let mut session = engine.open_session().unwrap();
         let f0 = frame(0);
         let f1 = frame(1);
-        engine.process(&mut session, &f0);
+        engine.process(&mut session, &f0).unwrap();
         assert_eq!(
             session.stats().rfbme_candidates,
             0,
             "no estimate ran on the first frame"
         );
-        engine.process(&mut session, &f1);
+        engine.process(&mut session, &f1).unwrap();
         let s = session.stats();
         assert!(s.rfbme_candidates > 0, "second frame ran the search");
         assert!(
@@ -780,8 +1345,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different engine")]
-    fn cross_engine_session_use_panics() {
+    fn cross_engine_session_use_is_a_typed_error() {
         // Two engines over different weights can resolve the same target
         // index; silently mixing their sessions would run one engine's key
         // state against the other's network.
@@ -789,9 +1353,24 @@ mod tests {
             Engine::new(Arc::new(zoo::tiny_fasterm(0).network), AmcConfig::default()).unwrap();
         let mut b =
             Engine::new(Arc::new(zoo::tiny_fasterm(1).network), AmcConfig::default()).unwrap();
-        let mut session = a.open_session();
+        let mut session = a.open_session().unwrap();
         let f = frame(0);
-        b.process(&mut session, &f);
+        match b.process(&mut session, &f) {
+            Err(AmcError::EngineMismatch { session: id }) => assert_eq!(id, session.id()),
+            other => panic!("expected EngineMismatch, got {other:?}"),
+        }
+        assert_eq!(
+            session.stats().frames,
+            0,
+            "a rejected submission must not touch the session"
+        );
+        // The session still works with its own engine.
+        assert!(a.process(&mut session, &f).unwrap().is_key);
+        // evict_session refuses foreign sessions too.
+        assert!(matches!(
+            b.evict_session(&mut session),
+            Err(AmcError::EngineMismatch { .. })
+        ));
     }
 
     #[test]
@@ -805,5 +1384,329 @@ mod tests {
             Engine::new(net, bad),
             Err(AmcError::TargetOutsidePrefix { index: 99, .. })
         ));
+    }
+
+    #[test]
+    fn engine_rejects_invalid_limits() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let bad = EngineLimits {
+            max_sessions: 0,
+            ..EngineLimits::unlimited()
+        };
+        assert!(matches!(
+            Engine::with_limits(net, AmcConfig::default(), bad),
+            Err(AmcError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn session_cap_refuses_then_frees_on_drop() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let limits = EngineLimits {
+            max_sessions: 2,
+            ..EngineLimits::unlimited()
+        };
+        let mut engine = Engine::with_limits(net, AmcConfig::default(), limits).unwrap();
+        let a = engine.open_session().unwrap();
+        let _b = engine.open_session().unwrap();
+        match engine.open_session() {
+            Err(AmcError::EngineAtCapacity { limit: 2 }) => {}
+            other => panic!("expected EngineAtCapacity, got {other:?}"),
+        }
+        assert_eq!(engine.session_count(), 2);
+        drop(a);
+        // The dropped session's slot is reclaimed with no unregister call.
+        let _c = engine.open_session().unwrap();
+        assert_eq!(engine.session_count(), 2);
+    }
+
+    #[test]
+    fn frame_budget_sheds_without_corrupting_sessions() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let limits = EngineLimits {
+            max_frames_per_tick: 1,
+            ..EngineLimits::unlimited()
+        };
+        let mut engine = Engine::with_limits(net, AmcConfig::default(), limits).unwrap();
+        let mut a = engine.open_session().unwrap();
+        let mut b = engine.open_session().unwrap();
+        let f = frame(0);
+        let results = engine.process_batch([(&mut a, &f), (&mut b, &f)]);
+        assert!(results[0].as_ref().unwrap().is_key);
+        match &results[1] {
+            Err(AmcError::BudgetExceeded {
+                what: "frames per tick",
+                budget: 1,
+            }) => {}
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // The shed frame left b untouched; next tick it runs identically.
+        assert_eq!(b.stats().frames, 0);
+        assert!(engine.process(&mut b, &f).unwrap().is_key);
+        assert_eq!(b.stats().frames, 1);
+    }
+
+    #[test]
+    fn key_budget_sheds_keys_but_admits_predicted() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let limits = EngineLimits {
+            max_key_frames_per_tick: 1,
+            ..EngineLimits::unlimited()
+        };
+        let mut engine = Engine::with_limits(net, AmcConfig::default(), limits).unwrap();
+        let mut a = engine.open_session().unwrap();
+        let mut b = engine.open_session().unwrap();
+        let mut c = engine.open_session().unwrap();
+        let f = frame(0);
+        engine.process(&mut a, &f).unwrap(); // a has key state → predicts
+                                             // b and c both need key frames; only one fits the tick.
+        let results = engine.process_batch([(&mut b, &f), (&mut a, &f), (&mut c, &f)]);
+        assert!(results[0].as_ref().unwrap().is_key, "b takes the key slot");
+        assert!(
+            !results[1].as_ref().unwrap().is_key,
+            "a's predicted frame is not shed by the key budget"
+        );
+        match &results[2] {
+            Err(AmcError::BudgetExceeded {
+                what: "key frames per tick",
+                budget: 1,
+            }) => {}
+            other => panic!("expected key-budget shedding, got {other:?}"),
+        }
+        assert_eq!(c.stats().frames, 0);
+        assert!(c.key_image().is_none(), "shed key frame stored no state");
+        // Next tick c's key frame is admitted.
+        assert!(engine.process(&mut c, &f).unwrap().is_key);
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_typed_error() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        let mut session = engine.open_session().unwrap();
+        engine.process(&mut session, &frame(0)).unwrap();
+        let small = GrayImage::from_fn(32, 32, |y, x| ((y * 5 + x) % 251) as u8);
+        match engine.process(&mut session, &small) {
+            Err(AmcError::FrameGeometryMismatch {
+                expected_height: 48,
+                expected_width: 48,
+                got_height: 32,
+                got_width: 32,
+            }) => {}
+            other => panic!("expected FrameGeometryMismatch, got {other:?}"),
+        }
+        assert_eq!(session.stats().frames, 1, "rejected frame not counted");
+        // The geometry is the *network's*, not the stored key frame's:
+        // even after a reset the off-shape frame stays rejected, and the
+        // stream resumes normally at the right resolution.
+        session.reset();
+        assert!(engine.process(&mut session, &small).is_err());
+        assert!(engine.process(&mut session, &frame(1)).unwrap().is_key);
+    }
+
+    #[test]
+    fn off_geometry_job_is_shed_without_disturbing_the_batch() {
+        let net = Arc::new(zoo::tiny_fasterm(2).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        let mut a = engine.open_session().unwrap();
+        let mut b = engine.open_session().unwrap();
+        let good = frame(0);
+        let small = GrayImage::from_fn(40, 40, |y, x| ((y * 3 + x * 7) % 200) as u8);
+        // A wrong-resolution *first* frame is caught before any CNN work
+        // (the check is against the network, not yet-nonexistent state),
+        // and the healthy job in the same batch is untouched.
+        let results = engine.process_batch([(&mut a, &good), (&mut b, &small)]);
+        assert!(results[0].as_ref().unwrap().is_key);
+        assert!(matches!(
+            results[1],
+            Err(AmcError::FrameGeometryMismatch {
+                expected_height: 48,
+                expected_width: 48,
+                got_height: 40,
+                got_width: 40,
+            })
+        ));
+        assert_eq!(a.stats().frames, 1);
+        assert_eq!(b.stats().frames, 0, "shed job left no trace");
+        // The shed stream is still serviceable.
+        assert!(engine.process(&mut b, &good).unwrap().is_key);
+    }
+
+    #[test]
+    fn evict_session_revokes_admission() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let limits = EngineLimits {
+            max_sessions: 1,
+            ..EngineLimits::unlimited()
+        };
+        let mut engine = Engine::with_limits(net, AmcConfig::default(), limits).unwrap();
+        let mut a = engine.open_session().unwrap();
+        let f = frame(0);
+        engine.process(&mut a, &f).unwrap();
+        engine.evict_session(&mut a).unwrap();
+        assert!(a.is_evicted());
+        assert!(a.key_image().is_none());
+        match engine.process(&mut a, &f) {
+            Err(AmcError::SessionEvicted { session }) => assert_eq!(session, a.id()),
+            other => panic!("expected SessionEvicted, got {other:?}"),
+        }
+        // The retired session no longer counts toward the cap.
+        assert_eq!(engine.session_count(), 0);
+        let _b = engine.open_session().unwrap();
+    }
+
+    #[test]
+    fn soft_eviction_rehydrates_bit_identically() {
+        let net = Arc::new(zoo::tiny_fasterm(4).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        let mut evicted = engine.open_session().unwrap();
+        for i in 0..3 {
+            engine.process(&mut evicted, &frame(i)).unwrap();
+        }
+        assert!(evicted.evict_state());
+        assert_eq!(evicted.stats().evictions, 1);
+        let stats_before = evicted.stats();
+        // A fresh session replaying the post-eviction frames must match
+        // the rehydrated session bit for bit.
+        let mut fresh = engine.open_session().unwrap();
+        for i in 3..6 {
+            let r_old = engine.process(&mut evicted, &frame(i)).unwrap();
+            let r_new = engine.process(&mut fresh, &frame(i)).unwrap();
+            assert_eq!(r_old.is_key, r_new.is_key);
+            assert_eq!(r_old.output.as_slice(), r_new.output.as_slice());
+            assert_eq!(r_old.macs_executed, r_new.macs_executed);
+            if i == 3 {
+                assert!(r_old.is_key, "rehydration forces a key frame");
+            }
+        }
+        // Stats advanced by exactly the fresh session's totals.
+        let delta_frames = evicted.stats().frames - stats_before.frames;
+        let delta_macs = evicted.stats().macs - stats_before.macs;
+        assert_eq!(delta_frames, fresh.stats().frames);
+        assert_eq!(delta_macs, fresh.stats().macs);
+    }
+
+    #[test]
+    fn session_budget_degrades_to_bounded_memory_key_serving() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        // Far below any real key-state footprint: every key frame is
+        // immediately trimmed.
+        let limits = EngineLimits {
+            max_session_bytes: std::mem::size_of::<SessionCore>() + 1,
+            ..EngineLimits::unlimited()
+        };
+        let mut engine = Engine::with_limits(net, AmcConfig::default(), limits).unwrap();
+        let mut session = engine.open_session().unwrap();
+        let f = frame(0);
+        for _ in 0..3 {
+            let r = engine.process(&mut session, &f).unwrap();
+            assert!(r.is_key, "with no retained state every frame re-keys");
+            assert!(
+                session.memory_footprint() <= engine.limits().max_session_bytes,
+                "footprint {} exceeds the budget the engine promised to hold",
+                session.memory_footprint()
+            );
+        }
+        assert_eq!(session.stats().evictions, 3);
+    }
+
+    #[test]
+    fn maintain_evicts_idle_then_lru() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let limits = EngineLimits {
+            idle_evict_ticks: 2,
+            ..EngineLimits::unlimited()
+        };
+        let mut engine = Engine::with_limits(net, AmcConfig::default(), limits).unwrap();
+        let mut idle = engine.open_session().unwrap();
+        let mut busy = engine.open_session().unwrap();
+        let f = frame(0);
+        engine.process(&mut idle, &f).unwrap();
+        for i in 0..3 {
+            engine.process(&mut busy, &frame(i)).unwrap();
+        }
+        // idle last ran at tick 1; current tick is 4 → idle for 3 ≥ 2.
+        assert_eq!(engine.maintain([&mut idle, &mut busy]), 1);
+        assert!(idle.key_image().is_none(), "idle session evicted");
+        assert!(busy.key_image().is_some(), "busy session retained");
+        // Engine-wide budget: force LRU eviction of the remaining state.
+        let mut tight = Engine::with_limits(
+            Arc::new(zoo::tiny_fasterm(0).network),
+            AmcConfig::default(),
+            EngineLimits {
+                max_total_bytes: 1,
+                ..EngineLimits::unlimited()
+            },
+        )
+        .unwrap();
+        let mut s = tight.open_session().unwrap();
+        tight.process(&mut s, &f).unwrap();
+        assert!(tight.total_session_bytes() > 1);
+        assert_eq!(tight.maintain([&mut s]), 1);
+        assert!(s.key_image().is_none());
+    }
+
+    #[test]
+    fn residual_confidence_bound_forces_key_frames() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        // A policy that never keys on error, bounded by the confidence
+        // guard alone.
+        let config = AmcConfig {
+            policy: PolicyConfig::BlockError {
+                threshold: f32::INFINITY,
+                max_gap: 1000,
+            },
+            max_residual_error: 0.5,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(net, config).unwrap();
+        let mut session = engine.open_session().unwrap();
+        engine.process(&mut session, &frame(0)).unwrap();
+        // Content RFBME cannot explain: high residual error everywhere.
+        let noise = GrayImage::from_fn(48, 48, |y, x| ((y * 37 + x * 101) % 255) as u8);
+        let r = engine.process(&mut session, &noise).unwrap();
+        assert!(r.is_key, "unexplained motion must degrade to a key frame");
+        assert_eq!(session.stats().forced_keys, 1);
+        // The same scene under an unlimited bound would have predicted.
+        let mut loose = Engine::new(
+            Arc::new(zoo::tiny_fasterm(0).network),
+            AmcConfig {
+                policy: PolicyConfig::BlockError {
+                    threshold: f32::INFINITY,
+                    max_gap: 1000,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut ls = loose.open_session().unwrap();
+        loose.process(&mut ls, &frame(0)).unwrap();
+        assert!(!loose.process(&mut ls, &noise).unwrap().is_key);
+        assert_eq!(ls.stats().forced_keys, 0);
+    }
+
+    #[test]
+    fn memory_footprint_audits_all_parts() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        let mut session = engine.open_session().unwrap();
+        let empty = session.memory_footprint();
+        assert!(empty >= std::mem::size_of::<SessionCore>());
+        engine.process(&mut session, &frame(0)).unwrap();
+        engine.process(&mut session, &frame(1)).unwrap();
+        // The audit is exactly struct + key-state buffers + scratch.
+        let core = &session.core;
+        let want = std::mem::size_of::<SessionCore>()
+            + core.rfbme_scratch.heap_bytes()
+            + core.state.as_ref().map_or(0, KeyState::heap_bytes);
+        assert_eq!(session.memory_footprint(), want);
+        assert!(
+            session.memory_footprint() > empty,
+            "key state and scratch must be audited"
+        );
+        assert_eq!(engine.total_session_bytes(), session.memory_footprint());
+        // Eviction returns the session to (at most) its opening footprint.
+        session.evict_state();
+        assert!(session.memory_footprint() <= empty);
     }
 }

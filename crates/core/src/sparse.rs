@@ -116,6 +116,20 @@ impl RleActivation {
         self.shape.len() * 2
     }
 
+    /// Bytes of heap memory this store holds (allocated capacities,
+    /// including the per-channel vector headers) — distinct from
+    /// [`RleActivation::encoded_bytes`], which models the hardware's
+    /// packed stream; this audits the *host* allocation the serving
+    /// engine's per-session memory budget is charged for.
+    pub fn heap_bytes(&self) -> usize {
+        self.channels.capacity() * std::mem::size_of::<Vec<RleEntry>>()
+            + self
+                .channels
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<RleEntry>())
+                .sum::<usize>()
+    }
+
     /// Compression ratio: `1 - encoded/dense` (the paper reports 80–87% for
     /// its detection networks).
     pub fn compression(&self) -> f32 {

@@ -6,10 +6,12 @@
 //! time (the cross-stream analogue of `pipeline_bitident.rs`).
 
 use eva2_cnn::zoo;
-use eva2_core::executor::{AmcConfig, AmcExecutor, AmcFrameResult, WarpMode};
+use eva2_core::error::AmcError;
+use eva2_core::executor::{AmcConfig, AmcExecutor, AmcFrameResult, ExecStats, WarpMode};
 use eva2_core::policy::PolicyConfig;
-use eva2_core::serve::Engine;
+use eva2_core::serve::{Engine, EngineLimits};
 use eva2_tensor::GrayImage;
+use proptest::prelude::*;
 use std::sync::Arc;
 
 const STREAMS: usize = 3;
@@ -50,7 +52,13 @@ fn assert_interleaved_bit_identical(config: AmcConfig, label: &str) {
     let z = zoo::tiny_fasterm(3);
     let net = Arc::new(zoo::tiny_fasterm(3).network);
     let mut engine = Engine::new(net, config).expect("valid engine config");
-    let mut sessions: Vec<_> = (0..STREAMS).map(|_| engine.open_session()).collect();
+    let mut sessions: Vec<_> = (0..STREAMS)
+        .map(|_| {
+            engine
+                .open_session()
+                .expect("unlimited engine has capacity")
+        })
+        .collect();
     let mut serials: Vec<AmcExecutor> = (0..STREAMS)
         .map(|_| AmcExecutor::try_new(&z.network, config).expect("valid config"))
         .collect();
@@ -59,7 +67,11 @@ fn assert_interleaved_bit_identical(config: AmcConfig, label: &str) {
     for t in 0..FRAMES {
         let frames: Vec<GrayImage> = (0..STREAMS).map(|s| stream_frame(s, t)).collect();
         // One round: every stream submits its next frame in one batch.
-        let results = engine.process_batch(sessions.iter_mut().zip(frames.iter()));
+        let results: Vec<AmcFrameResult> = engine
+            .process_batch(sessions.iter_mut().zip(frames.iter()))
+            .into_iter()
+            .map(|r| r.expect("unlimited engine admits every frame"))
+            .collect();
         let keys = results.iter().filter(|r| r.is_key).count();
         if keys > 1 {
             batched_keys += 1;
@@ -73,11 +85,14 @@ fn assert_interleaved_bit_identical(config: AmcConfig, label: &str) {
     // `Engine::process` submission must both match too.
     for (s, (session, serial)) in sessions.iter_mut().zip(&mut serials).enumerate() {
         let frame = stream_frame(s, FRAMES);
-        let r = engine.process_batch([(&mut *session, &frame)]).remove(0);
+        let r = engine
+            .process_batch([(&mut *session, &frame)])
+            .remove(0)
+            .expect("admitted");
         let want = serial.process(&frame);
         assert_result_eq(&r, &want, &format!("{label}: stream {s} batch-of-one"));
         let frame = stream_frame(s, FRAMES + 1);
-        let r = engine.process(session, &frame);
+        let r = engine.process(session, &frame).expect("admitted");
         let want = serial.process(&frame);
         assert_result_eq(&r, &want, &format!("{label}: stream {s} single-submit"));
     }
@@ -130,6 +145,138 @@ fn interleaved_streams_bit_identical_memoize_static_rate() {
     );
 }
 
+/// Field-wise difference of two stat snapshots (`after` must dominate).
+fn stats_delta(after: ExecStats, before: ExecStats) -> ExecStats {
+    ExecStats {
+        frames: after.frames - before.frames,
+        key_frames: after.key_frames - before.key_frames,
+        macs: after.macs - before.macs,
+        rfbme_ops: after.rfbme_ops - before.rfbme_ops,
+        rfbme_candidates: after.rfbme_candidates - before.rfbme_candidates,
+        rfbme_level0_rejects: after.rfbme_level0_rejects - before.rfbme_level0_rejects,
+        rfbme_level1_rejects: after.rfbme_level1_rejects - before.rfbme_level1_rejects,
+        warp_interpolations: after.warp_interpolations - before.warp_interpolations,
+        forced_keys: after.forced_keys - before.forced_keys,
+        evictions: after.evictions - before.evictions,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Evicting a session's state and rehydrating is bit-identical to a
+    /// fresh session replaying from the eviction point — outputs, MACs,
+    /// and the full statistics delta — for every shipped datapath
+    /// (float warp, fixed point, memoize).
+    #[test]
+    fn eviction_rehydration_bit_identical(
+        cfg_idx in 0usize..3,
+        evict_after in 1usize..4,
+        tail in 2usize..5,
+        stream in 0usize..STREAMS,
+    ) {
+        let configs = [
+            AmcConfig::default(),
+            AmcConfig {
+                fixed_point: true,
+                ..Default::default()
+            },
+            AmcConfig {
+                warp: WarpMode::Memoize,
+                policy: PolicyConfig::StaticRate { period: 3 },
+                ..Default::default()
+            },
+        ];
+        let config = configs[cfg_idx];
+        let net = Arc::new(zoo::tiny_fasterm(3).network);
+        let mut engine = Engine::new(net, config).expect("valid config");
+        let mut session = engine.open_session().expect("capacity");
+        for t in 0..evict_after {
+            engine
+                .process(&mut session, &stream_frame(stream, t))
+                .expect("admitted");
+        }
+        prop_assert!(session.evict_state(), "state was present to evict");
+        let before = session.stats();
+        let mut fresh = engine.open_session().expect("capacity");
+        for t in evict_after..evict_after + tail {
+            let frame = stream_frame(stream, t);
+            let r_old = engine.process(&mut session, &frame).expect("admitted");
+            let r_new = engine.process(&mut fresh, &frame).expect("admitted");
+            if t == evict_after {
+                prop_assert!(r_old.is_key, "rehydration forces a key frame");
+            }
+            assert_result_eq(&r_old, &r_new, &format!("rehydrated vs fresh, frame {t}"));
+        }
+        prop_assert_eq!(stats_delta(session.stats(), before), fresh.stats());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Backpressure shedding never corrupts admitted streams: every
+    /// admitted frame is bit-identical to a serial executor fed only the
+    /// admitted frames, and every shed frame leaves its session's
+    /// statistics (and therefore its state machine) untouched.
+    #[test]
+    fn shedding_never_corrupts_admitted_sessions(
+        frame_budget in 1usize..STREAMS + 1,
+        key_budget in 1usize..3,
+    ) {
+        let z = zoo::tiny_fasterm(3);
+        let net = Arc::new(zoo::tiny_fasterm(3).network);
+        let limits = EngineLimits {
+            max_frames_per_tick: frame_budget,
+            max_key_frames_per_tick: key_budget,
+            ..EngineLimits::unlimited()
+        };
+        let mut engine =
+            Engine::with_limits(net, AmcConfig::default(), limits).expect("valid limits");
+        let mut sessions: Vec<_> = (0..STREAMS)
+            .map(|_| engine.open_session().expect("capacity"))
+            .collect();
+        let mut serials: Vec<AmcExecutor> = (0..STREAMS)
+            .map(|_| AmcExecutor::try_new(&z.network, AmcConfig::default()).expect("valid"))
+            .collect();
+        let mut shed = 0usize;
+        for t in 0..8 {
+            let frames: Vec<GrayImage> = (0..STREAMS).map(|s| stream_frame(s, t)).collect();
+            let stats_before: Vec<_> = sessions.iter().map(|s| s.stats()).collect();
+            let results = engine.process_batch(sessions.iter_mut().zip(frames.iter()));
+            for (s, r) in results.iter().enumerate() {
+                match r {
+                    Ok(r) => {
+                        let want = serials[s].process(&frames[s]);
+                        assert_result_eq(r, &want, &format!("admitted stream {s} frame {t}"));
+                    }
+                    Err(AmcError::BudgetExceeded { .. }) => {
+                        shed += 1;
+                        prop_assert_eq!(
+                            sessions[s].stats(),
+                            stats_before[s],
+                            "shed frame mutated stream {}",
+                            s
+                        );
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+                }
+            }
+        }
+        if frame_budget < STREAMS {
+            prop_assert!(shed > 0, "scenario never exercised frame shedding");
+        }
+        for (s, (session, serial)) in sessions.iter().zip(&serials).enumerate() {
+            prop_assert_eq!(
+                session.stats(),
+                serial.stats(),
+                "stream {} aggregate stats",
+                s
+            );
+        }
+    }
+}
+
 #[test]
 fn heterogeneous_sessions_match_their_serial_counterparts() {
     // Streams with different per-session configs (policy, warp mode,
@@ -166,6 +313,7 @@ fn heterogeneous_sessions_match_their_serial_counterparts() {
         let frames: Vec<GrayImage> = (0..configs.len()).map(|s| stream_frame(s, t)).collect();
         let results = engine.process_batch(sessions.iter_mut().zip(frames.iter()));
         for (s, r) in results.iter().enumerate() {
+            let r = r.as_ref().expect("unlimited engine admits every frame");
             let want = serials[s].process(&frames[s]);
             assert_result_eq(r, &want, &format!("hetero stream {s} frame {t}"));
         }

@@ -523,6 +523,37 @@ impl RfbmeScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Bytes of heap memory this scratch holds (allocated capacities) —
+    /// the serving engine's per-session memory audit. Buffers grow to
+    /// their steady-state size on the first estimate, so a session's
+    /// footprint is stable after its first predicted frame.
+    pub fn heap_bytes(&self) -> usize {
+        fn vec_bytes<T>(v: &Vec<T>) -> usize {
+            v.capacity() * std::mem::size_of::<T>()
+        }
+        self.key_sat.heap_bytes()
+            + self.new_sat.heap_bytes()
+            + vec_bytes(&self.offsets)
+            + vec_bytes(&self.row_range)
+            + vec_bytes(&self.col_range)
+            + vec_bytes(&self.new_sums)
+            + vec_bytes(&self.best)
+            + vec_bytes(&self.lb)
+            + vec_bytes(&self.tile_valid)
+            + vec_bytes(&self.exact)
+            + vec_bytes(&self.needed)
+            + vec_bytes(&self.improvable)
+            + vec_bytes(&self.colsum)
+            + vec_bytes(&self.colvalid)
+            + vec_bytes(&self.cand)
+            + vec_bytes(&self.order)
+            + vec_bytes(&self.key_box)
+            + vec_bytes(&self.best_bf)
+            + vec_bytes(&self.l1)
+            + vec_bytes(&self.l1_stamp)
+            + vec_bytes(&self.exact_stamp)
+    }
 }
 
 /// Shared search geometry derived once per estimate, used by both the

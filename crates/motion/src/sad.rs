@@ -102,6 +102,12 @@ impl IntegralImage {
         sat
     }
 
+    /// Bytes of heap memory this table holds (allocated capacity) — the
+    /// serving engine's per-session memory audit.
+    pub fn heap_bytes(&self) -> usize {
+        self.sat.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Rebuilds the table for `img`, reusing this table's allocation — the
     /// frame-loop entry point (an RFBME estimate needs two tables per
     /// frame, and the worker thread runs one estimate per frame).

@@ -131,6 +131,12 @@ impl GrayImage {
         &self.data
     }
 
+    /// Bytes of heap memory this frame holds (allocated capacity, not just
+    /// occupied length) — the serving engine's per-session memory audit.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Mutable view of the row-major pixel buffer.
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
         &mut self.data

@@ -87,6 +87,18 @@ impl SparseActivation {
         self.channels.iter().map(Vec::len).sum()
     }
 
+    /// Bytes of heap memory this activation holds (allocated capacities,
+    /// including the per-channel vector headers) — the serving engine's
+    /// per-session memory audit.
+    pub fn heap_bytes(&self) -> usize {
+        self.channels.capacity() * std::mem::size_of::<Vec<(u32, f32)>>()
+            + self
+                .channels
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<(u32, f32)>())
+                .sum::<usize>()
+    }
+
     /// Fraction of entries that are zero (1.0 for an all-zero tensor).
     pub fn sparsity(&self) -> f32 {
         let len = self.shape.len();

@@ -36,12 +36,14 @@
 
 pub mod bbox;
 pub mod dataset;
+pub mod faults;
 pub mod frame;
 pub mod motion_script;
 pub mod scene;
 pub mod sprite;
 
 pub use bbox::BoundingBox;
+pub use faults::{FaultEvent, FaultKind, FaultScript, FaultyScene};
 pub use frame::{Clip, Frame, GroundTruth};
 pub use scene::{Scene, SceneConfig};
 pub use sprite::SpriteKind;

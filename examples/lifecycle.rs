@@ -1,0 +1,136 @@
+//! Serving-lifecycle hardening: admission control, backpressure, memory
+//! budgets, eviction/rehydration, and graceful degradation under faults.
+//!
+//! ```sh
+//! cargo run --release --example lifecycle
+//! ```
+//!
+//! A serving process in front of real cameras must keep its promises when
+//! the world misbehaves: too many streams, too many frames per tick, a
+//! memory ceiling, connections that go idle, and video that arrives
+//! dropped, corrupted, resized, or hard-cut. This example walks the
+//! `Engine`'s lifecycle knobs through all of it — every overload and every
+//! fault surfaces as a typed `AmcError`, never a panic, and healthy
+//! streams never notice their neighbours' trouble.
+
+use eva2::amc::error::AmcError;
+use eva2::amc::executor::AmcConfig;
+use eva2::amc::policy::PolicyConfig;
+use eva2::amc::serve::{Engine, EngineLimits};
+use eva2::cnn::zoo;
+use eva2::video::faults::{FaultKind, FaultScript, FaultyScene};
+use eva2::video::scene::{Scene, SceneConfig};
+use std::sync::Arc;
+
+fn main() {
+    let workload = zoo::tiny_fasterm(42);
+    let net = Arc::new(workload.network);
+    let config = AmcConfig::builder()
+        // A policy that trusts motion compensation completely (it only
+        // re-keys on its gap safety net)...
+        .policy(PolicyConfig::BlockError {
+            threshold: f32::INFINITY,
+            max_gap: 16,
+        })
+        // ...so the *engine's* graceful degradation is what protects the
+        // stream: a predicted frame whose residual block-match error
+        // exceeds this bound (this scene's normal motion sits at 3–5
+        // error/px) is forced to a key frame instead of warping garbage
+        // (§III-C).
+        .max_residual_error(8.0)
+        .build()
+        .expect("valid config");
+    let limits = EngineLimits {
+        max_sessions: 3,
+        max_frames_per_tick: 2,
+        ..EngineLimits::unlimited()
+    };
+    let mut engine =
+        Engine::with_limits(Arc::clone(&net), config, limits).expect("resolvable target");
+
+    // 1. Admission control: the fourth camera is refused with a typed
+    //    error — the engine never oversubscribes itself.
+    let mut sessions: Vec<_> = (0..3)
+        .map(|_| engine.open_session().expect("within capacity"))
+        .collect();
+    match engine.open_session() {
+        Err(AmcError::EngineAtCapacity { limit }) => {
+            println!("admission: 4th session refused (limit {limit})")
+        }
+        other => panic!("expected EngineAtCapacity, got {other:?}"),
+    }
+
+    // 2. Backpressure: three streams submit but the tick budget admits
+    //    two; the third is shed with a typed error and *no state change*,
+    //    so resubmitting it next tick is safe.
+    let scenes: Vec<Scene> = (0..3)
+        .map(|s| Scene::new(SceneConfig::detection(48, 48), 7 + s as u64))
+        .collect();
+    let frames: Vec<_> = scenes.iter().map(|sc| sc.render(0).image).collect();
+    let results = engine.process_batch(sessions.iter_mut().zip(frames.iter()));
+    let shed = results
+        .iter()
+        .filter(|r| matches!(r, Err(AmcError::BudgetExceeded { .. })))
+        .count();
+    println!(
+        "backpressure: {} admitted, {shed} shed this tick",
+        results.len() - shed
+    );
+
+    // 3. Memory accounting and soft eviction: each session's audited
+    //    footprint backs the engine's budgets; evicting drops the key
+    //    state and the next frame transparently re-keys (bit-identical to
+    //    a fresh session from there on).
+    let footprint = sessions[0].memory_footprint();
+    println!(
+        "memory: session 0 holds {footprint} bytes (engine total {})",
+        engine.total_session_bytes()
+    );
+    sessions[0].evict_state();
+    println!(
+        "eviction: session 0 down to {} bytes; next frame re-keys",
+        sessions[0].memory_footprint()
+    );
+    let r = engine
+        .process(&mut sessions[0], &scenes[0].render(1).image)
+        .expect("rehydrates");
+    println!("rehydration: frame served as key = {}", r.is_key);
+
+    // 4. Fault injection: a deterministic script drops, corrupts,
+    //    resizes, and hard-cuts one stream. Every outcome is a correct
+    //    frame or a typed error.
+    let script = FaultScript::new(
+        5,
+        vec![
+            (2, FaultKind::DropFrame),
+            (3, FaultKind::Corrupt { fraction: 0.25 }),
+            (5, FaultKind::Downscale),
+            (7, FaultKind::SceneCut),
+        ],
+    );
+    let mut faulty = FaultyScene::new(Scene::new(SceneConfig::detection(48, 48), 99), script);
+    println!("\nfaulty stream (one frame per tick):");
+    for t in 0..10 {
+        let event = faulty.next_event();
+        let label = match event.fault {
+            Some(k) => format!("{k:?}"),
+            None => "clean".to_string(),
+        };
+        let Some(frame) = event.frame else {
+            println!("t={t:2}  {label:<28} -> dropped in transport, nothing to submit");
+            continue;
+        };
+        match engine.process(&mut sessions[1], &frame.image) {
+            Ok(r) => println!(
+                "t={t:2}  {label:<28} -> served ({})",
+                if r.is_key { "key" } else { "predicted" }
+            ),
+            Err(e) => println!("t={t:2}  {label:<28} -> typed error: {e}"),
+        }
+    }
+    let stats = sessions[1].stats();
+    println!(
+        "\nstream 1: {} frames, {} keys ({} forced by the residual bound)",
+        stats.frames, stats.key_frames, stats.forced_keys
+    );
+}

@@ -44,7 +44,9 @@ fn main() {
     let mut scenes: Vec<Scene> = (0..STREAMS)
         .map(|s| Scene::new(SceneConfig::detection(48, 48), 7 + s as u64 * 13))
         .collect();
-    let mut sessions: Vec<_> = (0..STREAMS).map(|_| engine.open_session()).collect();
+    let mut sessions: Vec<_> = (0..STREAMS)
+        .map(|_| engine.open_session().expect("engine has capacity"))
+        .collect();
     // Cameras come online in pairs: coinciding joins show multi-key
     // batches, staggered pairs show mixed batches.
     let join_tick = |s: usize| (s / 2) * 5;
@@ -70,10 +72,12 @@ fn main() {
             .zip(frames.iter());
         let results = engine.process_batch(jobs);
         let mut kinds = [' '; STREAMS];
+        let mut batched_keys = 0;
         for (&s, r) in live.iter().zip(&results) {
+            let r = r.as_ref().expect("unlimited engine admits every frame");
             kinds[s] = if r.is_key { 'K' } else { '.' };
+            batched_keys += usize::from(r.is_key);
         }
-        let batched_keys = results.iter().filter(|r| r.is_key).count();
         println!(
             "{t:4}  {}   ({batched_keys} key prefix{} batched)",
             kinds.iter().collect::<String>(),
