@@ -1,0 +1,37 @@
+//! Produces `BENCH_serve.json` — the committed serving trajectory of the
+//! worker-pool engine under closed-loop multi-stream load: streams-per-core
+//! at the 33.3 ms SLO, p50/p99 per-frame latency, per-session memory, the
+//! strict single-worker overhead ratio, and the advisory threaded-scaling
+//! ratio.
+//!
+//! Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p eva2-bench --bin bench_serve
+//! ```
+//!
+//! Set `EVA2_BENCH_QUICK=1` for a seconds-long reduced-sampling run
+//! (noisier absolute numbers; the tracked ratios stay meaningful). An
+//! optional positional argument overrides the output path, so CI smoke
+//! runs can write a scratch file without clobbering the committed
+//! baseline. The measurement methodology lives in
+//! [`eva2_bench::serve_load`].
+
+use eva2_bench::serve_load::measure;
+use eva2_bench::trajectory::Mode;
+
+fn main() {
+    let mode = if std::env::var_os("EVA2_BENCH_QUICK").is_some() {
+        Mode::Quick
+    } else {
+        Mode::Full
+    };
+    let m = measure(mode);
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    match std::fs::write(&path, m.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

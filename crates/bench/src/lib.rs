@@ -2,4 +2,5 @@
 //! suite behind the committed `BENCH_conv.json` trajectory and the CI
 //! bench-regression gate (see [`trajectory`]).
 
+pub mod serve_load;
 pub mod trajectory;

@@ -163,6 +163,19 @@ pub trait Layer: fmt::Debug + Send + Sync {
             self.name()
         );
     }
+
+    /// Deep-copies the layer behind a fresh `Box<dyn Layer>`.
+    ///
+    /// Makes `Box<dyn Layer>` — and therefore [`Network`](crate::Network) —
+    /// [`Clone`], so callers that only hold `&Network` (e.g. the experiment
+    /// protocols) can hand an owned copy to `Arc`-based serving engines.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -170,6 +183,7 @@ pub trait Layer: fmt::Debug + Send + Sync {
 // ---------------------------------------------------------------------------
 
 /// A 2-D convolutional layer with square kernels and zero padding.
+#[derive(Clone)]
 pub struct Conv2d {
     name: String,
     in_channels: usize,
@@ -605,6 +619,10 @@ impl fmt::Debug for Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -747,7 +765,7 @@ impl Layer for Conv2d {
 ///
 /// Max-pooling is the paper's canonical "condition 3" violator: it commutes
 /// with stride-aligned translations but not with arbitrary ones (Fig 4e).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     name: String,
     geom: LayerGeometry,
@@ -768,6 +786,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -875,7 +897,7 @@ impl Layer for MaxPool2d {
 /// ReLU also produces the activation sparsity ("most values in CNN weights
 /// and activations are close to zero", §II-C2) that the EVA² run-length
 /// activation store exploits.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Relu {
     name: String,
 }
@@ -888,6 +910,10 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -945,6 +971,7 @@ impl Layer for Relu {
 /// structure and no meaningful relationship with motion in the input"
 /// (§II-C5), so [`Layer::geometry`] returns `None` and AMC keeps them in the
 /// suffix.
+#[derive(Clone)]
 pub struct FullyConnected {
     name: String,
     in_features: usize,
@@ -1022,6 +1049,10 @@ impl fmt::Debug for FullyConnected {
 }
 
 impl Layer for FullyConnected {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -11,6 +11,11 @@ use std::fmt;
 /// layers `0..=target` (key frames only), `forward_suffix` runs layers
 /// `target+1..` (every frame). The unsplit [`Network::forward`] is the
 /// baseline generic-accelerator execution the paper compares against.
+///
+/// Networks are [`Clone`] (layers deep-copy via [`Layer::clone_box`]), so a
+/// caller holding only `&Network` can mint the owned copy an
+/// `Arc<Network>`-based serving engine needs.
+#[derive(Clone)]
 pub struct Network {
     name: String,
     input_shape: Shape3,

@@ -258,6 +258,26 @@ impl ExecStats {
             self.key_frames as f32 / self.frames as f32
         }
     }
+
+    /// Field-wise difference from an earlier snapshot of the same stream's
+    /// statistics — how the serving engine derives a single frame's stats
+    /// delta (every counter is monotonic, so `earlier` is always
+    /// pointwise ≤ `self`).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            frames: self.frames - earlier.frames,
+            key_frames: self.key_frames - earlier.key_frames,
+            macs: self.macs - earlier.macs,
+            rfbme_ops: self.rfbme_ops - earlier.rfbme_ops,
+            rfbme_candidates: self.rfbme_candidates - earlier.rfbme_candidates,
+            rfbme_level0_rejects: self.rfbme_level0_rejects - earlier.rfbme_level0_rejects,
+            rfbme_level1_rejects: self.rfbme_level1_rejects - earlier.rfbme_level1_rejects,
+            warp_interpolations: self.warp_interpolations - earlier.warp_interpolations,
+            forced_keys: self.forced_keys - earlier.forced_keys,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
 }
 
 /// The AMC executor: EVA² in front of a CNN, serving one stream.

@@ -47,13 +47,65 @@
 //! bit-identical to dense-warp-then-extract, so the wrapper guarantee
 //! below is unaffected.
 //!
+//! # Threading model & determinism
+//!
+//! [`EngineLimits::worker_threads`] sizes a pool of workers (scoped
+//! threads with one private [`GemmScratch`] each — the hot path never
+//! locks a shared pool) that [`Engine::process_batch`] fans work out to
+//! in three places:
+//!
+//! 1. **Per-stream RFBME** runs stream-per-worker: motion estimation
+//!    touches only its own session's key image and `RfbmeScratch`, so
+//!    jobs partition round-robin across workers with no sharing.
+//! 2. **Coinciding key frames** fan out frame-per-thread: each worker
+//!    runs *its* subset of the tick's key frames through one
+//!    `forward_prefix_batched` sub-batch (one frame per thread beats
+//!    splitting a single 48×48 frame's GEMM across cores — the PR-4
+//!    finding; within a worker the sub-batch still amortises A-packing).
+//! 3. **Completion** (sparse store refresh + suffix for keys, warp +
+//!    suffix for predicted) is per-session work and again runs
+//!    stream-per-worker.
+//!
+//! Between the parallel phases, admission — budget shedding, the
+//! key-frame decision, and counter commits — stays a short *serial* walk
+//! in submission order, which is what keeps budget semantics identical to
+//! the single-threaded engine.
+//!
+//! **Outputs are bit-identical for every worker count.** Three facts make
+//! this free: sessions are independent (no phase shares mutable state
+//! across streams); the batched prefix is bit-identical to the per-frame
+//! prefix *for any partition of the batch* (the `forward_prefix_batched`
+//! contract); and every result lands in its job's own slot, so scheduling
+//! order cannot reorder anything. The extended `serve_interleaved.rs`
+//! harness pins N-worker vs 1-worker vs serial-executor equality under
+//! random interleavings, evictions, and fault storms.
+//!
+//! The one observable difference: with `worker_threads > 1` the engine
+//! estimates motion *speculatively* for every screened-in job before the
+//! serial admission walk, so a frame that ends up shed by a tick budget
+//! may have warmed its session's `RfbmeScratch`. Scratch contents never
+//! influence results (the eviction/rehydration tests rely on exactly that
+//! property), so shed-and-resubmit stays bit-identical.
+//!
+//! `worker_threads: 1` (the default) runs every phase inline — no threads
+//! are spawned, and the engine behaves exactly like the pre-pool
+//! implementation. On the single-CPU dev container the forced thread
+//! count is still honoured (cf. `gemm_nn_threads`), which is how the
+//! bit-identity tests exercise the real split without multi-core
+//! hardware; wall-clock scaling needs a multi-core host.
+//!
 //! # Lifecycle & failure modes
 //!
 //! A long-running serving process cannot afford a panic, an unbounded
 //! buffer, or a silently wrong frame, so the engine wraps the AMC state
-//! machine in an explicit lifecycle. Every submission returns
-//! `Result<AmcFrameResult, AmcError>`: the engine either serves a correct
-//! frame or tells the caller exactly why it refused.
+//! machine in an explicit lifecycle. Every submission returns a
+//! [`FrameOutcome`]: the engine either serves a correct frame — typed by
+//! how it was produced ([`FrameOutcome::Key`], [`FrameOutcome::Predicted`],
+//! [`FrameOutcome::ForcedKey`] with the residual that tripped the
+//! confidence bound), carrying the output tensor and the per-frame
+//! [`ExecStats`] delta — or tells the caller exactly why it refused:
+//! [`FrameOutcome::Shed`] (backpressure; resubmit next tick) versus
+//! [`FrameOutcome::Rejected`] (the submission itself is wrong).
 //!
 //! * **Admission control.** [`EngineLimits::max_sessions`] caps concurrent
 //!   sessions: [`Engine::open_session`] returns
@@ -132,10 +184,17 @@
 //! // Batched submission: both streams' first frames are key frames and
 //! // share one batched prefix pass.
 //! let results = engine.process_batch([(&mut cam_a, &frame), (&mut cam_b, &frame)]);
-//! assert!(results.iter().all(|r| r.as_ref().unwrap().is_key));
-//! // Streams advance independently.
-//! let r = engine.process(&mut cam_a, &frame).unwrap();
-//! assert!(!r.is_key);
+//! assert!(results.iter().all(|r| r.is_key()));
+//! // Streams advance independently; outcomes are typed by how the frame
+//! // was produced.
+//! use eva2_core::serve::FrameOutcome;
+//! match engine.process(&mut cam_a, &frame) {
+//!     FrameOutcome::Predicted { frame, stats } => {
+//!         assert!(!frame.is_key);
+//!         assert_eq!(stats.frames, 1); // this frame's stats delta
+//!     }
+//!     other => panic!("steady scene should predict, got {other:?}"),
+//! }
 //! assert_eq!(cam_a.stats().frames, 2);
 //! assert_eq!(cam_b.stats().frames, 1);
 //! ```
@@ -196,6 +255,180 @@ impl FramePlan {
     pub(crate) fn kind(&self) -> FrameKind {
         self.kind
     }
+}
+
+/// The typed outcome of one submitted frame — what
+/// [`Engine::process_batch`] returns per job. Served variants carry the
+/// frame's [`AmcFrameResult`] (output tensor, MACs, warp/compression
+/// detail) plus `stats`: the [`ExecStats`] delta this single frame added
+/// to its session, so callers account per frame without diffing
+/// snapshots. Refused variants carry the typed [`AmcError`], split by
+/// what the caller should do about it.
+#[derive(Debug, Clone)]
+pub enum FrameOutcome {
+    /// Warped (or memoized) from stored key state; suffix-only compute.
+    Predicted {
+        /// The served frame.
+        frame: AmcFrameResult,
+        /// This frame's statistics delta.
+        stats: ExecStats,
+    },
+    /// A key frame the policy (or a first frame / rehydration) asked for:
+    /// full prefix + suffix, key state refreshed.
+    Key {
+        /// The served frame.
+        frame: AmcFrameResult,
+        /// This frame's statistics delta.
+        stats: ExecStats,
+    },
+    /// The policy said *predicted* but the residual per-pixel block error
+    /// exceeded
+    /// [`AmcConfig::max_residual_error`](crate::executor::AmcConfig::max_residual_error),
+    /// so the engine refused to warp garbage and spent a key frame
+    /// (§III-C graceful degradation).
+    ForcedKey {
+        /// The residual per-pixel block error that tripped the bound.
+        residual: f32,
+        /// The served (key) frame.
+        frame: AmcFrameResult,
+        /// This frame's statistics delta.
+        stats: ExecStats,
+    },
+    /// Backpressure: a per-tick budget was exhausted before this job. The
+    /// session is untouched — resubmitting next tick is bit-identical to
+    /// having submitted it then.
+    Shed(AmcError),
+    /// The submission itself is wrong (foreign engine, retired session,
+    /// off-geometry frame, or a violated internal invariant surfaced as
+    /// [`AmcError::Internal`]); resubmitting the same job cannot succeed.
+    Rejected(AmcError),
+}
+
+impl FrameOutcome {
+    /// Wraps a refusal, classifying shed-able backpressure apart from
+    /// hard rejections.
+    fn from_error(e: AmcError) -> Self {
+        match e {
+            AmcError::BudgetExceeded { .. } => FrameOutcome::Shed(e),
+            _ => FrameOutcome::Rejected(e),
+        }
+    }
+
+    /// Whether the frame was served (any of the three success variants).
+    pub fn is_served(&self) -> bool {
+        matches!(
+            self,
+            FrameOutcome::Predicted { .. }
+                | FrameOutcome::Key { .. }
+                | FrameOutcome::ForcedKey { .. }
+        )
+    }
+
+    /// Whether the frame was served as a key frame (policy-chosen or
+    /// forced).
+    pub fn is_key(&self) -> bool {
+        matches!(
+            self,
+            FrameOutcome::Key { .. } | FrameOutcome::ForcedKey { .. }
+        )
+    }
+
+    /// The served frame, when one was produced.
+    pub fn frame(&self) -> Option<&AmcFrameResult> {
+        match self {
+            FrameOutcome::Predicted { frame, .. }
+            | FrameOutcome::Key { frame, .. }
+            | FrameOutcome::ForcedKey { frame, .. } => Some(frame),
+            _ => None,
+        }
+    }
+
+    /// The statistics delta this frame added to its session, when served.
+    pub fn stats_delta(&self) -> Option<ExecStats> {
+        match self {
+            FrameOutcome::Predicted { stats, .. }
+            | FrameOutcome::Key { stats, .. }
+            | FrameOutcome::ForcedKey { stats, .. } => Some(*stats),
+            _ => None,
+        }
+    }
+
+    /// The refusal, when the frame was shed or rejected.
+    pub fn error(&self) -> Option<&AmcError> {
+        match self {
+            FrameOutcome::Shed(e) | FrameOutcome::Rejected(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Collapses the outcome to the plain result shape, dropping the
+    /// variant distinction and stats delta.
+    pub fn into_result(self) -> Result<AmcFrameResult, AmcError> {
+        match self {
+            FrameOutcome::Predicted { frame, .. }
+            | FrameOutcome::Key { frame, .. }
+            | FrameOutcome::ForcedKey { frame, .. } => Ok(frame),
+            FrameOutcome::Shed(e) | FrameOutcome::Rejected(e) => Err(e),
+        }
+    }
+
+    /// The served frame, panicking with `msg` on a refusal — the
+    /// test-and-example analogue of `Result::expect`.
+    #[track_caller]
+    pub fn expect(self, msg: &str) -> AmcFrameResult {
+        match self.into_result() {
+            Ok(frame) => frame,
+            Err(e) => panic!("{msg}: {e:?}"),
+        }
+    }
+
+    /// The served frame, panicking on a refusal — the test-and-example
+    /// analogue of `Result::unwrap`.
+    #[track_caller]
+    pub fn unwrap(self) -> AmcFrameResult {
+        self.expect("frame was not served")
+    }
+}
+
+/// Runs `f` over `items`, split round-robin across one scoped thread per
+/// entry of `states` (each worker gets exclusive use of its state — this
+/// is how per-worker `GemmScratch` stays lock-free). With one state, or
+/// one item, everything runs inline on the caller's thread: the
+/// single-worker engine spawns nothing.
+///
+/// Results travel through the items themselves (`&mut` slots), so work
+/// lands deterministically regardless of scheduling.
+fn fan_out<T, W, F>(states: &mut [W], items: Vec<T>, f: F)
+where
+    T: Send,
+    W: Send,
+    F: Fn(&mut W, T) + Sync,
+{
+    if states.len() <= 1 || items.len() <= 1 {
+        let state = states.first_mut().expect("at least one worker state");
+        for item in items {
+            f(state, item);
+        }
+        return;
+    }
+    let n = states.len();
+    let mut buckets: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % n].push(item);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (state, bucket) in states.iter_mut().zip(buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            scope.spawn(move || {
+                for item in bucket {
+                    f(state, item);
+                }
+            });
+        }
+    });
 }
 
 /// The per-stream AMC state machine: everything one video stream needs
@@ -587,10 +820,19 @@ pub struct EngineLimits {
     /// A session idle for at least this many ticks has its key state
     /// evicted by [`Engine::maintain`].
     pub idle_evict_ticks: u64,
+    /// Worker threads one [`Engine::process_batch`] tick fans out over
+    /// (see the [module docs](self#threading-model--determinism)). `1`
+    /// (the default) runs every phase inline on the calling thread and
+    /// spawns nothing. This is a *forced* count, not a hint (cf. the GEMM
+    /// `gemm_nn_threads` hook): asking for 3 workers on a single-CPU host
+    /// still splits the work three ways, which is what makes the threaded
+    /// code path testable on a one-core container.
+    pub worker_threads: usize,
 }
 
 impl EngineLimits {
-    /// No limits: nothing is refused, shed, or evicted.
+    /// No limits: nothing is refused, shed, or evicted, and every tick
+    /// runs inline on the calling thread (`worker_threads: 1`).
     pub const fn unlimited() -> Self {
         Self {
             max_sessions: usize::MAX,
@@ -599,6 +841,16 @@ impl EngineLimits {
             max_session_bytes: usize::MAX,
             max_total_bytes: usize::MAX,
             idle_evict_ticks: u64::MAX,
+            worker_threads: 1,
+        }
+    }
+
+    /// Starts a validating builder from the unlimited defaults — the same
+    /// pattern as [`AmcConfig::builder`](crate::executor::AmcConfig):
+    /// chain setters, then [`EngineLimitsBuilder::build`] validates once.
+    pub fn builder() -> EngineLimitsBuilder {
+        EngineLimitsBuilder {
+            limits: Self::unlimited(),
         }
     }
 
@@ -628,6 +880,9 @@ impl EngineLimits {
         if self.idle_evict_ticks == 0 {
             return invalid("engine limit idle_evict_ticks must be at least 1");
         }
+        if self.worker_threads == 0 {
+            return invalid("engine limit worker_threads must be at least 1");
+        }
         Ok(())
     }
 }
@@ -635,6 +890,71 @@ impl EngineLimits {
 impl Default for EngineLimits {
     fn default() -> Self {
         Self::unlimited()
+    }
+}
+
+/// Validating builder for [`EngineLimits`], mirroring
+/// [`AmcConfigBuilder`](crate::executor::AmcConfigBuilder): every setter
+/// is chainable, and [`build`](Self::build) runs
+/// [`EngineLimits::validate`] so an invalid combination is caught at
+/// construction rather than at [`Engine::with_limits`].
+#[derive(Debug, Clone)]
+pub struct EngineLimitsBuilder {
+    limits: EngineLimits,
+}
+
+impl EngineLimitsBuilder {
+    /// Sets [`EngineLimits::max_sessions`].
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.limits.max_sessions = n;
+        self
+    }
+
+    /// Sets [`EngineLimits::max_frames_per_tick`].
+    pub fn max_frames_per_tick(mut self, n: usize) -> Self {
+        self.limits.max_frames_per_tick = n;
+        self
+    }
+
+    /// Sets [`EngineLimits::max_key_frames_per_tick`].
+    pub fn max_key_frames_per_tick(mut self, n: usize) -> Self {
+        self.limits.max_key_frames_per_tick = n;
+        self
+    }
+
+    /// Sets [`EngineLimits::max_session_bytes`].
+    pub fn max_session_bytes(mut self, n: usize) -> Self {
+        self.limits.max_session_bytes = n;
+        self
+    }
+
+    /// Sets [`EngineLimits::max_total_bytes`].
+    pub fn max_total_bytes(mut self, n: usize) -> Self {
+        self.limits.max_total_bytes = n;
+        self
+    }
+
+    /// Sets [`EngineLimits::idle_evict_ticks`].
+    pub fn idle_evict_ticks(mut self, n: u64) -> Self {
+        self.limits.idle_evict_ticks = n;
+        self
+    }
+
+    /// Sets [`EngineLimits::worker_threads`].
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        self.limits.worker_threads = n;
+        self
+    }
+
+    /// Validates and returns the limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError::InvalidConfig`] naming the violated invariant
+    /// (see [`EngineLimits::validate`]).
+    pub fn build(self) -> Result<EngineLimits, AmcError> {
+        self.limits.validate()?;
+        Ok(self.limits)
     }
 }
 
@@ -664,10 +984,12 @@ pub struct Engine {
     rf: RfGeometry,
     prefix_macs: u64,
     total_macs: u64,
-    /// Shared im2col/pack pools: every session's CNN work runs through
-    /// these, so steady-state serving allocates no convolution scratch no
-    /// matter how many streams are open.
-    scratch: GemmScratch,
+    /// Per-worker im2col/pack pools — one `GemmScratch` per
+    /// [`EngineLimits::worker_threads`], so each worker's CNN hot path is
+    /// lock-free and steady-state serving allocates no convolution
+    /// scratch no matter how many streams are open. Index 0 is the
+    /// calling thread's pool (the only one touched when inline).
+    scratches: Vec<GemmScratch>,
     /// Process-unique engine identity, stamped into every session so
     /// cross-engine session use fails loudly instead of silently running
     /// one engine's key state against another engine's network.
@@ -737,7 +1059,9 @@ impl Engine {
             rf,
             prefix_macs,
             total_macs,
-            scratch: GemmScratch::new(),
+            scratches: (0..limits.worker_threads)
+                .map(|_| GemmScratch::new())
+                .collect(),
             engine_id: NEXT_ENGINE_ID.fetch_add(1, Relaxed),
             next_session: 0,
             tick: 0,
@@ -868,18 +1192,13 @@ impl Engine {
     /// Processes one frame of one stream — identical in behaviour (and
     /// bits) to a batch of one.
     ///
-    /// # Errors
-    ///
-    /// See [`Engine::process_batch`] — every admission and execution error
-    /// surfaces here the same way.
-    pub fn process(
-        &mut self,
-        session: &mut StreamSession,
-        frame: &GrayImage,
-    ) -> Result<AmcFrameResult, AmcError> {
+    /// See [`Engine::process_batch`] — every admission and execution
+    /// refusal surfaces here the same way, as a [`FrameOutcome::Shed`] or
+    /// [`FrameOutcome::Rejected`].
+    pub fn process(&mut self, session: &mut StreamSession, frame: &GrayImage) -> FrameOutcome {
         self.process_batch([(session, frame)])
             .pop()
-            .expect("a batch of one job yields one result")
+            .expect("a batch of one job yields one outcome")
     }
 
     /// Processes one frame from each of several streams, batching the
@@ -894,31 +1213,36 @@ impl Engine {
     /// pair serially through [`Engine::process`].
     ///
     /// One call is one *tick*: the unit of the per-tick frame and
-    /// key-frame budgets and of the idle-eviction clock.
+    /// key-frame budgets and of the idle-eviction clock. With
+    /// [`EngineLimits::worker_threads`] above one, the per-stream phases
+    /// of the tick fan out across scoped worker threads (see the
+    /// [module docs](self#threading-model--determinism)) without changing
+    /// a single output bit.
     ///
-    /// # Errors
+    /// Each job succeeds or is refused independently; a refusal never
+    /// disturbs the other jobs, and a refused job's session is left
+    /// exactly as it was:
     ///
-    /// Each job fails independently; an error never disturbs the other
-    /// jobs, and a failed job's session is left exactly as it was:
-    ///
-    /// * [`AmcError::EngineMismatch`] — the session was opened by a
-    ///   different engine.
-    /// * [`AmcError::SessionEvicted`] — the session was retired by
-    ///   [`Engine::evict_session`].
-    /// * [`AmcError::BudgetExceeded`] — the tick's frame or key-frame
+    /// * [`FrameOutcome::Shed`] — backpressure
+    ///   ([`AmcError::BudgetExceeded`]): the tick's frame or key-frame
     ///   budget was exhausted before this job; resubmit next tick.
-    /// * [`AmcError::FrameGeometryMismatch`] — the frame's resolution
-    ///   differs from the network's input shape.
-    /// * [`AmcError::Internal`] — a violated engine invariant (never
+    /// * [`FrameOutcome::Rejected`] — the submission is wrong:
+    ///   [`AmcError::EngineMismatch`] (session opened by a different
+    ///   engine), [`AmcError::SessionEvicted`] (session retired by
+    ///   [`Engine::evict_session`]), [`AmcError::FrameGeometryMismatch`]
+    ///   (frame resolution differs from the network's input shape), or
+    ///   [`AmcError::Internal`] (a violated engine invariant — never
     ///   expected; returned instead of panicking so serving survives it).
     pub fn process_batch<'a>(
         &mut self,
         jobs: impl IntoIterator<Item = (&'a mut StreamSession, &'a GrayImage)>,
-    ) -> Vec<Result<AmcFrameResult, AmcError>> {
+    ) -> Vec<FrameOutcome> {
         enum Plan {
             Key {
                 metrics: Option<FrameMetrics>,
                 rfbme_ops: u64,
+                forced: bool,
+                act: Option<Tensor3>,
             },
             Predicted {
                 metrics: Option<FrameMetrics>,
@@ -931,28 +1255,73 @@ impl Engine {
         let tick = self.tick;
         let limits = self.limits;
         let engine_id = self.engine_id;
-        // Phase 1: admission + per-stream motion estimation + key-frame
-        // decision, in submission order (independent across sessions, so
-        // identical to the serial interleaving). Shedding happens here,
-        // strictly before any session mutation.
+        let workers = self.scratches.len();
+
+        // Phase 0: side-effect-free screening, split by where each check
+        // sits in the serial precedence order — `hard` refusals (wrong
+        // engine, retired session) precede the per-tick frame budget,
+        // geometry refusals follow it — so the admission walk below can
+        // surface exactly the error a serial walk would have chosen.
+        let mut hard: Vec<Option<AmcError>> = Vec::with_capacity(jobs.len());
+        let mut geom: Vec<Option<AmcError>> = Vec::with_capacity(jobs.len());
+        for (session, frame) in &jobs {
+            hard.push(if session.engine_id != engine_id {
+                Some(AmcError::EngineMismatch {
+                    session: session.id,
+                })
+            } else if session.slot.retired.load(Relaxed) {
+                Some(AmcError::SessionEvicted {
+                    session: session.id,
+                })
+            } else {
+                None
+            });
+            geom.push(session.core.check_geometry(frame).err());
+        }
+
+        // Phase 1 (multi-worker only): speculative per-stream RFBME for
+        // screened-in jobs, fanned out stream-per-worker. `estimate_motion`
+        // touches only the session's own key state and `RfbmeScratch`
+        // (whose contents never influence results), so estimating for a
+        // frame the admission walk later sheds leaves no observable trace.
+        // Bounded by the frame budget so a submission storm against a
+        // tight budget does not do unbounded speculative work; the walk
+        // falls back to an inline estimate for anything not speculated.
+        let mut motions: Vec<Option<Option<RfbmeResult>>> = (0..jobs.len()).map(|_| None).collect();
+        if workers > 1 {
+            let mut speculated = 0usize;
+            let mut items: Vec<(
+                &mut SessionCore,
+                &GrayImage,
+                &mut Option<Option<RfbmeResult>>,
+            )> = Vec::new();
+            for (i, ((session, frame), slot)) in jobs.iter_mut().zip(motions.iter_mut()).enumerate()
+            {
+                if hard[i].is_none() && geom[i].is_none() && speculated < limits.max_frames_per_tick
+                {
+                    speculated += 1;
+                    items.push((&mut session.core, frame, slot));
+                }
+            }
+            let mut units = vec![(); workers];
+            fan_out(&mut units, items, |(), (core, frame, slot)| {
+                *slot = Some(core.estimate_motion(frame));
+            });
+        }
+
+        // Phase 2: the serial admission walk, in submission order —
+        // budgets, classification, and commits are inherently ordered
+        // (earlier jobs consume budget first), so this stays on the
+        // calling thread. Shedding happens here, strictly before any
+        // session mutation.
         let mut admitted = 0usize;
         let mut admitted_keys = 0usize;
-        let mut plans: Vec<Result<Plan, AmcError>> = Vec::with_capacity(jobs.len());
-        // Key-frame prefix inputs; the geometry check guarantees they all
-        // share the network's input shape, as `forward_prefix_batched`
-        // requires.
-        let mut key_inputs: Vec<Tensor3> = Vec::new();
-        for (session, frame) in jobs.iter_mut() {
+        let mut key_slots: Vec<usize> = Vec::new();
+        let mut plans: Vec<Result<(Plan, ExecStats), AmcError>> = Vec::with_capacity(jobs.len());
+        for (i, (session, frame)) in jobs.iter_mut().enumerate() {
             let plan = (|| {
-                if session.engine_id != engine_id {
-                    return Err(AmcError::EngineMismatch {
-                        session: session.id,
-                    });
-                }
-                if session.slot.retired.load(Relaxed) {
-                    return Err(AmcError::SessionEvicted {
-                        session: session.id,
-                    });
+                if let Some(e) = hard[i].take() {
+                    return Err(e);
                 }
                 if admitted >= limits.max_frames_per_tick {
                     return Err(AmcError::BudgetExceeded {
@@ -960,8 +1329,13 @@ impl Engine {
                         budget: limits.max_frames_per_tick,
                     });
                 }
-                session.core.check_geometry(frame)?;
-                let motion = session.core.estimate_motion(frame);
+                if let Some(e) = geom[i].take() {
+                    return Err(e);
+                }
+                let motion = match motions[i].take() {
+                    Some(speculated) => speculated,
+                    None => session.core.estimate_motion(frame),
+                };
                 let plan = session.core.classify(&motion);
                 if plan.kind() == FrameKind::Key && admitted_keys >= limits.max_key_frames_per_tick
                 {
@@ -970,88 +1344,190 @@ impl Engine {
                         budget: limits.max_key_frames_per_tick,
                     });
                 }
-                // Admitted: from here on the frame is committed.
+                // Admitted: from here on the frame is committed. The stats
+                // snapshot (taken before the commit) is what turns the
+                // session's counters into this frame's delta.
+                let stats_before = session.core.stats();
                 session.core.commit_frame(&plan, &motion);
                 admitted += 1;
                 session.slot.last_tick.store(tick, Relaxed);
                 match plan.kind() {
                     FrameKind::Key => {
                         admitted_keys += 1;
-                        key_inputs.push(frame.to_tensor());
-                        Ok(Plan::Key {
-                            metrics: plan.metrics,
-                            rfbme_ops: plan.rfbme_ops,
-                        })
+                        key_slots.push(i);
+                        Ok((
+                            Plan::Key {
+                                metrics: plan.metrics,
+                                rfbme_ops: plan.rfbme_ops,
+                                forced: plan.forced,
+                                act: None,
+                            },
+                            stats_before,
+                        ))
                     }
                     FrameKind::Predicted => {
                         let motion = motion.ok_or(AmcError::Internal {
                             what: "predicted frame requires a motion estimate",
                         })?;
-                        Ok(Plan::Predicted {
-                            metrics: plan.metrics,
-                            rfbme_ops: plan.rfbme_ops,
-                            motion,
-                        })
+                        Ok((
+                            Plan::Predicted {
+                                metrics: plan.metrics,
+                                rfbme_ops: plan.rfbme_ops,
+                                motion,
+                            },
+                            stats_before,
+                        ))
                     }
                 }
             })();
             plans.push(plan);
         }
-        // Phase 2: one batched prefix pass over every admitted key frame
-        // (bit-identical per frame to the serial prefix).
-        let mut acts = self
-            .net
-            .forward_prefix_batched(key_inputs, self.target, &mut self.scratch)
-            .into_iter();
-        // Phase 3: per-stream completion, in submission order.
-        let mut results = Vec::with_capacity(jobs.len());
-        for ((session, frame), plan) in jobs.into_iter().zip(plans) {
-            let result = match plan {
-                Err(e) => Err(e),
-                Ok(Plan::Key { metrics, rfbme_ops }) => match acts.next() {
-                    None => Err(AmcError::Internal {
-                        what: "one prefix activation per key frame",
-                    }),
-                    Some(act) => {
-                        let r = session.core.finish_key_frame(
-                            &self.net,
-                            &mut self.scratch,
-                            frame,
-                            act,
-                            metrics,
-                            rfbme_ops,
-                        );
-                        // Per-session budget: rather than let one stream
-                        // grow past its allowance, trim its state — the
-                        // stream degrades to bounded-memory all-key
-                        // serving instead of failing.
-                        if session.core.memory_footprint() > limits.max_session_bytes {
-                            session.core.evict_state();
-                        }
-                        Ok(r)
+
+        // Phase 3: prefix passes over the admitted key frames. One worker
+        // (or one key frame) runs a single batched pass with the calling
+        // thread's scratch — exactly the pre-pool engine. More workers
+        // fan the key frames out frame-per-thread (the PR-4 finding: one
+        // frame per thread beats splitting one frame's GEMM), each worker
+        // running one `forward_prefix_batched` sub-batch with its own
+        // scratch; the batched prefix is bit-identical for any partition
+        // of the batch, so the split never changes an output bit. The
+        // geometry screen guarantees every input shares the network's
+        // input shape, as the batched prefix requires.
+        let mut acts: Vec<Option<Tensor3>> = (0..key_slots.len()).map(|_| None).collect();
+        if workers == 1 || key_slots.len() <= 1 {
+            let key_inputs: Vec<Tensor3> =
+                key_slots.iter().map(|&i| jobs[i].1.to_tensor()).collect();
+            let outs =
+                self.net
+                    .forward_prefix_batched(key_inputs, self.target, &mut self.scratches[0]);
+            for (slot, out) in acts.iter_mut().zip(outs) {
+                *slot = Some(out);
+            }
+        } else {
+            let net: &Network = &self.net;
+            let target = self.target;
+            let buckets_n = workers.min(key_slots.len());
+            let mut buckets: Vec<(Vec<&GrayImage>, Vec<&mut Option<Tensor3>>)> =
+                (0..buckets_n).map(|_| (Vec::new(), Vec::new())).collect();
+            for ((k, &i), slot) in key_slots.iter().enumerate().zip(acts.iter_mut()) {
+                let (frames, slots) = &mut buckets[k % buckets_n];
+                frames.push(jobs[i].1);
+                slots.push(slot);
+            }
+            fan_out(
+                &mut self.scratches,
+                buckets,
+                |scratch, (frames, mut slots)| {
+                    let inputs: Vec<Tensor3> = frames.iter().map(|f| f.to_tensor()).collect();
+                    let outs = net.forward_prefix_batched(inputs, target, scratch);
+                    for (slot, out) in slots.iter_mut().zip(outs) {
+                        **slot = Some(out);
                     }
                 },
-                Ok(Plan::Predicted {
-                    metrics,
-                    rfbme_ops,
-                    motion,
-                }) => session.core.finish_predicted(
-                    &self.net,
-                    &mut self.scratch,
-                    &motion,
-                    metrics,
-                    rfbme_ops,
-                ),
-            };
-            if result.is_ok() {
-                session
-                    .slot
-                    .bytes
-                    .store(session.core.memory_footprint(), Relaxed);
-            }
-            results.push(result);
+            );
         }
-        results
+        for (&i, act) in key_slots.iter().zip(acts) {
+            if let Ok((Plan::Key { act: slot, .. }, _)) = &mut plans[i] {
+                *slot = act;
+            }
+        }
+
+        // Phase 4: per-stream completion (key sparse-encode + suffix, or
+        // warp + suffix), fanned out stream-per-worker. Jobs are distinct
+        // sessions by construction (`&mut` exclusivity), so this phase is
+        // embarrassingly parallel; outcomes land in per-job slots, so the
+        // returned order is submission order regardless of scheduling.
+        let mut outcomes: Vec<Option<FrameOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        let net: &Network = &self.net;
+        let max_session_bytes = limits.max_session_bytes;
+        let mut items: Vec<(
+            &mut StreamSession,
+            &GrayImage,
+            Plan,
+            ExecStats,
+            &mut Option<FrameOutcome>,
+        )> = Vec::new();
+        for (((session, frame), plan), slot) in jobs.iter_mut().zip(plans).zip(outcomes.iter_mut())
+        {
+            match plan {
+                Err(e) => *slot = Some(FrameOutcome::from_error(e)),
+                Ok((plan, stats_before)) => items.push((session, frame, plan, stats_before, slot)),
+            }
+        }
+        fan_out(
+            &mut self.scratches,
+            items,
+            |scratch, (session, frame, plan, stats_before, slot)| {
+                let outcome = match plan {
+                    Plan::Key {
+                        metrics,
+                        rfbme_ops,
+                        forced,
+                        act,
+                    } => match act {
+                        None => FrameOutcome::Rejected(AmcError::Internal {
+                            what: "one prefix activation per key frame",
+                        }),
+                        Some(act) => {
+                            let residual = metrics.as_ref().map(|m| m.block_error_per_pixel);
+                            let served = session
+                                .core
+                                .finish_key_frame(net, scratch, frame, act, metrics, rfbme_ops);
+                            // Per-session budget: rather than let one
+                            // stream grow past its allowance, trim its
+                            // state — the stream degrades to
+                            // bounded-memory all-key serving instead of
+                            // failing.
+                            if session.core.memory_footprint() > max_session_bytes {
+                                session.core.evict_state();
+                            }
+                            let stats = session.core.stats().delta_since(&stats_before);
+                            match (forced, residual) {
+                                (true, Some(residual)) => FrameOutcome::ForcedKey {
+                                    residual,
+                                    frame: served,
+                                    stats,
+                                },
+                                _ => FrameOutcome::Key {
+                                    frame: served,
+                                    stats,
+                                },
+                            }
+                        }
+                    },
+                    Plan::Predicted {
+                        metrics,
+                        rfbme_ops,
+                        motion,
+                    } => {
+                        match session
+                            .core
+                            .finish_predicted(net, scratch, &motion, metrics, rfbme_ops)
+                        {
+                            Ok(served) => {
+                                let stats = session.core.stats().delta_since(&stats_before);
+                                FrameOutcome::Predicted {
+                                    frame: served,
+                                    stats,
+                                }
+                            }
+                            Err(e) => FrameOutcome::from_error(e),
+                        }
+                    }
+                };
+                if outcome.is_served() {
+                    session
+                        .slot
+                        .bytes
+                        .store(session.core.memory_footprint(), Relaxed);
+                }
+                *slot = Some(outcome);
+            },
+        );
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every job yields exactly one outcome"))
+            .collect()
     }
 
     /// Housekeeping over the offered sessions: evicts the key state of
@@ -1208,6 +1684,74 @@ const _: () = {
     assert_send::<Engine>();
 };
 
+/// The serving [`Engine`] speaking the
+/// [`FrameExecutor`](crate::pipeline::FrameExecutor) protocol: one unlimited
+/// engine driving one stream.
+///
+/// This is the adapter the experiment protocols
+/// (`eva2_experiments::run_policy_with`) use so every executor flavour —
+/// serial, pipelined, worker-pool — funnels through the same serving entry
+/// point. The engine is opened with [`EngineLimits::unlimited`] (plus the
+/// forced `worker_threads` count), so every frame is admitted and
+/// [`FrameOutcome::into_result`] cannot refuse; outputs are bit-identical to
+/// the serial [`AmcExecutor`](crate::executor::AmcExecutor) for any worker
+/// count.
+pub struct EngineExecutor {
+    engine: Engine,
+    session: StreamSession,
+}
+
+impl EngineExecutor {
+    /// Builds an unlimited single-stream engine over `net` with a forced
+    /// `worker_threads` count.
+    pub fn new(
+        net: Arc<Network>,
+        config: AmcConfig,
+        worker_threads: usize,
+    ) -> Result<Self, AmcError> {
+        let limits = EngineLimits::builder()
+            .worker_threads(worker_threads)
+            .build()?;
+        let mut engine = Engine::with_limits(net, config, limits)?;
+        let session = engine
+            .open_session()
+            .expect("an unlimited engine admits its first session");
+        Ok(Self { engine, session })
+    }
+
+    /// The engine driving this executor.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl crate::pipeline::FrameExecutor for EngineExecutor {
+    fn name(&self) -> &'static str {
+        "engine"
+    }
+
+    fn push_frame(&mut self, frame: &GrayImage) -> Option<AmcFrameResult> {
+        let outcome = self.engine.process(&mut self.session, frame);
+        Some(
+            outcome
+                .into_result()
+                .expect("an unlimited engine serves every frame"),
+        )
+    }
+
+    fn finish(&mut self) -> Option<AmcFrameResult> {
+        None
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.session.stats()
+    }
+
+    fn reset(&mut self) {
+        self.session.reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1253,7 +1797,7 @@ mod tests {
         let jobs = sessions.iter_mut().zip(frames.iter());
         let results = engine.process_batch(jobs);
         for (f, r) in frames.iter().zip(&results) {
-            let r = r.as_ref().unwrap();
+            let r = r.frame().unwrap();
             assert!(r.is_key);
             let mut serial = AmcExecutor::try_new(&z.network, AmcConfig::default()).unwrap();
             let want = serial.process(f);
@@ -1273,13 +1817,10 @@ mod tests {
         engine.process(&mut a, &f0).unwrap(); // a has key state
         let results = engine.process_batch([(&mut a, &f0), (&mut b, &f0)]);
         assert!(
-            !results[0].as_ref().unwrap().is_key,
+            !results[0].frame().unwrap().is_key,
             "a predicts its unchanged scene"
         );
-        assert!(
-            results[1].as_ref().unwrap().is_key,
-            "b's first frame is key"
-        );
+        assert!(results[1].frame().unwrap().is_key, "b's first frame is key");
         assert_eq!(a.stats().key_frames, 1);
         assert_eq!(b.stats().key_frames, 1);
     }
@@ -1356,7 +1897,9 @@ mod tests {
         let mut session = a.open_session().unwrap();
         let f = frame(0);
         match b.process(&mut session, &f) {
-            Err(AmcError::EngineMismatch { session: id }) => assert_eq!(id, session.id()),
+            FrameOutcome::Rejected(AmcError::EngineMismatch { session: id }) => {
+                assert_eq!(id, session.id())
+            }
             other => panic!("expected EngineMismatch, got {other:?}"),
         }
         assert_eq!(
@@ -1432,9 +1975,9 @@ mod tests {
         let mut b = engine.open_session().unwrap();
         let f = frame(0);
         let results = engine.process_batch([(&mut a, &f), (&mut b, &f)]);
-        assert!(results[0].as_ref().unwrap().is_key);
+        assert!(results[0].frame().unwrap().is_key);
         match &results[1] {
-            Err(AmcError::BudgetExceeded {
+            FrameOutcome::Shed(AmcError::BudgetExceeded {
                 what: "frames per tick",
                 budget: 1,
             }) => {}
@@ -1461,13 +2004,13 @@ mod tests {
         engine.process(&mut a, &f).unwrap(); // a has key state → predicts
                                              // b and c both need key frames; only one fits the tick.
         let results = engine.process_batch([(&mut b, &f), (&mut a, &f), (&mut c, &f)]);
-        assert!(results[0].as_ref().unwrap().is_key, "b takes the key slot");
+        assert!(results[0].frame().unwrap().is_key, "b takes the key slot");
         assert!(
-            !results[1].as_ref().unwrap().is_key,
+            !results[1].frame().unwrap().is_key,
             "a's predicted frame is not shed by the key budget"
         );
         match &results[2] {
-            Err(AmcError::BudgetExceeded {
+            FrameOutcome::Shed(AmcError::BudgetExceeded {
                 what: "key frames per tick",
                 budget: 1,
             }) => {}
@@ -1487,7 +2030,7 @@ mod tests {
         engine.process(&mut session, &frame(0)).unwrap();
         let small = GrayImage::from_fn(32, 32, |y, x| ((y * 5 + x) % 251) as u8);
         match engine.process(&mut session, &small) {
-            Err(AmcError::FrameGeometryMismatch {
+            FrameOutcome::Rejected(AmcError::FrameGeometryMismatch {
                 expected_height: 48,
                 expected_width: 48,
                 got_height: 32,
@@ -1500,7 +2043,7 @@ mod tests {
         // even after a reset the off-shape frame stays rejected, and the
         // stream resumes normally at the right resolution.
         session.reset();
-        assert!(engine.process(&mut session, &small).is_err());
+        assert!(engine.process(&mut session, &small).error().is_some());
         assert!(engine.process(&mut session, &frame(1)).unwrap().is_key);
     }
 
@@ -1516,10 +2059,10 @@ mod tests {
         // (the check is against the network, not yet-nonexistent state),
         // and the healthy job in the same batch is untouched.
         let results = engine.process_batch([(&mut a, &good), (&mut b, &small)]);
-        assert!(results[0].as_ref().unwrap().is_key);
+        assert!(results[0].frame().unwrap().is_key);
         assert!(matches!(
             results[1],
-            Err(AmcError::FrameGeometryMismatch {
+            FrameOutcome::Rejected(AmcError::FrameGeometryMismatch {
                 expected_height: 48,
                 expected_width: 48,
                 got_height: 40,
@@ -1547,7 +2090,9 @@ mod tests {
         assert!(a.is_evicted());
         assert!(a.key_image().is_none());
         match engine.process(&mut a, &f) {
-            Err(AmcError::SessionEvicted { session }) => assert_eq!(session, a.id()),
+            FrameOutcome::Rejected(AmcError::SessionEvicted { session }) => {
+                assert_eq!(session, a.id())
+            }
             other => panic!("expected SessionEvicted, got {other:?}"),
         }
         // The retired session no longer counts toward the cap.
@@ -1664,8 +2209,22 @@ mod tests {
         engine.process(&mut session, &frame(0)).unwrap();
         // Content RFBME cannot explain: high residual error everywhere.
         let noise = GrayImage::from_fn(48, 48, |y, x| ((y * 37 + x * 101) % 255) as u8);
-        let r = engine.process(&mut session, &noise).unwrap();
-        assert!(r.is_key, "unexplained motion must degrade to a key frame");
+        match engine.process(&mut session, &noise) {
+            FrameOutcome::ForcedKey {
+                residual,
+                frame,
+                stats,
+            } => {
+                assert!(frame.is_key, "a forced key frame is a key frame");
+                assert!(
+                    residual > 0.5,
+                    "the outcome carries the residual that tripped the bound, got {residual}"
+                );
+                assert_eq!(stats.forced_keys, 1, "this frame's delta records the force");
+                assert_eq!(stats.key_frames, 1);
+            }
+            other => panic!("unexplained motion must degrade to a forced key, got {other:?}"),
+        }
         assert_eq!(session.stats().forced_keys, 1);
         // The same scene under an unlimited bound would have predicted.
         let mut loose = Engine::new(
@@ -1708,5 +2267,114 @@ mod tests {
         // Eviction returns the session to (at most) its opening footprint.
         session.evict_state();
         assert!(session.memory_footprint() <= empty);
+    }
+
+    #[test]
+    fn limits_builder_validates_like_amc_config() {
+        let limits = EngineLimits::builder()
+            .max_sessions(8)
+            .max_frames_per_tick(4)
+            .max_key_frames_per_tick(2)
+            .worker_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(limits.max_sessions, 8);
+        assert_eq!(limits.worker_threads, 3);
+        assert_eq!(
+            limits.max_total_bytes,
+            usize::MAX,
+            "unset knobs stay unlimited"
+        );
+        for bad in [
+            EngineLimits::builder().worker_threads(0).build(),
+            EngineLimits::builder().max_sessions(0).build(),
+            EngineLimits::builder().idle_evict_ticks(0).build(),
+        ] {
+            assert!(matches!(bad, Err(AmcError::InvalidConfig { .. })));
+        }
+    }
+
+    #[test]
+    fn stats_deltas_partition_the_session_totals() {
+        let net = Arc::new(zoo::tiny_fasterm(2).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        let mut session = engine.open_session().unwrap();
+        let mut summed = ExecStats::default();
+        for i in 0..5 {
+            let delta = engine
+                .process(&mut session, &frame(i))
+                .stats_delta()
+                .expect("served");
+            assert_eq!(delta.frames, 1, "each outcome is exactly one frame's delta");
+            summed.frames += delta.frames;
+            summed.key_frames += delta.key_frames;
+            summed.macs += delta.macs;
+            summed.rfbme_ops += delta.rfbme_ops;
+        }
+        let totals = session.stats();
+        assert_eq!(summed.frames, totals.frames);
+        assert_eq!(summed.key_frames, totals.key_frames);
+        assert_eq!(summed.macs, totals.macs);
+        assert_eq!(summed.rfbme_ops, totals.rfbme_ops);
+    }
+
+    #[test]
+    fn multi_worker_batches_match_single_worker_bits() {
+        // Forced worker counts (this container is single-CPU): the fanned
+        // out engine must serve the same bits as the inline engine for a
+        // batch mixing key and predicted frames.
+        let mk = |workers: usize| {
+            let net = Arc::new(zoo::tiny_fasterm(6).network);
+            let limits = EngineLimits::builder()
+                .worker_threads(workers)
+                .build()
+                .unwrap();
+            Engine::with_limits(net, AmcConfig::default(), limits).unwrap()
+        };
+        let mut one = mk(1);
+        let mut four = mk(4);
+        let mut s1: Vec<StreamSession> = (0..5).map(|_| one.open_session().unwrap()).collect();
+        let mut s4: Vec<StreamSession> = (0..5).map(|_| four.open_session().unwrap()).collect();
+        for t in 0..6 {
+            // Stagger content so streams disagree about key vs predicted
+            // (stream s cuts hard at t == s + 1 via a shifted pattern).
+            let frames: Vec<GrayImage> = (0..5)
+                .map(|s| frame(t + if t == s + 1 { 40 } else { s }))
+                .collect();
+            let r1 = one.process_batch(s1.iter_mut().zip(frames.iter()));
+            let r4 = four.process_batch(s4.iter_mut().zip(frames.iter()));
+            assert_eq!(r1.len(), r4.len());
+            for (a, b) in r1.iter().zip(&r4) {
+                assert_eq!(a.is_key(), b.is_key());
+                let (fa, fb) = (a.frame().unwrap(), b.frame().unwrap());
+                assert_eq!(fa.output.as_slice(), fb.output.as_slice());
+                assert_eq!(fa.macs_executed, fb.macs_executed);
+                assert_eq!(fa.rfbme_ops, fb.rfbme_ops);
+                assert_eq!(a.stats_delta(), b.stats_delta());
+            }
+        }
+        for (a, b) in s1.iter().zip(&s4) {
+            assert_eq!(a.stats(), b.stats());
+            assert_eq!(a.memory_footprint(), b.memory_footprint());
+        }
+    }
+
+    #[test]
+    fn fan_out_partitions_all_items_round_robin() {
+        // Every item is visited exactly once and lands in its own slot,
+        // for worker counts below, at, and above the item count.
+        for workers in [1usize, 2, 3, 8] {
+            let mut states: Vec<Vec<usize>> = (0..workers).map(|_| Vec::new()).collect();
+            let mut out = [0usize; 7];
+            let items: Vec<(usize, &mut usize)> = out.iter_mut().enumerate().collect();
+            fan_out(&mut states, items, |seen, (i, slot)| {
+                seen.push(i);
+                *slot = i + 1;
+            });
+            assert_eq!(out, [1, 2, 3, 4, 5, 6, 7]);
+            let mut all: Vec<usize> = states.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..7).collect::<Vec<_>>());
+        }
     }
 }

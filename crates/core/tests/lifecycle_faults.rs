@@ -9,9 +9,9 @@
 
 use eva2_cnn::zoo;
 use eva2_core::error::AmcError;
-use eva2_core::executor::{AmcConfig, AmcFrameResult, ExecStats};
+use eva2_core::executor::{AmcConfig, AmcFrameResult};
 use eva2_core::policy::PolicyConfig;
-use eva2_core::serve::{Engine, EngineLimits, StreamSession};
+use eva2_core::serve::{Engine, EngineLimits, FrameOutcome, StreamSession};
 use eva2_tensor::GrayImage;
 use eva2_video::faults::{FaultKind, FaultScript, FaultyScene};
 use eva2_video::scene::{Scene, SceneConfig};
@@ -23,9 +23,22 @@ fn scene(seed: u64) -> Scene {
     Scene::new(SceneConfig::detection(48, 48), seed)
 }
 
+/// CI hook: `EVA2_SERVE_WORKERS=N` re-runs this whole suite through the
+/// threaded engine (a forced worker count, cf. `gemm_nn_threads`, so it
+/// exercises the fan-out even on a single-CPU container). Outcomes are
+/// bit-identical for any worker count, so every assertion holds unchanged.
+fn workers_from_env(mut limits: EngineLimits) -> EngineLimits {
+    if let Ok(n) = std::env::var("EVA2_SERVE_WORKERS") {
+        limits.worker_threads = n
+            .parse()
+            .expect("EVA2_SERVE_WORKERS must be a thread count");
+    }
+    limits
+}
+
 fn engine(limits: EngineLimits) -> Engine {
     let net = Arc::new(zoo::tiny_fasterm(3).network);
-    Engine::with_limits(net, AmcConfig::default(), limits).expect("valid config")
+    Engine::with_limits(net, AmcConfig::default(), workers_from_env(limits)).expect("valid config")
 }
 
 fn assert_result_eq(a: &AmcFrameResult, b: &AmcFrameResult, label: &str) {
@@ -58,7 +71,8 @@ fn fault_storm_yields_correct_frames_or_typed_errors() {
         max_residual_error: 8.0,
         ..AmcConfig::default()
     };
-    let mut engine = Engine::with_limits(net, config, limits).expect("valid config");
+    let mut engine =
+        Engine::with_limits(net, config, workers_from_env(limits)).expect("valid config");
     let mut sessions: Vec<StreamSession> = (0..STREAMS)
         .map(|_| engine.open_session().expect("capacity"))
         .collect();
@@ -89,22 +103,25 @@ fn fault_storm_yields_correct_frames_or_typed_errors() {
                 live.push(s);
             }
         }
-        for (&s, result) in live.iter().zip(engine.process_batch(jobs)) {
-            match result {
-                Ok(r) => {
+        for (&s, outcome) in live.iter().zip(engine.process_batch(jobs)) {
+            match outcome {
+                FrameOutcome::Predicted { frame, stats }
+                | FrameOutcome::Key { frame, stats }
+                | FrameOutcome::ForcedKey { frame, stats, .. } => {
                     served[s] += 1;
-                    assert!(r.output.as_slice().iter().all(|v| v.is_finite()));
+                    assert!(frame.output.as_slice().iter().all(|v| v.is_finite()));
+                    assert_eq!(stats.frames, 1, "one frame's delta per outcome");
                 }
                 // The documented shed/reject set; anything else (or a
                 // panic, which the harness would surface) fails the test.
-                Err(AmcError::BudgetExceeded { .. }) => {}
-                Err(AmcError::FrameGeometryMismatch {
+                FrameOutcome::Shed(AmcError::BudgetExceeded { .. }) => {}
+                FrameOutcome::Rejected(AmcError::FrameGeometryMismatch {
                     expected_height: 48,
                     expected_width: 48,
                     got_height: 24,
                     got_width: 24,
                 }) => {}
-                Err(other) => panic!("undocumented failure: {other:?}"),
+                other => panic!("undocumented failure: {other:?}"),
             }
         }
     }
@@ -139,7 +156,7 @@ fn resolution_change_is_a_typed_geometry_error() {
             assert!(
                 matches!(
                     result,
-                    Err(AmcError::FrameGeometryMismatch {
+                    FrameOutcome::Rejected(AmcError::FrameGeometryMismatch {
                         expected_height: 48,
                         got_height: 24,
                         ..
@@ -181,13 +198,14 @@ fn scene_cut_is_degraded_to_a_forced_key_frame() {
     let mut stream = FaultyScene::new(scene(13), script);
     for t in 0..8 {
         let frame = stream.next_event().frame.unwrap().image;
-        let r = engine.process(&mut session, &frame).expect("admitted");
+        let outcome = engine.process(&mut session, &frame);
         if t == cut_t {
             assert!(
-                r.is_key,
-                "the cut frame must not be warped from stale state"
+                matches!(outcome, FrameOutcome::ForcedKey { .. }),
+                "the cut frame must not be warped from stale state: {outcome:?}"
             );
         }
+        outcome.expect("admitted");
     }
     assert!(
         session.stats().forced_keys >= 1,
@@ -223,21 +241,6 @@ fn dropped_frames_widen_gaps_without_errors() {
     }
     assert_eq!(delivered, 5);
     assert_eq!(session.stats().frames, 5);
-}
-
-fn stats_delta(after: ExecStats, before: ExecStats) -> ExecStats {
-    ExecStats {
-        frames: after.frames - before.frames,
-        key_frames: after.key_frames - before.key_frames,
-        macs: after.macs - before.macs,
-        rfbme_ops: after.rfbme_ops - before.rfbme_ops,
-        rfbme_candidates: after.rfbme_candidates - before.rfbme_candidates,
-        rfbme_level0_rejects: after.rfbme_level0_rejects - before.rfbme_level0_rejects,
-        rfbme_level1_rejects: after.rfbme_level1_rejects - before.rfbme_level1_rejects,
-        warp_interpolations: after.warp_interpolations - before.warp_interpolations,
-        forced_keys: after.forced_keys - before.forced_keys,
-        evictions: after.evictions - before.evictions,
-    }
 }
 
 /// Soft eviction mid-damaged-stream: the rehydrated session is
@@ -277,7 +280,7 @@ fn evicted_session_rehydrates_bit_identically_under_faults() {
         }
         assert_result_eq(&a, &b, &format!("post-eviction frame {t}"));
     }
-    assert_eq!(stats_delta(session.stats(), before), fresh.stats());
+    assert_eq!(session.stats().delta_since(&before), fresh.stats());
 }
 
 #[test]
@@ -296,7 +299,9 @@ fn hard_eviction_frees_capacity_and_revokes_admission() {
     engine.evict_session(&mut session).expect("own session");
     assert!(session.is_evicted());
     match engine.process(&mut session, &frame) {
-        Err(AmcError::SessionEvicted { session: id }) => assert_eq!(id, session.id()),
+        FrameOutcome::Rejected(AmcError::SessionEvicted { session: id }) => {
+            assert_eq!(id, session.id())
+        }
         other => panic!("expected SessionEvicted, got {other:?}"),
     }
     // The revoked slot is free for a replacement stream.
@@ -330,7 +335,7 @@ fn maintain_enforces_total_memory_budget_under_load() {
     for t in 0..3 {
         let frames: Vec<GrayImage> = scenes.iter_mut().map(|s| s.render(t).image).collect();
         let results = engine.process_batch(sessions.iter_mut().zip(frames.iter()));
-        assert!(results.into_iter().all(|r| r.is_ok()));
+        assert!(results.into_iter().all(|r| r.is_served()));
         let evicted = engine.maintain(sessions.iter_mut());
         assert!(
             engine.total_session_bytes() <= budget,
@@ -343,7 +348,7 @@ fn maintain_enforces_total_memory_budget_under_load() {
     assert!(sessions.iter().any(|s| s.key_image().is_none()));
     let frames: Vec<GrayImage> = scenes.iter_mut().map(|s| s.render(3).image).collect();
     let results = engine.process_batch(sessions.iter_mut().zip(frames.iter()));
-    assert!(results.into_iter().all(|r| r.is_ok()));
+    assert!(results.into_iter().all(|r| r.is_served()));
 }
 
 /// The engine's aggregate accounting equals the per-session audits.

@@ -1,16 +1,24 @@
 //! The serving engine's contract: N independent streams fed round-robin
 //! through one [`Engine`] — with key-frame prefixes batched across streams
-//! whenever several streams' key frames coincide — produce outputs,
+//! whenever several streams' key frames coincide, and every per-stream
+//! phase optionally fanned out over a worker pool — produce outputs,
 //! decisions, and statistics **bit-identical** to N independent serial
-//! [`AmcExecutor`] runs. Batching must be invisible except in wall-clock
-//! time (the cross-stream analogue of `pipeline_bitident.rs`).
+//! [`AmcExecutor`] runs. Batching and threading must be invisible except
+//! in wall-clock time (the cross-stream analogue of
+//! `pipeline_bitident.rs`).
+//!
+//! Worker counts here are *forced* ([`EngineLimits::worker_threads`], cf.
+//! the GEMM `gemm_nn_threads` hook), so the fan-out code path is exercised
+//! even on a single-CPU container.
 
 use eva2_cnn::zoo;
 use eva2_core::error::AmcError;
-use eva2_core::executor::{AmcConfig, AmcExecutor, AmcFrameResult, ExecStats, WarpMode};
+use eva2_core::executor::{AmcConfig, AmcExecutor, AmcFrameResult, WarpMode};
 use eva2_core::policy::PolicyConfig;
-use eva2_core::serve::{Engine, EngineLimits};
+use eva2_core::serve::{Engine, EngineLimits, FrameOutcome};
 use eva2_tensor::GrayImage;
+use eva2_video::faults::{FaultScript, FaultyScene};
+use eva2_video::scene::{Scene, SceneConfig};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -34,6 +42,15 @@ fn stream_frame(s: usize, t: usize) -> GrayImage {
     })
 }
 
+fn engine_with(config: AmcConfig, workers: usize) -> Engine {
+    let net = Arc::new(zoo::tiny_fasterm(3).network);
+    let limits = EngineLimits::builder()
+        .worker_threads(workers)
+        .build()
+        .expect("valid limits");
+    Engine::with_limits(net, config, limits).expect("valid engine config")
+}
+
 fn assert_result_eq(a: &AmcFrameResult, b: &AmcFrameResult, label: &str) {
     assert_eq!(a.is_key, b.is_key, "{label}: kind");
     assert_eq!(
@@ -46,12 +63,63 @@ fn assert_result_eq(a: &AmcFrameResult, b: &AmcFrameResult, label: &str) {
     assert_eq!(a.compression, b.compression, "{label}: compression");
 }
 
-/// Round-robin N sessions through one engine (batched submission), compare
-/// against N fresh serial executors frame by frame.
-fn assert_interleaved_bit_identical(config: AmcConfig, label: &str) {
+/// Two engines must agree on the *whole* outcome: the same variant, the
+/// same served bits and per-frame stats delta, or the same typed error.
+fn assert_outcome_eq(a: &FrameOutcome, b: &FrameOutcome, label: &str) {
+    match (a, b) {
+        (
+            FrameOutcome::Predicted {
+                frame: fa,
+                stats: sa,
+            },
+            FrameOutcome::Predicted {
+                frame: fb,
+                stats: sb,
+            },
+        )
+        | (
+            FrameOutcome::Key {
+                frame: fa,
+                stats: sa,
+            },
+            FrameOutcome::Key {
+                frame: fb,
+                stats: sb,
+            },
+        ) => {
+            assert_result_eq(fa, fb, label);
+            assert_eq!(sa, sb, "{label}: stats delta");
+        }
+        (
+            FrameOutcome::ForcedKey {
+                residual: ra,
+                frame: fa,
+                stats: sa,
+            },
+            FrameOutcome::ForcedKey {
+                residual: rb,
+                frame: fb,
+                stats: sb,
+            },
+        ) => {
+            assert_eq!(ra.to_bits(), rb.to_bits(), "{label}: forced residual");
+            assert_result_eq(fa, fb, label);
+            assert_eq!(sa, sb, "{label}: stats delta");
+        }
+        (FrameOutcome::Shed(ea), FrameOutcome::Shed(eb))
+        | (FrameOutcome::Rejected(ea), FrameOutcome::Rejected(eb)) => {
+            assert_eq!(ea, eb, "{label}: error");
+        }
+        (a, b) => panic!("{label}: outcome variants differ: {a:?} vs {b:?}"),
+    }
+}
+
+/// Round-robin N sessions through one engine (batched submission, `workers`
+/// forced worker threads), compare against N fresh serial executors frame
+/// by frame.
+fn assert_interleaved_bit_identical(config: AmcConfig, workers: usize, label: &str) {
     let z = zoo::tiny_fasterm(3);
-    let net = Arc::new(zoo::tiny_fasterm(3).network);
-    let mut engine = Engine::new(net, config).expect("valid engine config");
+    let mut engine = engine_with(config, workers);
     let mut sessions: Vec<_> = (0..STREAMS)
         .map(|_| {
             engine
@@ -117,47 +185,47 @@ fn assert_interleaved_bit_identical(config: AmcConfig, label: &str) {
     );
 }
 
+/// Worker counts to pin: inline (1), fewer workers than streams (2), and
+/// more workers than streams (5, so some workers idle every phase).
+const WORKER_COUNTS: [usize; 3] = [1, 2, 5];
+
 #[test]
 fn interleaved_streams_bit_identical_default_policy() {
-    assert_interleaved_bit_identical(AmcConfig::default(), "default");
+    for workers in WORKER_COUNTS {
+        assert_interleaved_bit_identical(
+            AmcConfig::default(),
+            workers,
+            &format!("default/{workers}w"),
+        );
+    }
 }
 
 #[test]
 fn interleaved_streams_bit_identical_fixed_point() {
-    assert_interleaved_bit_identical(
-        AmcConfig {
-            fixed_point: true,
-            ..Default::default()
-        },
-        "fixed-point",
-    );
+    for workers in WORKER_COUNTS {
+        assert_interleaved_bit_identical(
+            AmcConfig {
+                fixed_point: true,
+                ..Default::default()
+            },
+            workers,
+            &format!("fixed-point/{workers}w"),
+        );
+    }
 }
 
 #[test]
 fn interleaved_streams_bit_identical_memoize_static_rate() {
-    assert_interleaved_bit_identical(
-        AmcConfig {
-            warp: WarpMode::Memoize,
-            policy: PolicyConfig::StaticRate { period: 3 },
-            ..Default::default()
-        },
-        "memoize/static-rate",
-    );
-}
-
-/// Field-wise difference of two stat snapshots (`after` must dominate).
-fn stats_delta(after: ExecStats, before: ExecStats) -> ExecStats {
-    ExecStats {
-        frames: after.frames - before.frames,
-        key_frames: after.key_frames - before.key_frames,
-        macs: after.macs - before.macs,
-        rfbme_ops: after.rfbme_ops - before.rfbme_ops,
-        rfbme_candidates: after.rfbme_candidates - before.rfbme_candidates,
-        rfbme_level0_rejects: after.rfbme_level0_rejects - before.rfbme_level0_rejects,
-        rfbme_level1_rejects: after.rfbme_level1_rejects - before.rfbme_level1_rejects,
-        warp_interpolations: after.warp_interpolations - before.warp_interpolations,
-        forced_keys: after.forced_keys - before.forced_keys,
-        evictions: after.evictions - before.evictions,
+    for workers in WORKER_COUNTS {
+        assert_interleaved_bit_identical(
+            AmcConfig {
+                warp: WarpMode::Memoize,
+                policy: PolicyConfig::StaticRate { period: 3 },
+                ..Default::default()
+            },
+            workers,
+            &format!("memoize/static-rate/{workers}w"),
+        );
     }
 }
 
@@ -167,13 +235,14 @@ proptest! {
     /// Evicting a session's state and rehydrating is bit-identical to a
     /// fresh session replaying from the eviction point — outputs, MACs,
     /// and the full statistics delta — for every shipped datapath
-    /// (float warp, fixed point, memoize).
+    /// (float warp, fixed point, memoize) and any worker count.
     #[test]
     fn eviction_rehydration_bit_identical(
         cfg_idx in 0usize..3,
         evict_after in 1usize..4,
         tail in 2usize..5,
         stream in 0usize..STREAMS,
+        workers in 1usize..5,
     ) {
         let configs = [
             AmcConfig::default(),
@@ -188,8 +257,7 @@ proptest! {
             },
         ];
         let config = configs[cfg_idx];
-        let net = Arc::new(zoo::tiny_fasterm(3).network);
-        let mut engine = Engine::new(net, config).expect("valid config");
+        let mut engine = engine_with(config, workers);
         let mut session = engine.open_session().expect("capacity");
         for t in 0..evict_after {
             engine
@@ -208,7 +276,7 @@ proptest! {
             }
             assert_result_eq(&r_old, &r_new, &format!("rehydrated vs fresh, frame {t}"));
         }
-        prop_assert_eq!(stats_delta(session.stats(), before), fresh.stats());
+        prop_assert_eq!(session.stats().delta_since(&before), fresh.stats());
     }
 }
 
@@ -218,19 +286,23 @@ proptest! {
     /// Backpressure shedding never corrupts admitted streams: every
     /// admitted frame is bit-identical to a serial executor fed only the
     /// admitted frames, and every shed frame leaves its session's
-    /// statistics (and therefore its state machine) untouched.
+    /// statistics (and therefore its state machine) untouched — for any
+    /// worker count (shedding happens in the serial admission walk, so
+    /// speculative worker RFBME must leave no trace on shed frames).
     #[test]
     fn shedding_never_corrupts_admitted_sessions(
         frame_budget in 1usize..STREAMS + 1,
         key_budget in 1usize..3,
+        workers in 1usize..5,
     ) {
         let z = zoo::tiny_fasterm(3);
         let net = Arc::new(zoo::tiny_fasterm(3).network);
-        let limits = EngineLimits {
-            max_frames_per_tick: frame_budget,
-            max_key_frames_per_tick: key_budget,
-            ..EngineLimits::unlimited()
-        };
+        let limits = EngineLimits::builder()
+            .max_frames_per_tick(frame_budget)
+            .max_key_frames_per_tick(key_budget)
+            .worker_threads(workers)
+            .build()
+            .expect("valid limits");
         let mut engine =
             Engine::with_limits(net, AmcConfig::default(), limits).expect("valid limits");
         let mut sessions: Vec<_> = (0..STREAMS)
@@ -246,11 +318,15 @@ proptest! {
             let results = engine.process_batch(sessions.iter_mut().zip(frames.iter()));
             for (s, r) in results.iter().enumerate() {
                 match r {
-                    Ok(r) => {
+                    outcome if outcome.is_served() => {
                         let want = serials[s].process(&frames[s]);
-                        assert_result_eq(r, &want, &format!("admitted stream {s} frame {t}"));
+                        assert_result_eq(
+                            outcome.frame().expect("served"),
+                            &want,
+                            &format!("admitted stream {s} frame {t}"),
+                        );
                     }
-                    Err(AmcError::BudgetExceeded { .. }) => {
+                    FrameOutcome::Shed(AmcError::BudgetExceeded { .. }) => {
                         shed += 1;
                         prop_assert_eq!(
                             sessions[s].stats(),
@@ -259,7 +335,7 @@ proptest! {
                             s
                         );
                     }
-                    Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+                    other => prop_assert!(false, "unexpected outcome: {other:?}"),
                 }
             }
         }
@@ -277,11 +353,99 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The full threaded-vs-inline storm: faulty decorrelated streams
+    /// (random drops, corruption, saturation, downscales, and scene cuts
+    /// from `eva2_video::faults`), tight random budgets, and a mid-storm
+    /// eviction — an N-worker engine and a 1-worker engine must emit the
+    /// *same outcome sequence to the bit*: served frames, stats deltas,
+    /// shed/rejected errors, everything.
+    #[test]
+    fn threaded_engine_matches_inline_engine_under_fault_storms(
+        workers in 2usize..6,
+        seed in 0u64..512,
+        frame_budget in 2usize..5,
+        key_budget in 1usize..3,
+    ) {
+        const TICKS: usize = 12;
+        let config = AmcConfig {
+            max_residual_error: 8.0,
+            ..AmcConfig::default()
+        };
+        let mk = |workers: usize| {
+            let net = Arc::new(zoo::tiny_fasterm(3).network);
+            let limits = EngineLimits::builder()
+                .max_frames_per_tick(frame_budget)
+                .max_key_frames_per_tick(key_budget)
+                .worker_threads(workers)
+                .build()
+                .expect("valid limits");
+            Engine::with_limits(net, config, limits).expect("valid engine config")
+        };
+        let mut threaded = mk(workers);
+        let mut inline = mk(1);
+        let mut threaded_sessions: Vec<_> = (0..STREAMS)
+            .map(|_| threaded.open_session().expect("capacity"))
+            .collect();
+        let mut inline_sessions: Vec<_> = (0..STREAMS)
+            .map(|_| inline.open_session().expect("capacity"))
+            .collect();
+        // Deterministic per (seed, t): both engines see identical storms.
+        let mut streams: Vec<FaultyScene> = (0..STREAMS)
+            .map(|s| {
+                FaultyScene::new(
+                    Scene::new(SceneConfig::detection(48, 48), seed + s as u64),
+                    FaultScript::generate(seed + 100 + s as u64, TICKS, 0.35),
+                )
+            })
+            .collect();
+        for t in 0..TICKS {
+            if t == TICKS / 2 {
+                // Mid-storm eviction in both engines: rehydration under
+                // faults must also be scheduling-independent.
+                threaded_sessions[1].evict_state();
+                inline_sessions[1].evict_state();
+            }
+            let frames: Vec<Option<GrayImage>> = streams
+                .iter_mut()
+                .map(|s| s.next_event().frame.map(|f| f.image))
+                .collect();
+            let threaded_results = threaded.process_batch(
+                threaded_sessions
+                    .iter_mut()
+                    .zip(frames.iter())
+                    .filter_map(|(session, f)| f.as_ref().map(|f| (session, f))),
+            );
+            let inline_results = inline.process_batch(
+                inline_sessions
+                    .iter_mut()
+                    .zip(frames.iter())
+                    .filter_map(|(session, f)| f.as_ref().map(|f| (session, f))),
+            );
+            prop_assert_eq!(threaded_results.len(), inline_results.len());
+            for (j, (a, b)) in threaded_results.iter().zip(&inline_results).enumerate() {
+                assert_outcome_eq(a, b, &format!("storm tick {t} job {j} ({workers}w vs 1w)"));
+            }
+        }
+        for (s, (a, b)) in threaded_sessions.iter().zip(&inline_sessions).enumerate() {
+            prop_assert_eq!(a.stats(), b.stats(), "stream {} final stats", s);
+            prop_assert_eq!(
+                a.memory_footprint(),
+                b.memory_footprint(),
+                "stream {} audited footprint",
+                s
+            );
+        }
+    }
+}
+
 #[test]
 fn heterogeneous_sessions_match_their_serial_counterparts() {
     // Streams with different per-session configs (policy, warp mode,
-    // fixed point) share one engine and still match their own serial
-    // executors exactly.
+    // fixed point) share one engine — and a worker pool — and still match
+    // their own serial executors exactly.
     let z = zoo::tiny_fasterm(5);
     let net = Arc::new(zoo::tiny_fasterm(5).network);
     let configs = [
@@ -300,7 +464,12 @@ fn heterogeneous_sessions_match_their_serial_counterparts() {
             ..Default::default()
         },
     ];
-    let mut engine = Engine::new(net, AmcConfig::default()).expect("valid engine config");
+    let limits = EngineLimits::builder()
+        .worker_threads(3)
+        .build()
+        .expect("valid limits");
+    let mut engine =
+        Engine::with_limits(net, AmcConfig::default(), limits).expect("valid engine config");
     let mut sessions: Vec<_> = configs
         .iter()
         .map(|c| engine.open_session_with(*c).expect("same target"))
@@ -313,7 +482,7 @@ fn heterogeneous_sessions_match_their_serial_counterparts() {
         let frames: Vec<GrayImage> = (0..configs.len()).map(|s| stream_frame(s, t)).collect();
         let results = engine.process_batch(sessions.iter_mut().zip(frames.iter()));
         for (s, r) in results.iter().enumerate() {
-            let r = r.as_ref().expect("unlimited engine admits every frame");
+            let r = r.frame().expect("unlimited engine admits every frame");
             let want = serials[s].process(&frames[s]);
             assert_result_eq(r, &want, &format!("hetero stream {s} frame {t}"));
         }

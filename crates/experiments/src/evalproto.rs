@@ -6,6 +6,7 @@ use eva2_cnn::zoo::{Task, Workload, ZooNet};
 use eva2_core::executor::{AmcConfig, AmcExecutor, WarpMode};
 use eva2_core::pipeline::{FrameExecutor, PipelinedExecutor};
 use eva2_core::policy::PolicyConfig;
+use eva2_core::serve::EngineExecutor;
 use eva2_core::target::TargetSelection;
 use eva2_core::warp::warp_activation;
 use eva2_motion::hornschunck::HornSchunck;
@@ -15,6 +16,7 @@ use eva2_motion::MotionEstimator;
 use eva2_tensor::interp::Interpolation;
 use eva2_tensor::Tensor3;
 use eva2_video::frame::{Clip, Frame};
+use std::sync::Arc;
 
 /// RFBME search window used throughout the experiments (chosen to cover the
 /// synthetic dataset's motion range at its longest gaps).
@@ -223,22 +225,46 @@ pub struct PolicyOutcome {
     pub frames: usize,
 }
 
-/// Which frame executor a protocol drives. Both produce bit-identical
-/// outputs (see `eva2_core::pipeline`); pipelined overlaps each frame's
-/// RFBME with its predecessor's CNN work on a worker thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Which frame executor a protocol drives. All variants produce
+/// bit-identical outputs (see `eva2_core::pipeline` and the
+/// `eva2_core::serve` threading-model docs): pipelined overlaps each
+/// frame's RFBME with its predecessor's CNN work on a worker thread, and
+/// the engine funnels frames through the worker-pool serving
+/// [`Engine`](eva2_core::serve::Engine) — the production entry point to
+/// serving, and the default here so protocol runs exercise it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutorKind {
-    /// The serial [`AmcExecutor`].
-    #[default]
+    /// The worker-pool serving engine ([`EngineExecutor`]) with a forced
+    /// thread count. The default (with one worker) — experiments and the
+    /// serving path share a single entry point.
+    Engine {
+        /// Forced worker-thread count (cf. `EngineLimits::worker_threads`).
+        worker_threads: usize,
+    },
+    /// The serial [`AmcExecutor`], kept as the bit-identity oracle.
     Serial,
     /// The two-thread streaming [`PipelinedExecutor`].
     Pipelined,
 }
 
+impl Default for ExecutorKind {
+    fn default() -> Self {
+        ExecutorKind::Engine { worker_threads: 1 }
+    }
+}
+
 impl ExecutorKind {
     /// Builds the chosen executor over `net`.
+    ///
+    /// The engine variant needs an owned network (`Arc<Network>`), so it
+    /// deep-copies `net` — zoo networks are small, and protocols build one
+    /// executor per clip at most.
     pub fn build<'n>(self, net: &'n Network, config: AmcConfig) -> Box<dyn FrameExecutor + 'n> {
         match self {
+            ExecutorKind::Engine { worker_threads } => Box::new(
+                EngineExecutor::new(Arc::new(net.clone()), config, worker_threads)
+                    .expect("valid AMC config"),
+            ),
             ExecutorKind::Serial => {
                 Box::new(AmcExecutor::try_new(net, config).expect("valid AMC config"))
             }
@@ -249,10 +275,14 @@ impl ExecutorKind {
     }
 }
 
-/// Runs the full AMC executor over each clip (state resets between clips,
+/// Runs the full AMC stack over each clip (state resets between clips,
 /// like the paper's per-video evaluation) and scores every frame's output.
+///
+/// Frames flow through the serving engine ([`ExecutorKind::default`]), the
+/// same entry point production serving uses; outputs are bit-identical to
+/// the serial executor.
 pub fn run_policy(zoo: &ZooNet, clips: &[Clip], config: AmcConfig) -> PolicyOutcome {
-    run_policy_with(zoo, clips, config, ExecutorKind::Serial)
+    run_policy_with(zoo, clips, config, ExecutorKind::default())
 }
 
 /// [`run_policy`] parameterised on the executor implementation.
@@ -367,6 +397,33 @@ mod tests {
         let serial = run_policy_with(&tw.zoo, &tw.test, cfg, ExecutorKind::Serial);
         let pipelined = run_policy_with(&tw.zoo, &tw.test, cfg, ExecutorKind::Pipelined);
         assert_eq!(serial, pipelined, "executors must be interchangeable");
+    }
+
+    #[test]
+    fn engine_executor_reproduces_serial_policy_outcome() {
+        let tw = train_workload(Workload::FasterM, &tiny_budget());
+        let cfg = amc_config_for(Workload::FasterM);
+        let serial = run_policy_with(&tw.zoo, &tw.test, cfg, ExecutorKind::Serial);
+        for worker_threads in [1, 3] {
+            let engine = run_policy_with(
+                &tw.zoo,
+                &tw.test,
+                cfg,
+                ExecutorKind::Engine { worker_threads },
+            );
+            assert_eq!(
+                serial, engine,
+                "serving engine ({worker_threads} workers) must match the serial oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn default_executor_is_the_serving_engine() {
+        assert_eq!(
+            ExecutorKind::default(),
+            ExecutorKind::Engine { worker_threads: 1 }
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod bbox;
 pub mod dataset;
 pub mod faults;
 pub mod frame;
+pub mod load;
 pub mod motion_script;
 pub mod scene;
 pub mod sprite;
@@ -45,5 +46,6 @@ pub mod sprite;
 pub use bbox::BoundingBox;
 pub use faults::{FaultEvent, FaultKind, FaultScript, FaultyScene};
 pub use frame::{Clip, Frame, GroundTruth};
+pub use load::{LoadConfig, LoadFrame, LoadGenerator};
 pub use scene::{Scene, SceneConfig};
 pub use sprite::SpriteKind;

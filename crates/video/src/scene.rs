@@ -90,6 +90,32 @@ impl SceneConfig {
         }
     }
 
+    /// Configuration for one stream of a serving-load mix
+    /// ([`crate::load`]): `variant` cycles motion regime, camera pan,
+    /// occluders, and distractor count so a fleet of streams built with
+    /// consecutive variants is decorrelated — no two neighbours share
+    /// motion energy, and their key-frame pressure differs.
+    pub fn streaming(height: usize, width: usize, variant: usize) -> Self {
+        let regime = match variant % 4 {
+            0 => MotionRegime::Smooth,
+            1 => MotionRegime::Medium,
+            2 => MotionRegime::Chaotic,
+            _ => MotionRegime::Smooth,
+        };
+        Self {
+            height,
+            width,
+            object_size: height as f32 * 0.45,
+            regime,
+            camera_pan: !variant.is_multiple_of(2),
+            occluder: variant.is_multiple_of(5),
+            lighting_drift: 1.5,
+            noise_std: 2.0,
+            distractors: variant % 3,
+            background_contrast: 60,
+        }
+    }
+
     /// Returns a copy with the given motion regime.
     pub fn with_regime(mut self, regime: MotionRegime) -> Self {
         self.regime = regime;

@@ -9,14 +9,14 @@
 //! the world misbehaves: too many streams, too many frames per tick, a
 //! memory ceiling, connections that go idle, and video that arrives
 //! dropped, corrupted, resized, or hard-cut. This example walks the
-//! `Engine`'s lifecycle knobs through all of it — every overload and every
-//! fault surfaces as a typed `AmcError`, never a panic, and healthy
-//! streams never notice their neighbours' trouble.
+//! `Engine`'s lifecycle knobs through all of it — every submission comes
+//! back as a typed `FrameOutcome` (served, shed, or rejected), never a
+//! panic, and healthy streams never notice their neighbours' trouble.
 
 use eva2::amc::error::AmcError;
 use eva2::amc::executor::AmcConfig;
 use eva2::amc::policy::PolicyConfig;
-use eva2::amc::serve::{Engine, EngineLimits};
+use eva2::amc::serve::{Engine, EngineLimits, FrameOutcome};
 use eva2::cnn::zoo;
 use eva2::video::faults::{FaultKind, FaultScript, FaultyScene};
 use eva2::video::scene::{Scene, SceneConfig};
@@ -40,11 +40,11 @@ fn main() {
         .max_residual_error(8.0)
         .build()
         .expect("valid config");
-    let limits = EngineLimits {
-        max_sessions: 3,
-        max_frames_per_tick: 2,
-        ..EngineLimits::unlimited()
-    };
+    let limits = EngineLimits::builder()
+        .max_sessions(3)
+        .max_frames_per_tick(2)
+        .build()
+        .expect("valid limits");
     let mut engine =
         Engine::with_limits(Arc::clone(&net), config, limits).expect("resolvable target");
 
@@ -70,7 +70,7 @@ fn main() {
     let results = engine.process_batch(sessions.iter_mut().zip(frames.iter()));
     let shed = results
         .iter()
-        .filter(|r| matches!(r, Err(AmcError::BudgetExceeded { .. })))
+        .filter(|r| matches!(r, FrameOutcome::Shed(_)))
         .count();
     println!(
         "backpressure: {} admitted, {shed} shed this tick",
@@ -121,11 +121,16 @@ fn main() {
             continue;
         };
         match engine.process(&mut sessions[1], &frame.image) {
-            Ok(r) => println!(
-                "t={t:2}  {label:<28} -> served ({})",
-                if r.is_key { "key" } else { "predicted" }
-            ),
-            Err(e) => println!("t={t:2}  {label:<28} -> typed error: {e}"),
+            FrameOutcome::Predicted { .. } => {
+                println!("t={t:2}  {label:<28} -> served (predicted)")
+            }
+            FrameOutcome::Key { .. } => println!("t={t:2}  {label:<28} -> served (key)"),
+            FrameOutcome::ForcedKey { residual, .. } => {
+                println!("t={t:2}  {label:<28} -> served (forced key, residual {residual:.1}/px)")
+            }
+            FrameOutcome::Shed(e) | FrameOutcome::Rejected(e) => {
+                println!("t={t:2}  {label:<28} -> typed error: {e}")
+            }
         }
     }
     let stats = sessions[1].stats();

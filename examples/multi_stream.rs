@@ -15,7 +15,7 @@
 //! `AmcExecutor` — batching is invisible except in wall-clock time.
 
 use eva2::amc::executor::AmcConfig;
-use eva2::amc::serve::Engine;
+use eva2::amc::serve::{Engine, EngineLimits, FrameOutcome};
 use eva2::cnn::zoo;
 use eva2::video::scene::{Scene, SceneConfig};
 use std::sync::Arc;
@@ -29,11 +29,20 @@ fn main() {
     let workload = zoo::tiny_fasterm(42);
     let net = Arc::new(workload.network);
     let config = AmcConfig::builder().build().expect("defaults are valid");
-    let mut engine = Engine::new(Arc::clone(&net), config).expect("resolvable target layer");
+    // Fan each tick out over a small worker pool (per-stream RFBME and
+    // completion run stream-per-worker, coinciding key prefixes
+    // frame-per-thread) — outputs are bit-identical to worker_threads: 1.
+    let limits = EngineLimits::builder()
+        .worker_threads(2)
+        .build()
+        .expect("limits are valid");
+    let mut engine =
+        Engine::with_limits(Arc::clone(&net), config, limits).expect("resolvable target layer");
     println!(
-        "engine: target layer {} (receptive field {:?})",
+        "engine: target layer {} (receptive field {:?}), {} worker threads",
         engine.target(),
-        engine.rf_geometry()
+        engine.rf_geometry(),
+        engine.limits().worker_threads
     );
 
     // 2. One synthetic scene per stream, each with different content and
@@ -73,10 +82,14 @@ fn main() {
         let results = engine.process_batch(jobs);
         let mut kinds = [' '; STREAMS];
         let mut batched_keys = 0;
-        for (&s, r) in live.iter().zip(&results) {
-            let r = r.as_ref().expect("unlimited engine admits every frame");
-            kinds[s] = if r.is_key { 'K' } else { '.' };
-            batched_keys += usize::from(r.is_key);
+        for (&s, outcome) in live.iter().zip(&results) {
+            kinds[s] = match outcome {
+                FrameOutcome::Predicted { .. } => '.',
+                FrameOutcome::Key { .. } => 'K',
+                FrameOutcome::ForcedKey { .. } => 'F',
+                refused => panic!("unlimited engine admits every frame: {refused:?}"),
+            };
+            batched_keys += usize::from(outcome.is_key());
         }
         println!(
             "{t:4}  {}   ({batched_keys} key prefix{} batched)",
