@@ -1,0 +1,475 @@
+//! Build-time model/pipeline verification for the EVA² serving stack.
+//!
+//! A production engine should refuse a broken (network, AMC config) pair at
+//! *construction*, with a diagnostic naming the offending layer — not panic
+//! on the first frame, and never saturate the Q8.8 datapath silently. This
+//! crate is that verifier: it extracts a small IR from a
+//! [`Network`](eva2_cnn::Network) through the
+//! [`Layer::describe`](eva2_cnn::layer::Layer::describe) seam and runs a
+//! four-pass pipeline over it, producing structured [`Diagnostic`]s in an
+//! [`AnalysisReport`]:
+//!
+//! 1. **Shape inference** — propagates [`Shape3`](eva2_tensor::Shape3)
+//!    through every layer, statically pinning the engine's input geometry
+//!    and catching channel/flatten mismatches that would otherwise panic at
+//!    the first key frame.
+//! 2. **Warp legality** — proves the prefix before the AMC target is
+//!    translation-equivariant modulo its cumulative stride (spatial layers
+//!    only, no FC), computes the motion granularity from
+//!    [`ReceptiveField`](eva2_cnn::receptive::ReceptiveField) arithmetic,
+//!    and cross-checks it against the RFBME block size and search window.
+//! 3. **Fixed-point range analysis** — interval arithmetic over weight
+//!    statistics and a declared input range (see [`interval`]), flagging
+//!    layers whose activations can escape — or come within 2× of — the
+//!    Q8.8 representable range.
+//! 4. **Sparsity flow** — verifies the sparse-suffix seam: the target
+//!    activation should be ReLU-derived (sparse, non-negative) and the
+//!    first suffix layer should have a sparse-aware path (conv or FC).
+//!
+//! `eva2-core` consults this pipeline at every `Engine`/`AmcExecutor`/
+//! session construction and denies error-severity findings with
+//! `AmcError::AnalysisRejected` (escape hatch:
+//! `AmcConfig::builder().allow_unverified()`).
+//!
+//! # Diagnostic code reference
+//!
+//! | Code | Meaning | Suggested fix |
+//! |------|---------|---------------|
+//! | `E-SHAPE-001` | A conv layer's `in_channels` does not match the channel count produced by the previous layer. | Fix the layer stack: the producing layer's output channels must equal the consumer's `in_channels`. |
+//! | `E-SHAPE-002` | A layer's spatial output collapses to zero extent (kernel larger than its padded input). | Shrink the kernel, add padding, or feed a larger input. |
+//! | `E-SHAPE-003` | A fully-connected layer's `in_features` does not match the flattened length of its input. | Rebuild the FC layer with `in_features == channels·height·width` of the preceding activation. |
+//! | `W-SHAPE-004` | A layer did not describe itself (`LayerKind::Opaque`); shape and range propagation stop there. | Implement `Layer::describe` for the custom layer type. |
+//! | `E-WARP-001` | A non-spatial layer (e.g. fully-connected) sits at or before the AMC target, so the prefix is not translation-equivariant and warping its activation is meaningless. | Move the target before the first non-spatial layer (the paper keeps FC layers in the suffix, §II-C5). |
+//! | `E-WARP-002` | The input image is smaller than one RFBME block (receptive-field stride), so motion estimation has no whole tile to match. | Pick an earlier target (smaller cumulative stride) or serve larger frames. |
+//! | `E-WARP-003` | The RFBME search step exceeds the block size: consecutive candidate offsets skip entire activation cells, so block matches cannot align with the motion granularity. | Reduce `SearchParams::step` to at most the receptive-field stride. |
+//! | `W-WARP-004` | `2·radius` is not a multiple of `step`: the scanned window is asymmetric, so one motion direction is searched farther than the other. | Pick `radius`/`step` with `2·radius % step == 0`. |
+//! | `E-RANGE-001` | The activation interval at the target layer exceeds Q8.8's representable range while the fixed-point datapath is enabled — the stored/warped activation *will* saturate for some in-range input. | Scale down weights (or retrain), choose an earlier target, or disable `fixed_point`. |
+//! | `W-RANGE-002` | The target-layer interval fits Q8.8 but with less than 2× headroom. | Consider weight scaling before enabling deeper fixed-point paths. |
+//! | `W-RANGE-003` | A layer's activation interval exceeds the Q8.8 range (datapath currently f32, so this is advisory) — enabling `fixed_point`, or the ROADMAP's quantized fast path, would saturate here. | Requantize/rescale that layer before moving it onto an integer datapath. |
+//! | `W-SPARSE-001` | The target activation is not ReLU-derived: it can be dense and signed, so the RLE store's near-zero suppression clips real information. | Place the target on (or after) a ReLU/pool-of-ReLU boundary. |
+//! | `W-SPARSE-002` | The first suffix layer is not conv/FC, so it has no sparse-aware path and the warped activation is densified before use. | Reorder the suffix or accept the densify cost. |
+//! | `W-SPARSE-003` | The target is the network's last layer: there is no suffix to run on predicted frames. | Choose an earlier target. |
+//!
+//! # Example
+//!
+//! ```
+//! use eva2_analysis::{analyze, AnalysisOptions};
+//! use eva2_cnn::zoo;
+//!
+//! let z = zoo::tiny_fasterm(0);
+//! let report = analyze(&z.network, &AnalysisOptions::for_target(z.late_target));
+//! assert!(!report.has_errors(), "{}", report.render());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod interval;
+pub mod report;
+
+pub use interval::Interval;
+pub use report::{AnalysisReport, DiagCode, Diagnostic, LayerSummary, Severity};
+
+use eva2_cnn::describe::{LayerInfo, LayerKind};
+use eva2_cnn::network::Network;
+use eva2_cnn::receptive::ReceptiveField;
+use eva2_tensor::fixed::Fixed;
+use eva2_tensor::Shape3;
+
+/// What the passes need to know about the AMC configuration under which the
+/// network will serve.
+///
+/// This mirrors the analysis-relevant subset of `eva2_core`'s `AmcConfig`
+/// with the target already resolved to a layer index — plain numbers, so
+/// the analysis crate stays below `eva2-core` in the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisOptions {
+    /// Resolved AMC target layer index (last prefix layer).
+    pub target: usize,
+    /// RFBME search radius in pixels (`SearchParams::radius`).
+    pub search_radius: usize,
+    /// RFBME search stride in pixels (`SearchParams::step`).
+    pub search_step: usize,
+    /// Whether the bit-accurate Q8.8 warp datapath is enabled.
+    pub fixed_point: bool,
+    /// Declared input value range. Frames decoded through
+    /// `GrayImage::to_tensor` lie in `[0, 1]`.
+    pub input_range: (f64, f64),
+}
+
+impl AnalysisOptions {
+    /// Options for `target` with the serving defaults: search radius 8,
+    /// step 1, f32 datapath, inputs in `[0, 1]`.
+    pub fn for_target(target: usize) -> Self {
+        AnalysisOptions {
+            target,
+            search_radius: 8,
+            search_step: 1,
+            fixed_point: false,
+            input_range: (0.0, 1.0),
+        }
+    }
+}
+
+/// Runs the full pass pipeline over `net` under `opts`.
+///
+/// Never panics on a malformed network — malformation is exactly what the
+/// diagnostics report.
+pub fn analyze(net: &Network, opts: &AnalysisOptions) -> AnalysisReport {
+    let infos = net.describe();
+    let mut report = AnalysisReport {
+        network: net.name().to_string(),
+        layers: infos
+            .iter()
+            .map(|l| LayerSummary {
+                name: l.name.clone(),
+                kind: l.kind.label(),
+                shape: None,
+                range: None,
+            })
+            .collect(),
+        ..AnalysisReport::default()
+    };
+    let shapes = shape_pass(&infos, net.input_shape(), &mut report);
+    warp_pass(&infos, net.input_shape(), opts, &mut report);
+    range_pass(&infos, opts, &mut report);
+    sparsity_pass(&infos, opts, &mut report);
+    let _ = shapes;
+    report
+}
+
+/// Pass 1: shape inference. Returns the inferred output shape per layer
+/// (`None` from the first failure on).
+fn shape_pass(
+    infos: &[LayerInfo],
+    input: Shape3,
+    report: &mut AnalysisReport,
+) -> Vec<Option<Shape3>> {
+    let mut shapes = Vec::with_capacity(infos.len());
+    let mut cur = Some(input);
+    for (i, info) in infos.iter().enumerate() {
+        let next = cur.and_then(|s| infer_shape(info, s, i, report));
+        if let Some(s) = next {
+            report.layers[i].shape = Some((s.channels, s.height, s.width));
+        }
+        shapes.push(next);
+        cur = next;
+    }
+    shapes
+}
+
+/// Output shape of one described layer, or `None` with a diagnostic.
+fn infer_shape(
+    info: &LayerInfo,
+    input: Shape3,
+    i: usize,
+    report: &mut AnalysisReport,
+) -> Option<Shape3> {
+    let name = &info.name;
+    match info.kind {
+        LayerKind::Conv {
+            in_channels,
+            out_channels,
+        } => {
+            if input.channels != in_channels {
+                report.push(
+                    DiagCode::ShapeChannelMismatch,
+                    Severity::Error,
+                    Some(i),
+                    format!(
+                        "{name}: expects {in_channels} input channels but receives {}",
+                        input.channels
+                    ),
+                );
+                return None;
+            }
+            let g = info.geometry?;
+            let (h, w) = (g.output_len(input.height), g.output_len(input.width));
+            if h == 0 || w == 0 {
+                report.push(
+                    DiagCode::ShapeCollapsed,
+                    Severity::Error,
+                    Some(i),
+                    format!(
+                        "{name}: {k}x{k} kernel (stride {s}, pad {p}) collapses a \
+                         {ih}x{iw} input to zero spatial extent",
+                        k = g.kernel,
+                        s = g.stride,
+                        p = g.padding,
+                        ih = input.height,
+                        iw = input.width
+                    ),
+                );
+                return None;
+            }
+            Some(Shape3::new(out_channels, h, w))
+        }
+        LayerKind::Pool => {
+            let g = info.geometry?;
+            let (h, w) = (g.output_len(input.height), g.output_len(input.width));
+            if h == 0 || w == 0 {
+                report.push(
+                    DiagCode::ShapeCollapsed,
+                    Severity::Error,
+                    Some(i),
+                    format!(
+                        "{name}: {k}x{k} pooling window exceeds its {ih}x{iw} input",
+                        k = g.kernel,
+                        ih = input.height,
+                        iw = input.width
+                    ),
+                );
+                return None;
+            }
+            Some(Shape3::new(input.channels, h, w))
+        }
+        LayerKind::Relu => Some(input),
+        LayerKind::FullyConnected {
+            in_features,
+            out_features,
+        } => {
+            if input.len() != in_features {
+                report.push(
+                    DiagCode::ShapeFlattenMismatch,
+                    Severity::Error,
+                    Some(i),
+                    format!(
+                        "{name}: expects {in_features} flattened inputs but receives \
+                         {}x{}x{} = {}",
+                        input.channels,
+                        input.height,
+                        input.width,
+                        input.len()
+                    ),
+                );
+                return None;
+            }
+            Some(Shape3::new(out_features, 1, 1))
+        }
+        LayerKind::Opaque => {
+            report.push(
+                DiagCode::ShapeOpaqueLayer,
+                Severity::Warning,
+                Some(i),
+                format!("{name}: layer is not described; analysis stops here"),
+            );
+            None
+        }
+    }
+}
+
+/// Pass 2: warp/target legality. The prefix `0..=target` must be spatial
+/// (translation-equivariant modulo its cumulative stride); the motion
+/// granularity it induces must be compatible with the RFBME block size and
+/// search window.
+fn warp_pass(
+    infos: &[LayerInfo],
+    input: Shape3,
+    opts: &AnalysisOptions,
+    report: &mut AnalysisReport,
+) {
+    if opts.target >= infos.len() {
+        report.push(
+            DiagCode::WarpNonSpatialPrefix,
+            Severity::Error,
+            None,
+            format!(
+                "target layer {} is out of range (network has {} layers)",
+                opts.target,
+                infos.len()
+            ),
+        );
+        return;
+    }
+    let mut rf = ReceptiveField::INPUT;
+    for (i, info) in infos.iter().enumerate().take(opts.target + 1) {
+        match info.geometry {
+            Some(g) => rf = rf.then(g),
+            None => {
+                report.push(
+                    DiagCode::WarpNonSpatialPrefix,
+                    Severity::Error,
+                    Some(i),
+                    format!(
+                        "{}: non-spatial layer inside the AMC prefix — the prefix is \
+                         not translation-equivariant, so warping the target \
+                         activation is meaningless",
+                        info.name
+                    ),
+                );
+                return;
+            }
+        }
+    }
+    // The prefix is conv/pool/ReLU only, hence translation-equivariant for
+    // displacements that are multiples of the cumulative stride: that
+    // stride is the motion granularity RFBME works at.
+    report.granularity = Some(rf.stride);
+    if input.height < rf.stride || input.width < rf.stride {
+        report.push(
+            DiagCode::WarpNoWholeTile,
+            Severity::Error,
+            Some(opts.target),
+            format!(
+                "RFBME block size {} exceeds the {}x{} input: no whole tile to match",
+                rf.stride, input.height, input.width
+            ),
+        );
+    }
+    if opts.search_step > rf.stride {
+        report.push(
+            DiagCode::WarpStepExceedsBlock,
+            Severity::Error,
+            Some(opts.target),
+            format!(
+                "search step {} exceeds the RFBME block size {} — candidate offsets \
+                 skip whole activation cells and cannot align with the motion \
+                 granularity",
+                opts.search_step, rf.stride
+            ),
+        );
+    }
+    if opts.search_step > 0 && !(2 * opts.search_radius).is_multiple_of(opts.search_step) {
+        report.push(
+            DiagCode::WarpAsymmetricWindow,
+            Severity::Warning,
+            None,
+            format!(
+                "search window is asymmetric: 2·radius ({}) is not a multiple of \
+                 step {}",
+                2 * opts.search_radius,
+                opts.search_step
+            ),
+        );
+    }
+}
+
+/// Pass 3: fixed-point range analysis over the declared input range.
+///
+/// The Q8.8 datapath stores (and warps) only the *target* activation, so
+/// exceeding the representable range there is an error when `fixed_point`
+/// is enabled; everywhere else — and on the f32 datapath — the same finding
+/// is advisory (`W-RANGE-003`), which is exactly the groundwork the
+/// quantized-fast-path ROADMAP item needs.
+fn range_pass(infos: &[LayerInfo], opts: &AnalysisOptions, report: &mut AnalysisReport) {
+    let fmax = Fixed::MAX.to_f32() as f64; // ≈ 127.996
+    let mut cur = Interval::new(opts.input_range.0, opts.input_range.1);
+    for (i, info) in infos.iter().enumerate() {
+        let Some(next) = interval::propagate(info, cur) else {
+            // Opaque layer: already reported by the shape pass; stop.
+            return;
+        };
+        report.layers[i].range = Some((next.lo, next.hi));
+        let mag = next.mag();
+        let at_fixed_target = opts.fixed_point && i == opts.target;
+        if mag > fmax {
+            if at_fixed_target {
+                report.push(
+                    DiagCode::RangeFixedOverflow,
+                    Severity::Error,
+                    Some(i),
+                    format!(
+                        "{}: target activation interval [{:.3}, {:.3}] exceeds the \
+                         Q8.8 representable range ±{fmax:.3} — the fixed-point store \
+                         will saturate",
+                        info.name, next.lo, next.hi
+                    ),
+                );
+            } else {
+                report.push(
+                    DiagCode::RangeFloatExceedsFixed,
+                    Severity::Warning,
+                    Some(i),
+                    format!(
+                        "{}: activation interval [{:.3}, {:.3}] would not fit Q8.8 \
+                         (±{fmax:.3}); a fixed-point datapath through this layer \
+                         would saturate",
+                        info.name, next.lo, next.hi
+                    ),
+                );
+            }
+        } else if mag > fmax / 2.0 && at_fixed_target {
+            report.push(
+                DiagCode::RangeFixedNearOverflow,
+                Severity::Warning,
+                Some(i),
+                format!(
+                    "{}: target activation interval [{:.3}, {:.3}] has less than 2x \
+                     headroom to the Q8.8 range ±{fmax:.3}",
+                    info.name, next.lo, next.hi
+                ),
+            );
+        }
+        cur = next;
+    }
+}
+
+/// Pass 4: sparsity flow across the prefix/suffix seam.
+///
+/// The RLE activation store thresholds near-zero values, which is lossless
+/// in spirit only when the stored activation is ReLU-derived (non-negative,
+/// mostly zero); and skip-zero execution only pays off when the first
+/// suffix layer can consume sparse input (conv or FC).
+fn sparsity_pass(infos: &[LayerInfo], opts: &AnalysisOptions, report: &mut AnalysisReport) {
+    if opts.target >= infos.len() {
+        return; // already an error in the warp pass
+    }
+    // Producer: walk back from the target through pooling layers (max of
+    // non-negative values stays non-negative and sparse) to the layer that
+    // actually produced the values.
+    let mut p = opts.target;
+    while p > 0 && infos[p].kind == LayerKind::Pool {
+        p -= 1;
+    }
+    if infos[p].kind != LayerKind::Relu {
+        report.push(
+            DiagCode::SparseProducerNotRelu,
+            Severity::Warning,
+            Some(opts.target),
+            format!(
+                "{}: target activation is produced by {} ({}), not a ReLU — it can \
+                 be dense and signed, so the sparse store's near-zero suppression \
+                 clips information",
+                infos[opts.target].name,
+                infos[p].name,
+                infos[p].kind.label()
+            ),
+        );
+    }
+    // Consumer: the first suffix layer should have a sparse-aware path.
+    match infos.get(opts.target + 1) {
+        None => {
+            report.push(
+                DiagCode::SparseNoSuffix,
+                Severity::Warning,
+                Some(opts.target),
+                format!(
+                    "{}: target is the last layer — there is no suffix to run on \
+                     predicted frames",
+                    infos[opts.target].name
+                ),
+            );
+        }
+        Some(next) => {
+            if !matches!(
+                next.kind,
+                LayerKind::Conv { .. } | LayerKind::FullyConnected { .. }
+            ) {
+                report.push(
+                    DiagCode::SparseConsumerNotSparse,
+                    Severity::Warning,
+                    Some(opts.target + 1),
+                    format!(
+                        "{}: first suffix layer is {} — no sparse-aware path, the \
+                         warped activation will be densified before use",
+                        next.name,
+                        next.kind.label()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,156 @@
+//! Soundness of the fixed-point range analysis: the predicted per-layer
+//! intervals are *admissible* — for random small networks and random inputs
+//! drawn from the declared range, every actual activation lies inside the
+//! predicted interval. The analysis may over-approximate, but it must never
+//! under-approximate.
+
+use eva2_analysis::{analyze, AnalysisOptions};
+use eva2_cnn::layer::{Conv2d, FullyConnected, MaxPool2d, Relu};
+use eva2_cnn::network::Network;
+use eva2_cnn::zoo;
+use eva2_tensor::{Shape3, Tensor3};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random conv/relu/pool stack (optionally ending in FC) on a
+/// small input, with weights rescaled by `weight_scale` to stress the
+/// interval bounds across several orders of magnitude.
+fn random_net(seed: u64, arch: usize, weight_scale: f32) -> Network {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    let input = Shape3::new(1, 8, 8);
+    let mut net = Network::new("prop", input);
+    match arch % 5 {
+        0 => {
+            // conv(pad) → relu → pool
+            net.push(Box::new(Conv2d::new("c1", 1, 3, 3, 1, 1, &mut r)))
+                .push(Box::new(Relu::new("r1")))
+                .push(Box::new(MaxPool2d::new("p1", 2, 2)));
+        }
+        1 => {
+            // strided conv → conv → relu
+            net.push(Box::new(Conv2d::new("c1", 1, 2, 2, 2, 0, &mut r)))
+                .push(Box::new(Conv2d::new("c2", 2, 3, 3, 1, 1, &mut r)))
+                .push(Box::new(Relu::new("r1")));
+        }
+        2 => {
+            // conv → relu → pool → fc
+            net.push(Box::new(Conv2d::new("c1", 1, 2, 3, 1, 0, &mut r)))
+                .push(Box::new(Relu::new("r1")))
+                .push(Box::new(MaxPool2d::new("p1", 2, 2)))
+                .push(Box::new(FullyConnected::new("fc1", 2 * 3 * 3, 5, &mut r)));
+        }
+        3 => {
+            // deep: conv → relu → conv(pad) → relu → pool
+            net.push(Box::new(Conv2d::new("c1", 1, 2, 3, 1, 1, &mut r)))
+                .push(Box::new(Relu::new("r1")))
+                .push(Box::new(Conv2d::new("c2", 2, 2, 3, 1, 1, &mut r)))
+                .push(Box::new(Relu::new("r2")))
+                .push(Box::new(MaxPool2d::new("p1", 2, 2)));
+        }
+        _ => {
+            // 1×1 conv → fc → relu (non-spatial tail)
+            net.push(Box::new(Conv2d::new("c1", 1, 4, 1, 1, 0, &mut r)))
+                .push(Box::new(FullyConnected::new("fc1", 4 * 8 * 8, 6, &mut r)))
+                .push(Box::new(Relu::new("r1")));
+        }
+    }
+    if weight_scale != 1.0 {
+        for layer in 0..net.len() {
+            let mut snap = net.snapshot();
+            for w in &mut snap[layer] {
+                *w *= weight_scale;
+            }
+            net.restore(&snap);
+        }
+    }
+    net
+}
+
+/// Asserts every layer's actual activation lies inside its predicted
+/// interval for one (network, input) pair.
+fn assert_admissible(net: &Network, input: &Tensor3, range: (f64, f64)) -> Result<(), String> {
+    let mut opts = AnalysisOptions::for_target(0);
+    opts.input_range = range;
+    let report = analyze(net, &opts);
+    let acts = net.forward_collect(input);
+    // acts[0] is the input; acts[i + 1] is layer i's output.
+    for (i, act) in acts.iter().skip(1).enumerate() {
+        let (lo, hi) = report.layers[i]
+            .range
+            .ok_or_else(|| format!("no predicted range for layer {i}:\n{}", report.render()))?;
+        let (amin, amax) = (act.min() as f64, act.max() as f64);
+        if amin < lo || amax > hi {
+            return Err(format!(
+                "layer {i} ({}): actual [{amin}, {amax}] escapes predicted [{lo}, {hi}]\n{}",
+                report.layers[i].name,
+                report.render()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn random_input(seed: u64, shape: Shape3, range: (f64, f64)) -> Tensor3 {
+    let mut r = ChaCha8Rng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let (lo, hi) = (range.0 as f32, range.1 as f32);
+    Tensor3::from_fn(shape, |_, _, _| r.gen_range(lo..hi))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random architectures × weight scales × input ranges: predicted
+    /// intervals contain the actual activations.
+    #[test]
+    fn predicted_intervals_contain_actual_activations(
+        seed in 0u64..500,
+        arch in 0usize..5,
+        scale_idx in 0usize..4,
+        range_idx in 0usize..3,
+    ) {
+        let scale = [0.25f32, 1.0, 8.0, 64.0][scale_idx];
+        let range = [(0.0f64, 1.0f64), (-1.0, 1.0), (-2.5, 0.5)][range_idx];
+        let net = random_net(seed, arch, scale);
+        let input = random_input(seed, net.input_shape(), range);
+        if let Err(msg) = assert_admissible(&net, &input, range) {
+            prop_assert!(false, "{msg}");
+        }
+    }
+}
+
+#[test]
+fn zoo_networks_are_admissible_on_real_valued_frames() {
+    // The declared serving range is [0, 1] (GrayImage::to_tensor divides by
+    // 255); drive each zoo network with in-range inputs and check
+    // containment at every layer.
+    for workload in zoo::Workload::ALL {
+        let z = workload.build(11);
+        for seed in 0..4 {
+            let input = random_input(seed, z.network.input_shape(), (0.0, 1.0));
+            if let Err(msg) = assert_admissible(&z.network, &input, (0.0, 1.0)) {
+                panic!("{}: {msg}", workload.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn extreme_corner_inputs_stay_inside_intervals() {
+    // All-lo / all-hi / alternating-corner inputs maximize |activation|
+    // for sign-consistent weights — the tightest squeeze on the bound.
+    for arch in 0..5 {
+        let net = random_net(99, arch, 16.0);
+        let shape = net.input_shape();
+        let range = (-1.0, 1.0);
+        for input in [
+            Tensor3::from_fn(shape, |_, _, _| -1.0),
+            Tensor3::from_fn(shape, |_, _, _| 1.0),
+            Tensor3::from_fn(shape, |_, y, x| if (y + x) % 2 == 0 { -1.0 } else { 1.0 }),
+        ] {
+            if let Err(msg) = assert_admissible(&net, &input, range) {
+                panic!("arch {arch}: {msg}");
+            }
+        }
+    }
+}

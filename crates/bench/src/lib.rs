@@ -2,5 +2,7 @@
 //! suite behind the committed `BENCH_conv.json` trajectory and the CI
 //! bench-regression gate (see [`trajectory`]).
 
+#![forbid(unsafe_code)]
+
 pub mod serve_load;
 pub mod trajectory;

@@ -6,6 +6,7 @@
 //! return `None`, which is exactly the property AMC uses to bound the target
 //! layer ("these non-spatial layers must remain in the CNN suffix", §II-C5).
 
+use crate::describe::{ChannelStats, LayerInfo, LayerKind};
 use eva2_tensor::gemm::{self, GemmScratch};
 use eva2_tensor::{Shape3, SparseActivation, Tensor3};
 use rand::Rng;
@@ -170,6 +171,22 @@ pub trait Layer: fmt::Debug + Send + Sync {
     /// [`Clone`], so callers that only hold `&Network` (e.g. the experiment
     /// protocols) can hand an owned copy to `Arc`-based serving engines.
     fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// The layer's static description — the IR node the `eva2-analysis`
+    /// pass pipeline consumes (see [`crate::describe`]).
+    ///
+    /// The default implementation reports [`LayerKind::Opaque`]: analysis
+    /// over an undescribed layer stops with a warning instead of guessing.
+    /// Built-in layers override this with their real kind and weight
+    /// statistics.
+    fn describe(&self) -> LayerInfo {
+        LayerInfo {
+            name: self.name().to_string(),
+            kind: LayerKind::Opaque,
+            geometry: self.geometry(),
+            channels: Vec::new(),
+        }
+    }
 }
 
 impl Clone for Box<dyn Layer> {
@@ -755,6 +772,23 @@ impl Layer for Conv2d {
         self.bias.copy_from_slice(b);
         self.sync_transpose();
     }
+
+    fn describe(&self) -> LayerInfo {
+        let per_oc = self.in_channels * self.geom.kernel * self.geom.kernel;
+        LayerInfo {
+            name: self.name.clone(),
+            kind: LayerKind::Conv {
+                in_channels: self.in_channels,
+                out_channels: self.out_channels,
+            },
+            geometry: Some(self.geom),
+            channels: (0..self.out_channels)
+                .map(|oc| {
+                    ChannelStats::of(&self.weights[oc * per_oc..(oc + 1) * per_oc], self.bias[oc])
+                })
+                .collect(),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -886,6 +920,15 @@ impl Layer for MaxPool2d {
     fn macs(&self, _input: Shape3) -> u64 {
         0
     }
+
+    fn describe(&self) -> LayerInfo {
+        LayerInfo {
+            name: self.name.clone(),
+            kind: LayerKind::Pool,
+            geometry: Some(self.geom),
+            channels: Vec::new(),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -958,6 +1001,15 @@ impl Layer for Relu {
 
     fn macs(&self, _input: Shape3) -> u64 {
         0
+    }
+
+    fn describe(&self) -> LayerInfo {
+        LayerInfo {
+            name: self.name.clone(),
+            kind: LayerKind::Relu,
+            geometry: Some(LayerGeometry::IDENTITY),
+            channels: Vec::new(),
+        }
     }
 }
 
@@ -1178,6 +1230,25 @@ impl Layer for FullyConnected {
         self.weights.copy_from_slice(w);
         self.bias.copy_from_slice(b);
         self.sync_transpose();
+    }
+
+    fn describe(&self) -> LayerInfo {
+        LayerInfo {
+            name: self.name.clone(),
+            kind: LayerKind::FullyConnected {
+                in_features: self.in_features,
+                out_features: self.out_features,
+            },
+            geometry: None,
+            channels: (0..self.out_features)
+                .map(|o| {
+                    ChannelStats::of(
+                        &self.weights[o * self.in_features..(o + 1) * self.in_features],
+                        self.bias[o],
+                    )
+                })
+                .collect(),
+        }
     }
 }
 

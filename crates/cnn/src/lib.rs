@@ -36,8 +36,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod delta;
+pub mod describe;
 pub mod layer;
 pub mod metrics;
 pub mod network;
@@ -45,6 +47,7 @@ pub mod receptive;
 pub mod train;
 pub mod zoo;
 
+pub use describe::{ChannelStats, LayerInfo, LayerKind};
 pub use layer::{Conv2d, FullyConnected, Layer, LayerGeometry, MaxPool2d, Relu};
 pub use network::Network;
 pub use receptive::ReceptiveField;

@@ -73,6 +73,14 @@ impl Network {
         &self.layers
     }
 
+    /// The network's static IR: one [`LayerInfo`](crate::describe::LayerInfo)
+    /// per layer, in order. This is what the `eva2-analysis` pass pipeline
+    /// consumes — cheap enough (a weight-statistics scan) to rebuild at
+    /// every engine or session construction.
+    pub fn describe(&self) -> Vec<crate::describe::LayerInfo> {
+        self.layers.iter().map(|l| l.describe()).collect()
+    }
+
     /// Shape of the activation *output by* layer `i` (for the configured
     /// input shape).
     pub fn shape_after(&self, i: usize) -> Shape3 {

@@ -102,6 +102,22 @@ pub enum AmcError {
         /// Which invariant was violated.
         what: &'static str,
     },
+    /// The static verifier (`eva2-analysis`) found an error-severity
+    /// diagnostic for this (network, configuration) pair: a shape that
+    /// cannot propagate, a prefix that is not warp-legal, or a Q8.8 range
+    /// that will saturate. Construction is refused so the fault surfaces
+    /// here — with a stable diagnostic code — instead of as a panic or a
+    /// silent saturation on the first frame. Escape hatch for experiments:
+    /// `AmcConfig::builder().allow_unverified()`.
+    AnalysisRejected {
+        /// Stable diagnostic code (e.g. `E-SHAPE-003`); see the
+        /// `eva2-analysis` crate docs for the reference table.
+        code: &'static str,
+        /// The offending layer, when the finding anchors to one.
+        layer: Option<usize>,
+        /// Human-readable explanation from the analysis report.
+        message: String,
+    },
 }
 
 impl fmt::Display for AmcError {
@@ -156,6 +172,17 @@ impl fmt::Display for AmcError {
             ),
             AmcError::Internal { what } => {
                 write!(f, "internal serving invariant violated: {what}")
+            }
+            AmcError::AnalysisRejected {
+                code,
+                layer,
+                message,
+            } => {
+                write!(f, "rejected by static analysis [{code}]: {message}")?;
+                if let Some(i) = layer {
+                    write!(f, " (layer {i})")?;
+                }
+                Ok(())
             }
         }
     }

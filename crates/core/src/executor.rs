@@ -62,6 +62,15 @@ pub struct AmcConfig {
     /// [`ExecStats::forced_keys`]. The default (`f32::INFINITY`) disables
     /// the bound.
     pub max_residual_error: f32,
+    /// Skip the static verifier at engine/executor/session construction.
+    ///
+    /// By default every construction runs the `eva2-analysis` pass
+    /// pipeline over the (network, config) pair and refuses error-severity
+    /// findings with [`AmcError::AnalysisRejected`]. Setting this flag —
+    /// normally through [`AmcConfigBuilder::allow_unverified`] — admits
+    /// the pair anyway, for experiments that knowingly run outside the
+    /// verified envelope (e.g. probing Q8.8 saturation behaviour).
+    pub allow_unverified: bool,
 }
 
 impl Default for AmcConfig {
@@ -77,6 +86,7 @@ impl Default for AmcConfig {
             fixed_point: false,
             sparsity_threshold: 1.0 / 256.0,
             max_residual_error: f32::INFINITY,
+            allow_unverified: false,
         }
     }
 }
@@ -125,6 +135,61 @@ impl AmcConfig {
             }
         }
         Ok(())
+    }
+
+    /// Runs the `eva2-analysis` pass pipeline for this configuration over
+    /// `net`: shape inference, warp legality (against this config's search
+    /// window), Q8.8 range analysis (against this config's datapath), and
+    /// sparsity flow at the resolved target.
+    ///
+    /// This is the report [`Engine`](crate::serve::Engine) and
+    /// [`AmcExecutor`] consult at construction; it is public so tools (the
+    /// `analyze_zoo` bin, examples) can print it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError`] when the target selection cannot be resolved
+    /// for `net` — resolution failures precede analysis.
+    pub fn analyze(&self, net: &Network) -> Result<eva2_analysis::AnalysisReport, AmcError> {
+        let (target, _) = self.target.geometry(net)?;
+        Ok(eva2_analysis::analyze(
+            net,
+            &eva2_analysis::AnalysisOptions {
+                target,
+                search_radius: self.search.radius,
+                search_step: self.search.step,
+                fixed_point: self.fixed_point,
+                // Frames enter through `GrayImage::to_tensor`: u8 / 255.
+                input_range: (0.0, 1.0),
+            },
+        ))
+    }
+
+    /// The construction-time gate: refuses error-severity analysis
+    /// findings unless [`AmcConfig::allow_unverified`] is set. `target`
+    /// must already be resolved (callers need it anyway).
+    pub(crate) fn verify_resolved(&self, net: &Network, target: usize) -> Result<(), AmcError> {
+        if self.allow_unverified {
+            return Ok(());
+        }
+        let report = eva2_analysis::analyze(
+            net,
+            &eva2_analysis::AnalysisOptions {
+                target,
+                search_radius: self.search.radius,
+                search_step: self.search.step,
+                fixed_point: self.fixed_point,
+                input_range: (0.0, 1.0),
+            },
+        );
+        match report.first_error() {
+            Some(d) => Err(AmcError::AnalysisRejected {
+                code: d.code.as_str(),
+                layer: d.layer,
+                message: d.message.clone(),
+            }),
+            None => Ok(()),
+        }
     }
 }
 
@@ -177,6 +242,15 @@ impl AmcConfigBuilder {
     /// frame is degraded to a key frame (`f32::INFINITY` disables it).
     pub fn max_residual_error(mut self, bound: f32) -> Self {
         self.config.max_residual_error = bound;
+        self
+    }
+
+    /// Disables the static verifier at construction time — the escape
+    /// hatch for (network, config) pairs the analysis would refuse (see
+    /// [`AmcError::AnalysisRejected`]). Use for experiments only; a
+    /// serving engine should never need it.
+    pub fn allow_unverified(mut self) -> Self {
+        self.config.allow_unverified = true;
         self
     }
 
@@ -747,6 +821,7 @@ mod tests {
             .fixed_point(true)
             .sparsity_threshold(0.25)
             .max_residual_error(2.5)
+            .allow_unverified()
             .build()
             .unwrap();
         assert_eq!(
@@ -759,6 +834,7 @@ mod tests {
                 fixed_point: true,
                 sparsity_threshold: 0.25,
                 max_residual_error: 2.5,
+                allow_unverified: true,
             }
         );
         assert!(AmcConfig::builder().build().is_ok(), "defaults are valid");

@@ -466,6 +466,7 @@ impl SessionCore {
     pub(crate) fn new(net: &Network, config: &AmcConfig) -> Result<Self, AmcError> {
         config.validate()?;
         let (target, rf) = config.target.geometry(net)?;
+        config.verify_resolved(net, target)?;
         Ok(Self {
             target,
             rf,
@@ -1027,8 +1028,11 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`AmcError`] when the configuration fails validation or its
-    /// target selection cannot be resolved for `net`.
+    /// Returns [`AmcError`] when the configuration fails validation, its
+    /// target selection cannot be resolved for `net`, or the static
+    /// verifier finds an error-severity diagnostic
+    /// ([`AmcError::AnalysisRejected`]; bypass with
+    /// [`AmcConfigBuilder::allow_unverified`](crate::executor::AmcConfigBuilder::allow_unverified)).
     pub fn new(net: Arc<Network>, config: AmcConfig) -> Result<Self, AmcError> {
         Self::with_limits(net, config, EngineLimits::unlimited())
     }
@@ -1040,7 +1044,9 @@ impl Engine {
     /// # Errors
     ///
     /// Returns [`AmcError`] when the configuration or the limits fail
-    /// validation, or the target selection cannot be resolved for `net`.
+    /// validation, the target selection cannot be resolved for `net`, or
+    /// the static verifier rejects the (network, configuration) pair
+    /// ([`AmcError::AnalysisRejected`]).
     pub fn with_limits(
         net: Arc<Network>,
         config: AmcConfig,
@@ -1049,6 +1055,7 @@ impl Engine {
         config.validate()?;
         limits.validate()?;
         let (target, rf) = config.target.geometry(&net)?;
+        config.verify_resolved(&net, target)?;
         let prefix_macs = net.prefix_macs(target);
         let total_macs = net.total_macs();
         Ok(Self {
@@ -1154,7 +1161,8 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`AmcError`] when the configuration fails validation,
+    /// Returns [`AmcError`] when the configuration fails validation or is
+    /// refused by the static verifier ([`AmcError::AnalysisRejected`]),
     /// [`AmcError::SessionTargetMismatch`] when it resolves to a different
     /// target layer than the engine's (all sessions must share the
     /// engine's batched prefix split point), or

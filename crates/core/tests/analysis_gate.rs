@@ -1,0 +1,202 @@
+//! The construction-time verifier gate: `Engine` / `AmcExecutor` /
+//! `open_session_with` refuse (network, configuration) pairs that
+//! `eva2-analysis` flags with an error-severity diagnostic — so a fault
+//! that used to surface as a first-frame panic or a silent Q8.8
+//! saturation now surfaces at *construction*, with a stable code.
+//!
+//! The deliberately broken inputs here mirror the acceptance criteria:
+//! a mis-shaped flatten seam (`E-SHAPE-003`), a stride-misaligned RFBME
+//! search step (`E-WARP-003`), and Q8.8-overflowing weights on the
+//! fixed-point datapath (`E-RANGE-001`).
+
+use eva2_cnn::layer::{Conv2d, FullyConnected, MaxPool2d, Relu};
+use eva2_cnn::network::Network;
+use eva2_cnn::zoo;
+use eva2_core::error::AmcError;
+use eva2_core::executor::{AmcConfig, AmcExecutor};
+use eva2_core::serve::{Engine, FrameOutcome};
+use eva2_core::target::TargetSelection;
+use eva2_motion::rfbme::SearchParams;
+use eva2_tensor::{GrayImage, Shape3};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// conv → relu → pool → FC whose `in_features` does not match the
+/// flattened pool output (2·7·7 = 98, the layer claims 999). Before the
+/// static shape pass, this network panicked inside `FullyConnected` on
+/// the first submitted frame.
+fn misshapen_net() -> Network {
+    let mut r = ChaCha8Rng::seed_from_u64(7);
+    let mut net = Network::new("misshapen", Shape3::new(1, 16, 16));
+    net.push(Box::new(Conv2d::new("conv1", 1, 2, 3, 1, 0, &mut r)))
+        .push(Box::new(Relu::new("relu1")))
+        .push(Box::new(MaxPool2d::new("pool1", 2, 2)))
+        .push(Box::new(FullyConnected::new("fc1", 999, 4, &mut r)));
+    net
+}
+
+/// conv (all weights 100.0) → relu → pool → FC: interval analysis puts
+/// the target activation near ±900, far past Q8.8's ±128.
+fn overflowing_net() -> Network {
+    let mut r = ChaCha8Rng::seed_from_u64(7);
+    let mut conv = Conv2d::new("conv1", 1, 2, 3, 1, 0, &mut r);
+    for oc in 0..2 {
+        for ky in 0..3 {
+            for kx in 0..3 {
+                conv.set_weight(oc, 0, ky, kx, 100.0);
+            }
+        }
+    }
+    let mut net = Network::new("overflowing", Shape3::new(1, 16, 16));
+    net.push(Box::new(conv))
+        .push(Box::new(Relu::new("relu1")))
+        .push(Box::new(MaxPool2d::new("pool1", 2, 2)))
+        .push(Box::new(FullyConnected::new("fc1", 2 * 7 * 7, 4, &mut r)));
+    net
+}
+
+fn rejected_code(result: Result<impl Sized, AmcError>) -> &'static str {
+    match result {
+        Err(AmcError::AnalysisRejected { code, .. }) => code,
+        Err(other) => panic!("expected AnalysisRejected, got {other}"),
+        Ok(_) => panic!("expected AnalysisRejected, got Ok"),
+    }
+}
+
+#[test]
+fn misshapen_network_is_rejected_at_engine_construction() {
+    let code = rejected_code(Engine::new(Arc::new(misshapen_net()), AmcConfig::default()));
+    assert_eq!(code, "E-SHAPE-003");
+}
+
+#[test]
+fn misshapen_network_is_rejected_at_executor_construction() {
+    let net = misshapen_net();
+    let code = rejected_code(AmcExecutor::try_new(&net, AmcConfig::default()));
+    assert_eq!(code, "E-SHAPE-003");
+}
+
+#[test]
+fn strict_session_is_rejected_at_open_not_first_submit() {
+    // An engine whose *base* configuration opts out of verification still
+    // verifies per-stream configurations at `open_session_with` — the
+    // fault surfaces when the session is opened, never at frame time
+    // (where it would have been a silent Q8.8 saturation).
+    let base = AmcConfig::builder()
+        .target(TargetSelection::Early)
+        .fixed_point(true)
+        .allow_unverified()
+        .build()
+        .expect("valid config");
+    let mut engine = Engine::new(Arc::new(overflowing_net()), base).expect("escape hatch admits");
+    let strict = AmcConfig::builder()
+        .target(TargetSelection::Early)
+        .fixed_point(true)
+        .build()
+        .expect("valid config");
+    assert!(!strict.allow_unverified);
+    let code = rejected_code(engine.open_session_with(strict));
+    assert_eq!(code, "E-RANGE-001");
+}
+
+#[test]
+fn stride_misaligned_search_step_is_rejected() {
+    // tiny-fasterm's late target has cumulative stride 8; a search step of
+    // 16 can only propose motion vectors the warp cannot express.
+    let net = Arc::new(zoo::tiny_fasterm(3).network);
+    let config = AmcConfig::builder()
+        .target(TargetSelection::Late)
+        .search(SearchParams {
+            radius: 16,
+            step: 16,
+        })
+        .build()
+        .expect("valid config");
+    let code = rejected_code(Engine::new(net, config));
+    assert_eq!(code, "E-WARP-003");
+}
+
+#[test]
+fn q88_overflow_is_rejected_only_on_the_fixed_point_datapath() {
+    let fixed = AmcConfig::builder()
+        .target(TargetSelection::Early)
+        .fixed_point(true)
+        .build()
+        .expect("valid config");
+    let code = rejected_code(Engine::new(Arc::new(overflowing_net()), fixed));
+    assert_eq!(code, "E-RANGE-001");
+
+    // The identical network on the f32 datapath only *warns* — it must
+    // still construct and serve.
+    let float = AmcConfig::builder()
+        .target(TargetSelection::Early)
+        .build()
+        .expect("valid config");
+    assert!(Engine::new(Arc::new(overflowing_net()), float).is_ok());
+}
+
+#[test]
+fn allow_unverified_escape_hatch_admits_and_serves() {
+    let config = AmcConfig::builder()
+        .target(TargetSelection::Early)
+        .fixed_point(true)
+        .allow_unverified()
+        .build()
+        .expect("valid config");
+    let mut engine = Engine::new(Arc::new(overflowing_net()), config).expect("escape hatch admits");
+    let mut session = engine.open_session().expect("unverified base admits");
+    let frame = GrayImage::from_fn(16, 16, |y, x| ((y * 16 + x) % 251) as u8);
+    match engine.process(&mut session, &frame) {
+        FrameOutcome::Key { .. } => {}
+        other => panic!("expected a key frame from the first submit, got {other:?}"),
+    }
+}
+
+#[test]
+fn fc_before_target_is_refused_at_construction() {
+    // conv → FC → relu with the target requested *past* the FC: the prefix
+    // would not be translation-equivariant, so no warp can be legal. Target
+    // resolution refuses the index before analysis even runs (the analysis
+    // crate's own suite pins the `E-WARP-001` code for a forced target).
+    let mut r = ChaCha8Rng::seed_from_u64(7);
+    let mut net = Network::new("fc-prefix", Shape3::new(1, 8, 8));
+    net.push(Box::new(Conv2d::new("conv1", 1, 2, 3, 1, 1, &mut r)))
+        .push(Box::new(FullyConnected::new("fc1", 2 * 8 * 8, 4, &mut r)))
+        .push(Box::new(Relu::new("relu1")));
+    let config = AmcConfig::builder()
+        .target(TargetSelection::Index(2))
+        .build()
+        .expect("valid config");
+    match Engine::new(Arc::new(net), config) {
+        Err(AmcError::TargetOutsidePrefix { last_spatial, .. }) => assert_eq!(last_spatial, 0),
+        other => panic!("expected TargetOutsidePrefix, got {other:?}"),
+    }
+}
+
+#[test]
+fn zoo_networks_construct_clean_under_default_configs() {
+    // Acceptance criterion: every zoo network passes analysis clean under
+    // the default configurations at both canonical targets.
+    for workload in zoo::Workload::ALL {
+        let z = workload.build(11);
+        for target in [TargetSelection::Early, TargetSelection::Late] {
+            let config = AmcConfig::builder()
+                .target(target)
+                .build()
+                .expect("valid config");
+            let report = config.analyze(&z.network).expect("target resolves");
+            assert!(
+                !report.has_errors(),
+                "{}/{target:?}:\n{}",
+                workload.name(),
+                report.render()
+            );
+            assert!(
+                Engine::new(Arc::new(workload.build(11).network), config).is_ok(),
+                "{}/{target:?} must construct",
+                workload.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Prints the `eva2-analysis` static-verification report for every zoo
+//! network at both canonical target layers under the default serving
+//! configuration, plus the Q8.8 fixed-point datapath for FasterM — the
+//! workload the serving suites run fixed. (The deeper networks genuinely
+//! exceed Q8.8 range at their late targets with untrained weights; the
+//! analysis reports that as a warning on the f32 datapath, and the repo
+//! never constructs them fixed.)
+//!
+//! Exits nonzero if any (network, configuration) pair produces an
+//! error-severity diagnostic — CI runs this as a gate, so the shipped zoo
+//! can never regress into a state the `Engine` constructor would refuse.
+
+use eva2_cnn::zoo::Workload;
+use eva2_core::executor::AmcConfig;
+use eva2_core::target::TargetSelection;
+
+fn main() {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for workload in Workload::ALL {
+        let z = workload.build(11);
+        for (label, target) in [
+            ("early", TargetSelection::Early),
+            ("late", TargetSelection::Late),
+        ] {
+            let fixed_modes: &[bool] = match workload {
+                Workload::FasterM => &[false, true],
+                _ => &[false],
+            };
+            for &fixed_point in fixed_modes {
+                let config = AmcConfig::builder()
+                    .target(target)
+                    .fixed_point(fixed_point)
+                    .build()
+                    .expect("default-derived config is valid");
+                let report = match config.analyze(&z.network) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        println!(
+                            "== {} / {label} target / fixed_point={fixed_point}: \
+                             target resolution failed: {e}",
+                            workload.name()
+                        );
+                        errors += 1;
+                        continue;
+                    }
+                };
+                println!(
+                    "== {} / {label} target / fixed_point={fixed_point}",
+                    workload.name()
+                );
+                println!("{}", report.render());
+                errors += report.errors().count();
+                warnings += report.warnings().count();
+            }
+        }
+    }
+    println!("analysis summary: {errors} error(s), {warnings} warning(s)");
+    if errors > 0 {
+        eprintln!("FAIL: zoo networks must verify clean under default configurations");
+        std::process::exit(1);
+    }
+}

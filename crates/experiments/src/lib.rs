@@ -27,6 +27,7 @@
 //! Set `EVA2_QUICK=1` to shrink datasets/training for smoke runs.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod evalproto;
 pub mod report;

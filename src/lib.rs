@@ -12,6 +12,10 @@
 //! * [`cnn`] — a trainable CNN library with prefix/suffix execution and
 //!   receptive-field arithmetic.
 //! * [`motion`] — RFBME and the motion-estimation baselines.
+//! * [`analysis`] — the build-time model/pipeline verifier: shape
+//!   inference, warp-legality, Q8.8 range analysis, and sparsity-flow
+//!   passes over a network IR (`analysis::analyze`), with stable
+//!   diagnostic codes. `Engine`/`AmcExecutor` construction consults it.
 //! * [`amc`] — the AMC executor: warp engine, sparse activation store,
 //!   key-frame policies, and the multi-stream serving engine
 //!   (`amc::serve::Engine` / `StreamSession`, with cross-stream batched
@@ -41,6 +45,9 @@
 //! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured record
 //! of every table and figure.
 
+#![forbid(unsafe_code)]
+
+pub use eva2_analysis as analysis;
 pub use eva2_cnn as cnn;
 pub use eva2_core as amc;
 pub use eva2_hw as hw;
