@@ -25,6 +25,14 @@
 //! 4. **Sparsity flow** — verifies the sparse-suffix seam: the target
 //!    activation should be ReLU-derived (sparse, non-negative) and the
 //!    first suffix layer should have a sparse-aware path (conv or FC).
+//! 5. **Static cost model** (see [`cost`]) — per-layer MACs and bytes
+//!    moved, aggregated into exact key-frame and predicted-frame cost
+//!    split at the AMC target, with static bounds for the RFBME and warp
+//!    work predicted frames pay instead of the prefix. The model is an
+//!    independent reimplementation of the engine's MAC accounting and is
+//!    cross-checked against it here (`W-COST-001`), and
+//!    [`CostSummary::capacity_plan`] turns it into SLO-driven engine
+//!    limits.
 //!
 //! `eva2-core` consults this pipeline at every `Engine`/`AmcExecutor`/
 //! session construction and denies error-severity findings with
@@ -49,6 +57,11 @@
 //! | `W-SPARSE-001` | The target activation is not ReLU-derived: it can be dense and signed, so the RLE store's near-zero suppression clips real information. | Place the target on (or after) a ReLU/pool-of-ReLU boundary. |
 //! | `W-SPARSE-002` | The first suffix layer is not conv/FC, so it has no sparse-aware path and the warped activation is densified before use. | Reorder the suffix or accept the densify cost. |
 //! | `W-SPARSE-003` | The target is the network's last layer: there is no suffix to run on predicted frames. | Choose an earlier target. |
+//! | `E-COST-001` | A per-layer or aggregate cost overflows `u64` — the network geometry is absurd and no capacity statement can be made. | Check the layer dimensions; this never fires for a realizable network. |
+//! | `W-COST-001` | The static cost model disagrees with the engine's reference MAC accounting (`Network::total_macs`/`prefix_macs`) — the two implementations have drifted. | File a bug: capacity plans and `ExecStats` cross-checks are unreliable until the models agree. |
+//! | `W-COST-002` | The cost model could not be built (opaque layer, shape failure, or out-of-range/non-spatial target); `AnalysisReport::cost` is `None`. | Fix the upstream diagnostic (shape/warp) that stopped costing. |
+//! | `W-COST-003` | The prefix up to the AMC target executes zero MACs, so predicted frames save nothing over key frames. | Move the target after at least one conv layer. |
+//! | `W-CAP-001` | The SLO tick budget is below the cost of a single key frame; the derived limits were clamped to one frame per tick. | Raise the SLO, provision more compute, or serve a smaller network. |
 //!
 //! # Example
 //!
@@ -64,9 +77,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cost;
 pub mod interval;
 pub mod report;
 
+pub use cost::{CapacityPlan, CostSummary, LayerCost};
 pub use interval::Interval;
 pub use report::{AnalysisReport, DiagCode, Diagnostic, LayerSummary, Severity};
 
@@ -126,6 +141,7 @@ pub fn analyze(net: &Network, opts: &AnalysisOptions) -> AnalysisReport {
                 kind: l.kind.label(),
                 shape: None,
                 range: None,
+                macs: None,
             })
             .collect(),
         ..AnalysisReport::default()
@@ -134,7 +150,27 @@ pub fn analyze(net: &Network, opts: &AnalysisOptions) -> AnalysisReport {
     warp_pass(&infos, net.input_shape(), opts, &mut report);
     range_pass(&infos, opts, &mut report);
     sparsity_pass(&infos, opts, &mut report);
-    let _ = shapes;
+    cost::cost_pass(&infos, net.input_shape(), &shapes, opts, &mut report);
+    // The cost pass rebuilt the MAC accounting from the IR alone;
+    // `Network::{total,prefix}_macs` is the reference the engine's
+    // `ExecStats` counters are seeded from. Any disagreement means one of
+    // the two models is wrong — surface it at construction.
+    if let Some(cost) = &report.cost {
+        let (reference_total, reference_prefix) = (net.total_macs(), net.prefix_macs(opts.target));
+        if cost.key_frame_macs != reference_total || cost.prefix_macs != reference_prefix {
+            report.push(
+                DiagCode::CostModelMismatch,
+                Severity::Warning,
+                None,
+                format!(
+                    "static cost model (key {} / prefix {} MACs) disagrees with the \
+                     engine's reference accounting (key {reference_total} / prefix \
+                     {reference_prefix} MACs)",
+                    cost.key_frame_macs, cost.prefix_macs
+                ),
+            );
+        }
+    }
     report
 }
 

@@ -61,6 +61,16 @@ pub enum DiagCode {
     SparseConsumerNotSparse,
     /// `W-SPARSE-003`: target is the last layer; the suffix is empty.
     SparseNoSuffix,
+    /// `E-COST-001`: a cost aggregate overflows `u64`.
+    CostModelOverflow,
+    /// `W-COST-001`: static cost model ≠ the engine's MAC accounting.
+    CostModelMismatch,
+    /// `W-COST-002`: cost model could not be built (opaque/shape/target).
+    CostModelIncomplete,
+    /// `W-COST-003`: zero-MAC prefix — AMC saves nothing.
+    CostZeroPrefix,
+    /// `W-CAP-001`: SLO tick budget below one key frame; limits clamped.
+    CapacityBelowKeyFrame,
 }
 
 impl DiagCode {
@@ -82,6 +92,11 @@ impl DiagCode {
             DiagCode::SparseProducerNotRelu => "W-SPARSE-001",
             DiagCode::SparseConsumerNotSparse => "W-SPARSE-002",
             DiagCode::SparseNoSuffix => "W-SPARSE-003",
+            DiagCode::CostModelOverflow => "E-COST-001",
+            DiagCode::CostModelMismatch => "W-COST-001",
+            DiagCode::CostModelIncomplete => "W-COST-002",
+            DiagCode::CostZeroPrefix => "W-COST-003",
+            DiagCode::CapacityBelowKeyFrame => "W-CAP-001",
         }
     }
 }
@@ -129,6 +144,8 @@ pub struct LayerSummary {
     /// Activation bounds `[lo, hi]`, when range analysis reached this
     /// layer.
     pub range: Option<(f64, f64)>,
+    /// Forward-pass MACs, when the cost pass reached this layer.
+    pub macs: Option<u64>,
 }
 
 /// Everything the pass pipeline produced for one (network, config) pair.
@@ -143,6 +160,9 @@ pub struct AnalysisReport {
     /// Motion granularity at the target (cumulative prefix stride, in
     /// pixels), when the warp-legality pass could compute it.
     pub granularity: Option<usize>,
+    /// The static cost model, when the cost pass could build it
+    /// (`W-COST-002` explains why when it could not).
+    pub cost: Option<crate::cost::CostSummary>,
 }
 
 impl AnalysisReport {
@@ -207,10 +227,27 @@ impl AnalysisReport {
                 Some((lo, hi)) => format!("[{lo:+.3}, {hi:+.3}]"),
                 None => "[?]".to_string(),
             };
+            let macs = match l.macs {
+                Some(m) => m.to_string(),
+                None => "?".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "  {i:>2} {:<12} {:<5} {shape:<12} {range}",
+                "  {i:>2} {:<12} {:<5} {shape:<12} {macs:>10} {range}",
                 l.name, l.kind
+            );
+        }
+        if let Some(c) = &self.cost {
+            let _ = writeln!(
+                out,
+                "  cost: key {} MACs; predicted <= {} ops (suffix {} MACs + rfbme <= {} \
+                 + warp <= {}); target activation {} B",
+                c.key_frame_macs,
+                c.predicted_ops_bound,
+                c.predicted_frame_macs,
+                c.rfbme_ops_bound,
+                c.warp_interpolations_bound,
+                c.target_activation_bytes
             );
         }
         if self.diagnostics.is_empty() {
@@ -242,6 +279,11 @@ mod tests {
             (DiagCode::RangeFixedOverflow, 'E'),
             (DiagCode::RangeFloatExceedsFixed, 'W'),
             (DiagCode::SparseNoSuffix, 'W'),
+            (DiagCode::CostModelOverflow, 'E'),
+            (DiagCode::CostModelMismatch, 'W'),
+            (DiagCode::CostModelIncomplete, 'W'),
+            (DiagCode::CostZeroPrefix, 'W'),
+            (DiagCode::CapacityBelowKeyFrame, 'W'),
         ] {
             assert!(code.as_str().starts_with(sev), "{code}");
         }

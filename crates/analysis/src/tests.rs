@@ -272,6 +272,92 @@ fn sparsity_seam_warnings() {
 }
 
 #[test]
+fn cost_model_matches_reference_accounting_for_zoo() {
+    // The tentpole invariant: the cost pass rebuilds MAC accounting from
+    // the IR alone and must agree with `Network::{total,prefix}_macs` —
+    // the values the engine seeds `ExecStats::macs_executed` from — to
+    // the MAC, for every zoo network at both serving targets.
+    for workload in zoo::Workload::ALL {
+        let z = workload.build(3);
+        for target in [z.early_target, z.late_target] {
+            let report = analyze(&z.network, &AnalysisOptions::for_target(target));
+            let name = workload.name();
+            let cost = report
+                .cost
+                .as_ref()
+                .unwrap_or_else(|| panic!("{name} @ {target}: no cost model"));
+            assert!(
+                !codes(&report).contains(&DiagCode::CostModelMismatch),
+                "{name} @ {target}:\n{}",
+                report.render()
+            );
+            assert_eq!(
+                cost.key_frame_macs,
+                z.network.total_macs(),
+                "{name} @ {target}"
+            );
+            assert_eq!(
+                cost.prefix_macs,
+                z.network.prefix_macs(target),
+                "{name} @ {target}"
+            );
+            assert_eq!(
+                cost.predicted_frame_macs,
+                z.network.total_macs() - z.network.prefix_macs(target),
+                "{name} @ {target}"
+            );
+            // Internal consistency of the summary itself.
+            let layer_sum: u64 = cost.per_layer.iter().map(|c| c.macs).sum();
+            assert_eq!(layer_sum, cost.key_frame_macs, "{name} @ {target}");
+            assert_eq!(
+                cost.predicted_ops_bound,
+                cost.predicted_frame_macs + cost.rfbme_ops_bound + cost.warp_interpolations_bound,
+                "{name} @ {target}"
+            );
+            assert!(cost.target_activation_bytes > 0, "{name} @ {target}");
+        }
+    }
+}
+
+#[test]
+fn unbuildable_cost_model_is_w_cost_002() {
+    // Out-of-range target: every other pass errors too, and the cost pass
+    // declines to publish a partial model.
+    let report = analyze(&well_formed(), &AnalysisOptions::for_target(99));
+    assert!(report.cost.is_none());
+    assert!(
+        codes(&report).contains(&DiagCode::CostModelIncomplete),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn capacity_plan_scales_and_warns_below_key_frame() {
+    let report = analyze(&well_formed(), &AnalysisOptions::for_target(2));
+    let cost = report.cost.clone().expect("cost model built");
+
+    // A generous envelope plans multiple frames per tick, cleanly.
+    let plan = cost.capacity_plan(33.3, 10.0, 16, 100_000);
+    assert!(plan.diagnostics.is_empty(), "{:?}", plan.diagnostics);
+    assert!(plan.max_frames_per_tick > 1);
+    assert!(plan.max_key_frames_per_tick >= 1);
+    assert!(plan.max_key_frames_per_tick <= plan.max_frames_per_tick);
+    assert_eq!(plan.max_total_bytes, plan.max_frames_per_tick * 100_000);
+
+    // Doubling compute doubles the tick budget.
+    let twice = cost.capacity_plan(33.3, 20.0, 16, 100_000);
+    assert_eq!(twice.budget_macs_per_tick, 2 * plan.budget_macs_per_tick);
+
+    // A starvation envelope cannot cover even one key frame: the plan is
+    // clamped to one frame per tick and says so.
+    let tiny = cost.capacity_plan(0.001, 1e-6, 16, 100_000);
+    assert_eq!(tiny.max_frames_per_tick, 1);
+    assert_eq!(tiny.diagnostics.len(), 1);
+    assert_eq!(tiny.diagnostics[0].code, DiagCode::CapacityBelowKeyFrame);
+}
+
+#[test]
 fn severity_matches_code_prefix() {
     // Harvest diagnostics from several broken nets and check each code's
     // E-/W- prefix agrees with the severity it was emitted at.

@@ -197,6 +197,7 @@ impl AmcConfig {
 /// the result — the non-panicking construction path
 /// (`AmcConfig::builder().….build()?`).
 #[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until `build` is called"]
 pub struct AmcConfigBuilder {
     config: AmcConfig,
 }

@@ -199,10 +199,12 @@
 //! assert_eq!(cam_b.stats().frames, 1);
 //! ```
 
+// lint: hot-path
+
 use crate::error::AmcError;
 use crate::executor::{AmcConfig, AmcFrameResult, ExecStats, WarpMode};
-use crate::policy::{FrameKind, FrameMetrics, KeyFramePolicy};
-use crate::sparse::RleActivation;
+use crate::policy::{FrameKind, FrameMetrics, KeyFramePolicy, PolicyConfig};
+use crate::sparse::{RleActivation, RleEntry};
 use crate::warp::{warp_activation_fixed_sparse, warp_activation_sparse};
 use eva2_cnn::network::Network;
 use eva2_motion::rfbme::{RfGeometry, Rfbme, RfbmeResult, RfbmeScratch};
@@ -373,12 +375,15 @@ impl FrameOutcome {
     }
 
     /// The served frame, panicking with `msg` on a refusal — the
-    /// test-and-example analogue of `Result::expect`.
+    /// test-and-example analogue of `Result::expect`. Panicking is this
+    /// method's documented contract (serving code uses
+    /// [`FrameOutcome::into_result`] instead), so the hot-path no-panic
+    /// lint is waived here by design.
     #[track_caller]
     pub fn expect(self, msg: &str) -> AmcFrameResult {
         match self.into_result() {
             Ok(frame) => frame,
-            Err(e) => panic!("{msg}: {e:?}"),
+            Err(e) => panic!("{msg}: {e:?}"), // lint:allow(no-panic)
         }
     }
 
@@ -386,6 +391,7 @@ impl FrameOutcome {
     /// analogue of `Result::unwrap`.
     #[track_caller]
     pub fn unwrap(self) -> AmcFrameResult {
+        // lint:allow(no-panic)
         self.expect("frame was not served")
     }
 }
@@ -405,7 +411,12 @@ where
     F: Fn(&mut W, T) + Sync,
 {
     if states.len() <= 1 || items.len() <= 1 {
-        let state = states.first_mut().expect("at least one worker state");
+        // `worker_threads` is validated ≥ 1, so a missing state is
+        // unreachable; bailing out leaves the items' result slots empty,
+        // which the collection seam reports as `AmcError::Internal`.
+        let Some(state) = states.first_mut() else {
+            return;
+        };
         for item in items {
             f(state, item);
         }
@@ -900,6 +911,7 @@ impl Default for EngineLimits {
 /// [`EngineLimits::validate`] so an invalid combination is caught at
 /// construction rather than at [`Engine::with_limits`].
 #[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until `build` is called"]
 pub struct EngineLimitsBuilder {
     limits: EngineLimits,
 }
@@ -947,6 +959,68 @@ impl EngineLimitsBuilder {
         self
     }
 
+    /// Derives the tick and memory limits from the static cost model and
+    /// a deployment envelope: a per-tick latency SLO (`slo_ms`) and the
+    /// host's sustained compute (`gflops`, counting one MAC as two
+    /// flops) — replacing hand-tuned numbers with
+    /// [`CostSummary::capacity_plan`](eva2_analysis::CostSummary::capacity_plan)
+    /// over (`net`, `config`):
+    ///
+    /// * [`EngineLimits::max_frames_per_tick`] — the tick's MAC budget
+    ///   divided by the amortized per-frame cost at the policy's key-frame
+    ///   gap, charging predicted frames their full static op *bound*
+    ///   (suffix + RFBME + warp), so an admitted tick fits the SLO even
+    ///   when motion-search pruning never fires;
+    /// * [`EngineLimits::max_key_frames_per_tick`] — the budget in whole
+    ///   key frames;
+    /// * [`EngineLimits::max_sessions`] — one stream per frame slot (each
+    ///   live stream submits one frame per tick);
+    /// * [`EngineLimits::max_session_bytes`] — [`session_memory_bound`],
+    ///   the static per-session worst case (a bound the audited footprint
+    ///   can never exceed, so SLO-derived limits never degrade a session);
+    /// * [`EngineLimits::max_total_bytes`] — that bound across every
+    ///   admitted session.
+    ///
+    /// A budget too small for even one key frame is clamped to one frame
+    /// per tick — the plan's `W-CAP-001` finding; call
+    /// [`AmcConfig::analyze`](crate::executor::AmcConfig::analyze) and
+    /// `capacity_plan` directly to inspect it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmcError`] when the target cannot be resolved for `net`,
+    /// or [`AmcError::InvalidConfig`] when the analysis could not build a
+    /// cost model for the pair (`W-COST-002`).
+    pub fn derive_from_slo(
+        mut self,
+        net: &Network,
+        config: &AmcConfig,
+        slo_ms: f64,
+        gflops: f64,
+    ) -> Result<Self, AmcError> {
+        let report = config.analyze(net)?;
+        let Some(cost) = report.cost else {
+            return Err(AmcError::InvalidConfig {
+                reason: "SLO derivation needs the static cost model, which analysis \
+                         could not build for this network/config (W-COST-002)",
+            });
+        };
+        let key_gap = match config.policy {
+            PolicyConfig::AlwaysKey => 1,
+            PolicyConfig::StaticRate { period } => period.max(1),
+            PolicyConfig::BlockError { max_gap, .. }
+            | PolicyConfig::MotionMagnitude { max_gap, .. } => max_gap.max(1),
+        };
+        let session_bytes = session_memory_bound(net, config)?;
+        let plan = cost.capacity_plan(slo_ms, gflops, key_gap, session_bytes);
+        self.limits.max_frames_per_tick = plan.max_frames_per_tick;
+        self.limits.max_key_frames_per_tick = plan.max_key_frames_per_tick;
+        self.limits.max_sessions = plan.max_frames_per_tick;
+        self.limits.max_session_bytes = session_bytes;
+        self.limits.max_total_bytes = plan.max_total_bytes;
+        Ok(self)
+    }
+
     /// Validates and returns the limits.
     ///
     /// # Errors
@@ -957,6 +1031,65 @@ impl EngineLimitsBuilder {
         self.limits.validate()?;
         Ok(self.limits)
     }
+}
+
+/// Static upper bound on [`StreamSession::memory_footprint`] for any
+/// stream served by (`net`, `config`) — the per-session term of the
+/// SLO-derived memory budget
+/// ([`EngineLimitsBuilder::derive_from_slo`]).
+///
+/// The bound charges every stored buffer at its worst-case allocated
+/// capacity for the network's input geometry:
+///
+/// * the key image (`h·w` pixel bytes);
+/// * the RLE store, all target activation values non-zero, with each
+///   push-grown channel vector rounded up to its next power-of-two
+///   capacity;
+/// * the sparse non-zero view at one `(u32, f32)` entry per activation
+///   value (its channel vectors are sized exactly from the RLE entry
+///   counts);
+/// * the decoded f32 copy of the target activation;
+/// * the RFBME scratch at its steady-state bound
+///   ([`Rfbme::scratch_bytes_bound`]).
+///
+/// The footprint audit counts allocated capacity, not length, which is
+/// why capacity rounding (not just worst-case length) is charged.
+///
+/// # Errors
+///
+/// Returns [`AmcError`] when `config` is invalid or its target cannot be
+/// resolved for `net`.
+pub fn session_memory_bound(net: &Network, config: &AmcConfig) -> Result<usize, AmcError> {
+    use std::mem::size_of;
+    config.validate()?;
+    let (target, rf) = config.target.geometry(net)?;
+    let input = net.input_shape();
+    let mut act = input;
+    for layer in &net.layers()[..=target] {
+        act = layer.output_shape(act);
+    }
+    let plane = act.height.saturating_mul(act.width);
+    // Push-grown vectors double from a minimum of 4, so their capacity
+    // tops out at the next power of two above the worst-case length.
+    let npot = |n: usize| n.next_power_of_two().max(4);
+    let vec_header = size_of::<Vec<u8>>();
+    let image = input.height.saturating_mul(input.width);
+    let rle = act.channels.saturating_mul(vec_header).saturating_add(
+        act.channels
+            .saturating_mul(npot(plane) * size_of::<RleEntry>()),
+    );
+    let sparse = act
+        .channels
+        .saturating_mul(vec_header)
+        .saturating_add(act.channels.saturating_mul(plane * size_of::<(u32, f32)>()));
+    let decoded = act.len().saturating_mul(size_of::<f32>());
+    let scratch = Rfbme::new(rf, config.search).scratch_bytes_bound(input.height, input.width);
+    Ok(size_of::<SessionCore>()
+        .saturating_add(image)
+        .saturating_add(rle)
+        .saturating_add(sparse)
+        .saturating_add(decoded)
+        .saturating_add(scratch))
 }
 
 /// Engine-side bookkeeping for one admitted session, shared through an
@@ -1204,9 +1337,12 @@ impl Engine {
     /// refusal surfaces here the same way, as a [`FrameOutcome::Shed`] or
     /// [`FrameOutcome::Rejected`].
     pub fn process(&mut self, session: &mut StreamSession, frame: &GrayImage) -> FrameOutcome {
-        self.process_batch([(session, frame)])
-            .pop()
-            .expect("a batch of one job yields one outcome")
+        match self.process_batch([(session, frame)]).pop() {
+            Some(outcome) => outcome,
+            None => FrameOutcome::Rejected(AmcError::Internal {
+                what: "a batch of one job yielded no outcome",
+            }),
+        }
     }
 
     /// Processes one frame from each of several streams, batching the
@@ -1534,7 +1670,11 @@ impl Engine {
         );
         outcomes
             .into_iter()
-            .map(|o| o.expect("every job yields exactly one outcome"))
+            .map(|o| {
+                o.unwrap_or(FrameOutcome::Rejected(AmcError::Internal {
+                    what: "a job produced no outcome",
+                }))
+            })
             .collect()
     }
 
@@ -1721,9 +1861,7 @@ impl EngineExecutor {
             .worker_threads(worker_threads)
             .build()?;
         let mut engine = Engine::with_limits(net, config, limits)?;
-        let session = engine
-            .open_session()
-            .expect("an unlimited engine admits its first session");
+        let session = engine.open_session()?;
         Ok(Self { engine, session })
     }
 
@@ -1740,10 +1878,12 @@ impl crate::pipeline::FrameExecutor for EngineExecutor {
 
     fn push_frame(&mut self, frame: &GrayImage) -> Option<AmcFrameResult> {
         let outcome = self.engine.process(&mut self.session, frame);
+        // An unlimited engine sheds nothing, so a refusal here is a harness
+        // bug the experiment should stop on, not serve through.
         Some(
             outcome
                 .into_result()
-                .expect("an unlimited engine serves every frame"),
+                .expect("an unlimited engine serves every frame"), // lint:allow(no-panic)
         )
     }
 

@@ -33,6 +33,8 @@
 //! tests pin this), which is what lets `eva2_core::serve` feed the CNN
 //! suffix from the fused output without changing a single output bit.
 
+// lint: hot-path
+
 use eva2_motion::field::VectorField;
 use eva2_tensor::interp::{sample, Interpolation};
 use eva2_tensor::{Fixed, SparseActivation, Tensor3};

@@ -55,6 +55,8 @@
 //! survives as [`Rfbme::estimate_onelevel`], the measured baseline for the
 //! `rfbme_twolevel_over_onelevel` trajectory ratio.
 
+// lint: hot-path
+
 use crate::field::{MotionVector, VectorField};
 use crate::sad::{sad_lower_bound_cols, sad_lower_bound_rows, sad_window, IntegralImage};
 use crate::{MotionEstimator, MotionResult};
@@ -757,11 +759,17 @@ impl Rfbme {
         } = g;
 
         // Candidate offsets in the reference's row-major order, annotated
-        // with the two tie-break components.
-        let axis = self.params.offsets();
+        // with the two tie-break components. Iterated arithmetically (not
+        // via `SearchParams::offsets`) so a warmed scratch makes this whole
+        // estimate allocate nothing but the returned result — the property
+        // the serving engine's alloc audit pins.
+        let step = self.params.step.max(1) as isize;
+        let radius = self.params.radius as isize;
         cand.clear();
-        for &dy in &axis {
-            for &dx in &axis {
+        let mut dy = -radius;
+        while dy <= radius {
+            let mut dx = -radius;
+            while dx <= radius {
                 cand.push(Cand {
                     dy,
                     dx,
@@ -770,7 +778,9 @@ impl Rfbme {
                     score: 0,
                     min_lb: u64::MAX,
                 });
+                dx += step;
             }
+            dy += step;
         }
 
         let mut consumer_ops: u64 = 0;
@@ -1026,6 +1036,90 @@ impl Rfbme {
             consumer_ops,
             search,
         )
+    }
+
+    /// Sound static upper bound on [`RfbmeResult::ops`] for one
+    /// [`Rfbme::estimate`]/[`Rfbme::estimate_with`] call over `h`×`w`
+    /// frames — the motion-estimation term of `eva2-analysis`'s
+    /// predicted-frame cost model.
+    ///
+    /// The bound charges every pruning opportunity as if it never fired,
+    /// so it holds for *any* frame contents:
+    ///
+    /// * producer: two summed-area rebuilds (`2·h·w`) plus one exact
+    ///   `s²`-pixel SAD per (tile, offset) — the exact-refinement cache
+    ///   admits at most one per offset serial;
+    /// * consumer: the `(h−s+1)·(w−s+1) ≤ h·w` key box filter, then per
+    ///   offset: pass-1 scoring and the level-0 rebuild (`≤ n_tiles`
+    ///   each), the level-1 strip bounds (`2·s` per tile, cached once per
+    ///   offset), per-row-band column sums (`≤ grid_h·band·tiles_x`), and
+    ///   per-field aggregation (`≤ n_rf·band` column adds plus
+    ///   `≤ n_rf·band²` exact-tile adds), where `band = ⌊size/stride⌋` is
+    ///   the most whole tiles one receptive field can cover per axis.
+    ///
+    /// Saturating arithmetic keeps degenerate geometries from wrapping.
+    pub fn ops_bound(&self, h: usize, w: usize) -> u64 {
+        let s = self.rf.stride.max(1) as u64;
+        let (h64, w64) = (h as u64, w as u64);
+        let (tiles_y, tiles_x) = (h64 / s, w64 / s);
+        let n_tiles = tiles_y * tiles_x;
+        let grid_h = self.rf.grid_len(h) as u64;
+        let grid_w = self.rf.grid_len(w) as u64;
+        let n_rf = grid_h * grid_w;
+        let band = ((self.rf.size as u64) / s).max(1);
+        let window = self.params.window_len() as u64;
+        let fixed = 3u64.saturating_mul(h64.saturating_mul(w64));
+        let per_offset = n_tiles
+            .saturating_mul(s * s)
+            .saturating_add(2 * n_tiles)
+            .saturating_add(2 * s * n_tiles)
+            .saturating_add(grid_h.saturating_mul(band).saturating_mul(tiles_x))
+            .saturating_add(n_rf.saturating_mul(band))
+            .saturating_add(n_rf.saturating_mul(band * band));
+        fixed.saturating_add(window.saturating_mul(per_offset))
+    }
+
+    /// Static upper bound on [`RfbmeScratch::heap_bytes`] after any number
+    /// of [`Rfbme::estimate_with`] calls over `h`×`w` frames — the
+    /// motion-scratch term of the serving engine's per-session memory
+    /// bound.
+    ///
+    /// Every buffer the two-level search touches is sized exactly by the
+    /// geometry (`resize`/`extend` from a known length allocates precisely
+    /// that), except `cand`, which is push-grown and therefore rounds up
+    /// to the next power of two. Buffers only the retained single-level
+    /// baseline uses stay empty on this path and are not charged.
+    pub fn scratch_bytes_bound(&self, h: usize, w: usize) -> usize {
+        use std::mem::size_of;
+        fn npot(n: usize) -> usize {
+            n.next_power_of_two().max(4)
+        }
+        let s = self.rf.stride.max(1);
+        let (tiles_y, tiles_x) = (h / s, w / s);
+        let n_tiles = tiles_y * tiles_x;
+        let grid_h = self.rf.grid_len(h);
+        let grid_w = self.rf.grid_len(w);
+        let n_rf = grid_h * grid_w;
+        let window = self.params.window_len();
+        let sat = (h + 1) * (w + 1) * size_of::<u64>();
+        let box_len = if h >= s && w >= s {
+            (h - s + 1) * (w - s + 1)
+        } else {
+            0
+        };
+        2 * sat // key_sat + new_sat
+            + (grid_h + grid_w) * size_of::<(usize, usize)>() // row/col_range
+            + n_tiles * size_of::<u64>() // new_sums
+            + n_rf * size_of::<RfMatch>() // best
+            + n_tiles * size_of::<u64>() // lb
+            + n_tiles * size_of::<u32>() // exact
+            + n_tiles * size_of::<u64>() // l1
+            + 2 * n_tiles * size_of::<u32>() // l1_stamp + exact_stamp
+            + tiles_x * size_of::<u64>() // colsum
+            + npot(window) * size_of::<Cand>() // cand (push-grown)
+            + window * size_of::<u32>() // order
+            + box_len * size_of::<u64>() // key_box
+            + n_rf * size_of::<BestCell>() // best_bf
     }
 
     /// The retained PR-2 single-level fast path: fused producer/consumer
@@ -1327,6 +1421,75 @@ mod tests {
         let p = SearchParams { radius: 4, step: 2 };
         assert_eq!(p.offsets(), vec![-4, -2, 0, 2, 4]);
         assert_eq!(p.window_len(), 25);
+    }
+
+    #[test]
+    fn ops_bound_dominates_measured_ops() {
+        // The static bound must hold for any frame contents: frames where
+        // pruning is perfect (identical), typical (translation), and poor
+        // (uncorrelated noise) — across geometries with and without padding.
+        let geoms = [
+            (rf_844(), SearchParams { radius: 4, step: 1 }),
+            (
+                RfGeometry {
+                    size: 6,
+                    stride: 3,
+                    padding: 2,
+                },
+                SearchParams { radius: 3, step: 2 },
+            ),
+        ];
+        let key = textured(40, 40);
+        let shifted = key.translate(2, 3, 0);
+        let noise = GrayImage::from_fn(40, 40, |y, x| ((y * 97 + x * 41 + 13) % 256) as u8);
+        for (rf, params) in geoms {
+            let rfbme = Rfbme::new(rf, params);
+            let bound = rfbme.ops_bound(40, 40);
+            for new in [&key, &shifted, &noise] {
+                let r = rfbme.estimate(&key, new);
+                assert!(
+                    r.ops() <= bound,
+                    "measured {} > bound {bound} for rf {rf:?} params {params:?}",
+                    r.ops()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_bytes_bound_dominates_warmed_heap_bytes() {
+        let rfbme = Rfbme::new(rf_844(), SearchParams { radius: 4, step: 1 });
+        let key = textured(48, 48);
+        let new = key.translate(2, 1, 0);
+        let mut scratch = RfbmeScratch::new();
+        for _ in 0..3 {
+            let _ = rfbme.estimate_with(&key, &new, &mut scratch);
+        }
+        let used = scratch.heap_bytes();
+        let bound = rfbme.scratch_bytes_bound(48, 48);
+        assert!(used <= bound, "warmed scratch {used} B > bound {bound} B");
+        // Tightness: almost every buffer is sized exactly by the geometry,
+        // so the bound should be close — a big gap means the model and the
+        // implementation have drifted apart.
+        assert!(
+            bound <= used * 2,
+            "bound {bound} B is >2x warmed scratch {used} B"
+        );
+    }
+
+    #[test]
+    fn warmed_estimate_reuses_scratch_without_growth() {
+        // The serving engine's alloc audit relies on this: once warmed for
+        // a frame size, further estimates leave the scratch heap unchanged.
+        let rfbme = Rfbme::new(rf_844(), SearchParams { radius: 4, step: 1 });
+        let key = textured(48, 48);
+        let mut scratch = RfbmeScratch::new();
+        let _ = rfbme.estimate_with(&key, &key.translate(1, 0, 0), &mut scratch);
+        let warmed = scratch.heap_bytes();
+        for dx in 0..4 {
+            let _ = rfbme.estimate_with(&key, &key.translate(0, dx, 0), &mut scratch);
+            assert_eq!(scratch.heap_bytes(), warmed, "scratch grew at dx={dx}");
+        }
     }
 
     #[test]

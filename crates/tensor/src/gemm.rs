@@ -91,6 +91,8 @@
 //! touching this module — the numbers depend on `.cargo/config.toml`'s
 //! `target-cpu=native`.
 
+// lint: hot-path
+
 use crate::microkernel::{add_tile, microkernel, microkernel_direct, store_tile_bias};
 use crate::pack::{pack_a_block, pack_b_block, MatRef};
 use crate::shape::Shape3;
@@ -333,7 +335,9 @@ fn gemm_nn_split(
             j0 += w;
         }
         for handle in handles {
-            let (j0, w, out) = handle.join().expect("gemm worker panicked");
+            // A worker panic is already a crash in flight; re-raising it on
+            // the coordinating thread is the only sound continuation.
+            let (j0, w, out) = handle.join().expect("gemm worker panicked"); // lint:allow(no-panic)
             for (c_row, o_row) in c.chunks_exact_mut(n).zip(out.chunks_exact(w)) {
                 for (cv, ov) in c_row[j0..j0 + w].iter_mut().zip(o_row) {
                     *cv += ov;

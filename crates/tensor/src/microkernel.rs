@@ -14,6 +14,8 @@
 //! second code path. The caller stores only the valid `mr × nr` region of
 //! the returned tile ([`add_tile`]).
 
+// lint: hot-path
+
 use crate::pack::{MR, NR};
 
 /// Computes one full `MR × NR` tile of `A·B` over a `kc`-deep block.
