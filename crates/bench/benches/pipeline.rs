@@ -102,14 +102,14 @@ fn bench_pipeline_overlap(c: &mut Criterion) {
         let mut amc = AmcExecutor::try_new(&z.network, config).unwrap();
         b.iter(|| {
             FrameExecutor::reset(&mut amc);
-            black_box(FrameExecutor::process_clip(&mut amc, &clip))
+            black_box(FrameExecutor::process_clip(&mut amc, &clip).expect("clean clip serves"))
         })
     });
     group.bench_function("clip12_pipelined", |b| {
         let mut pipe = PipelinedExecutor::new(AmcExecutor::try_new(&z.network, config).unwrap());
         b.iter(|| {
             FrameExecutor::reset(&mut pipe);
-            black_box(FrameExecutor::process_clip(&mut pipe, &clip))
+            black_box(FrameExecutor::process_clip(&mut pipe, &clip).expect("clean clip serves"))
         })
     });
     group.finish();

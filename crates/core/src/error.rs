@@ -102,6 +102,30 @@ pub enum AmcError {
         /// Which invariant was violated.
         what: &'static str,
     },
+    /// A worker panicked while executing one frame's job. The panic was
+    /// contained at the job boundary (`serve`'s containment seam), so it
+    /// cost exactly one frame: the rest of the tick completed as if the
+    /// panicking job had never been submitted. Because the panic may have
+    /// left the owning session's state half-mutated, that session is
+    /// quarantined — see [`AmcError::SessionPoisoned`].
+    WorkerPanicked {
+        /// Which serving phase the panic escaped from (`"estimate"`,
+        /// `"admit"`, `"prefix"`, or `"complete"`).
+        phase: &'static str,
+        /// The panic payload, when it was a string (the common
+        /// `panic!("...")` case); a placeholder otherwise.
+        payload: String,
+    },
+    /// The session is quarantined: a previous frame's job panicked while
+    /// holding this session's state, so the state cannot be trusted. Every
+    /// submission is refused with this error until the session is evicted
+    /// (`StreamSession::evict_state`), which drops the suspect state and
+    /// lets the next frame rehydrate it through the forced-key seam —
+    /// bit-identical to a fresh session from there on.
+    SessionPoisoned {
+        /// Id of the quarantined session.
+        session: u64,
+    },
     /// The static verifier (`eva2-analysis`) found an error-severity
     /// diagnostic for this (network, configuration) pair: a shape that
     /// cannot propagate, a prefix that is not warp-legal, or a Q8.8 range
@@ -173,6 +197,15 @@ impl fmt::Display for AmcError {
             AmcError::Internal { what } => {
                 write!(f, "internal serving invariant violated: {what}")
             }
+            AmcError::WorkerPanicked { phase, payload } => write!(
+                f,
+                "worker panicked in the {phase} phase (contained; this frame only): {payload}"
+            ),
+            AmcError::SessionPoisoned { session } => write!(
+                f,
+                "session {session} is quarantined after a contained panic; \
+                 evict its state to recover through a fresh key frame"
+            ),
             AmcError::AnalysisRejected {
                 code,
                 layer,
@@ -242,6 +275,21 @@ mod tests {
         }
         .to_string()
         .contains("invariant"));
+    }
+
+    #[test]
+    fn containment_variants_display_is_informative() {
+        let p = AmcError::WorkerPanicked {
+            phase: "prefix",
+            payload: "index out of bounds".into(),
+        }
+        .to_string();
+        assert!(
+            p.contains("prefix") && p.contains("index out of bounds") && p.contains("contained"),
+            "{p}"
+        );
+        let q = AmcError::SessionPoisoned { session: 12 }.to_string();
+        assert!(q.contains("12") && q.contains("quarantined"), "{q}");
     }
 
     #[test]

@@ -60,6 +60,7 @@
 //! measurements from your machine; `cargo run --release -p eva2-bench --bin
 //! bench_gate` then cross-checks the tracked speedup ratios against it.
 
+use crate::error::AmcError;
 use crate::executor::{AmcExecutor, AmcFrameResult, ExecStats};
 use crate::policy::FrameKind;
 use eva2_motion::rfbme::{Rfbme, RfbmeResult, RfbmeScratch};
@@ -77,7 +78,14 @@ pub trait FrameExecutor {
     /// Accepts the next frame of a stream, returning a completed result
     /// when one is available: the same frame immediately for the serial
     /// executor, the *previous* frame for the pipelined one.
-    fn push_frame(&mut self, frame: &GrayImage) -> Option<AmcFrameResult>;
+    ///
+    /// # Errors
+    ///
+    /// Returns the executor's typed refusal (e.g.
+    /// [`AmcError::FrameGeometryMismatch`] for an off-geometry frame, or
+    /// an engine-backed executor's containment errors) instead of
+    /// panicking — a harness must not be able to kill a serving process.
+    fn push_frame(&mut self, frame: &GrayImage) -> Result<Option<AmcFrameResult>, AmcError>;
 
     /// Executes and returns any frame still in flight, emptying the
     /// pipeline (`None` when nothing is pending — always for the serial
@@ -87,17 +95,22 @@ pub trait FrameExecutor {
     /// Processes a clip, returning one result per frame in order. Key-frame
     /// state persists across calls (like the serial executor's); call
     /// [`FrameExecutor::reset`] between independent clips.
-    fn process_clip(&mut self, frames: &[GrayImage]) -> Vec<AmcFrameResult> {
+    ///
+    /// # Errors
+    ///
+    /// Stops at, and returns, the first frame refusal (see
+    /// [`FrameExecutor::push_frame`]).
+    fn process_clip(&mut self, frames: &[GrayImage]) -> Result<Vec<AmcFrameResult>, AmcError> {
         let mut out = Vec::with_capacity(frames.len());
         for frame in frames {
-            if let Some(r) = self.push_frame(frame) {
+            if let Some(r) = self.push_frame(frame)? {
                 out.push(r);
             }
         }
         if let Some(r) = self.finish() {
             out.push(r);
         }
-        out
+        Ok(out)
     }
 
     /// Aggregate statistics over every frame processed so far.
@@ -112,8 +125,8 @@ impl FrameExecutor for AmcExecutor<'_> {
         "serial"
     }
 
-    fn push_frame(&mut self, frame: &GrayImage) -> Option<AmcFrameResult> {
-        Some(self.process(frame))
+    fn push_frame(&mut self, frame: &GrayImage) -> Result<Option<AmcFrameResult>, AmcError> {
+        Ok(Some(self.try_process(frame)?))
     }
 
     fn finish(&mut self) -> Option<AmcFrameResult> {
@@ -282,8 +295,8 @@ impl FrameExecutor for PipelinedExecutor<'_> {
         "pipelined"
     }
 
-    fn push_frame(&mut self, frame: &GrayImage) -> Option<AmcFrameResult> {
-        self.push(frame)
+    fn push_frame(&mut self, frame: &GrayImage) -> Result<Option<AmcFrameResult>, AmcError> {
+        Ok(self.push(frame))
     }
 
     fn finish(&mut self) -> Option<AmcFrameResult> {
@@ -386,8 +399,8 @@ mod tests {
         let z = zoo::tiny_fasterm(2);
         let (mut serial, mut pipe) = exec_pair(AmcConfig::default(), &z.network);
         let frames = clip(8);
-        let a = FrameExecutor::process_clip(&mut serial, &frames);
-        let b = FrameExecutor::process_clip(&mut pipe, &frames);
+        let a = FrameExecutor::process_clip(&mut serial, &frames).expect("clean clip serves");
+        let b = FrameExecutor::process_clip(&mut pipe, &frames).expect("clean clip serves");
         assert_eq!(a.len(), b.len());
         for (t, (x, y)) in a.iter().zip(&b).enumerate() {
             assert_eq!(x.is_key, y.is_key, "frame {t} kind");
@@ -406,17 +419,18 @@ mod tests {
         let z = zoo::tiny_fasterm(0);
         let mut pipe = PipelinedExecutor::new(AmcExecutor::try_new(&z.network, lenient()).unwrap());
         let frames = clip(4);
-        let first = FrameExecutor::process_clip(&mut pipe, &frames);
+        let first = FrameExecutor::process_clip(&mut pipe, &frames).expect("clean clip serves");
         assert_eq!(
             first.iter().filter(|r| r.is_key).count(),
             1,
             "one key frame in the first clip"
         );
         // A second clip of the same scene continues predicting.
-        let second = FrameExecutor::process_clip(&mut pipe, &frames);
+        let second = FrameExecutor::process_clip(&mut pipe, &frames).expect("clean clip serves");
         assert!(second.iter().all(|r| !r.is_key));
         FrameExecutor::reset(&mut pipe);
-        let third = FrameExecutor::process_clip(&mut pipe, &frames[..1]);
+        let third =
+            FrameExecutor::process_clip(&mut pipe, &frames[..1]).expect("clean clip serves");
         assert!(third[0].is_key, "reset forces a key frame");
     }
 
@@ -431,8 +445,8 @@ mod tests {
         };
         let (mut serial, mut pipe) = exec_pair(config, &z.network);
         let frames = clip(7);
-        let a = FrameExecutor::process_clip(&mut serial, &frames);
-        let b = FrameExecutor::process_clip(&mut pipe, &frames);
+        let a = FrameExecutor::process_clip(&mut serial, &frames).expect("clean clip serves");
+        let b = FrameExecutor::process_clip(&mut pipe, &frames).expect("clean clip serves");
         let kinds: Vec<bool> = a.iter().map(|r| r.is_key).collect();
         assert_eq!(kinds, vec![true, false, true, false, true, false, true]);
         for (t, (x, y)) in a.iter().zip(&b).enumerate() {

@@ -153,6 +153,58 @@
 //! engine never panics: every submission yields a correct frame or a typed
 //! error.
 //!
+//! # Failure containment
+//!
+//! The lifecycle above survives bad *inputs*; this layer survives bugs and
+//! slowness inside the engine's own process. Three mechanisms, all
+//! per-session rather than per-process:
+//!
+//! * **Panic isolation.** Every per-frame job — the speculative RFBME
+//!   estimate, the admission walk's classify and commit steps, each
+//!   key-frame prefix bucket, and per-frame completion — runs inside the
+//!   engine's one `catch_unwind` seam (the `contain` module; the
+//!   `eva2-lint` rule `contained-unwind` keeps `catch_unwind` out of every
+//!   other module). A panic escaping a job costs exactly that frame: it
+//!   comes back as [`FrameOutcome::Rejected`] carrying
+//!   [`AmcError::WorkerPanicked`] (naming the phase — `"estimate"`,
+//!   `"admit"`, `"prefix"`, or `"complete"` — and the payload), and every
+//!   other job in the tick completes bit-identically to a run where the
+//!   panicking job was never submitted. One sharp edge is documented
+//!   rather than hidden: a frame that panics *after* its serial commit
+//!   (prefix or completion) has already consumed tick budget, so under
+//!   finite budgets a later frame in the same tick may have been shed on
+//!   its account.
+//! * **Quarantine.** A panic may have left the owning session's state
+//!   half-mutated, so the session is *poisoned*: every later submission
+//!   returns [`AmcError::SessionPoisoned`]
+//!   ([`StreamSession::is_quarantined`]) until the session is evicted —
+//!   [`StreamSession::evict_state`], [`Engine::maintain`], or
+//!   [`Engine::evict_session`] — which drops the suspect state and lifts
+//!   the quarantine. The next frame then rehydrates through the forced-key
+//!   seam, bit-identical to a fresh session (the PR-6 evicted≡fresh
+//!   property, extended to the poisoned path by `serve_interleaved.rs`).
+//! * **Tick deadline.** [`EngineLimits::tick_deadline_ms`] is a soft
+//!   per-tick budget read from an injectable [`TickClock`]
+//!   ([`Engine::set_tick_clock`]; monotonic wall clock by default, a
+//!   deterministic [`FakeClock`] in tests). The watchdog checks between
+//!   phases, at each key-frame admission, and between prefix fan-out
+//!   buckets. Degradation order on overrun: remaining *key-frame
+//!   upgrades* are shed with the zero-trace [`AmcError::BudgetExceeded`]
+//!   semantics (`what: "tick deadline"`) — predicted frames, which cost
+//!   only a sparse suffix, still serve; already-committed work always
+//!   finishes (the deadline is soft — it bounds *new* expensive work, it
+//!   never abandons a frame mid-flight). Overruns and deadline sheds are
+//!   counted, never silent.
+//!
+//! [`Engine::health`] snapshots the containment layer for operators: see
+//! [`EngineHealth`] for per-field semantics. For deterministic chaos
+//! testing, [`Engine::set_failure_injector`] installs a [`FailureInjector`]
+//! — pure in `(phase, tick, session)` — that forces panics or delays
+//! inside chosen phases; `crates/core/tests/soak_chaos.rs` drives
+//! thousands of ticks of injected panics, input faults, evictions, and
+//! deadline pressure through it and holds survivors bit-identical to a
+//! clean oracle.
+//!
 //! # The single-stream wrapper guarantee
 //!
 //! `AmcExecutor` (and therefore `PipelinedExecutor`) is a thin wrapper
@@ -213,6 +265,7 @@ use eva2_tensor::{GemmScratch, GrayImage, SparseActivation, Tensor3};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Weak};
+use std::time::Instant;
 
 /// Stored key-frame state: the pixel buffer and the sparse activation
 /// buffer.
@@ -440,6 +493,349 @@ where
             });
         }
     });
+}
+
+// lint: containment
+/// The engine's one panic-containment seam. `std::panic::catch_unwind` may
+/// appear in this module and nowhere else in the workspace (enforced by
+/// the `eva2-lint` rule `contained-unwind`): panic-swallowing is a serving
+/// decision, and letting it leak into kernels or analysis passes would
+/// hide real bugs instead of containing them at the per-frame boundary.
+mod contain {
+    use super::{AmcError, EnginePhase, FailureAction, FailureInjector, TickClock};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Runs one per-frame job, converting an escaping panic into
+    /// [`AmcError::WorkerPanicked`] naming `phase`. `AssertUnwindSafe` is
+    /// sound here because the caller quarantines the owning session on
+    /// `Err` — the possibly half-mutated state is never trusted again
+    /// until it is evicted and rehydrated.
+    pub(super) fn run<T>(phase: &'static str, job: impl FnOnce() -> T) -> Result<T, AmcError> {
+        catch_unwind(AssertUnwindSafe(job)).map_err(|panic| {
+            let payload = if let Some(s) = panic.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = panic.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            AmcError::WorkerPanicked { phase, payload }
+        })
+    }
+
+    /// The chaos hook: applies the injector's scripted action for
+    /// `(phase, tick, session)`, if an injector is installed. Called only
+    /// from inside a [`run`] job, so an injected panic is always contained
+    /// one frame up. Payloads start with `"chaos:"` so test panic hooks
+    /// can silence exactly the injected faults.
+    pub(super) fn chaos(
+        injector: Option<&dyn FailureInjector>,
+        clock: &dyn TickClock,
+        phase: EnginePhase,
+        tick: u64,
+        session: u64,
+    ) {
+        let Some(injector) = injector else {
+            return;
+        };
+        match injector.action(phase, tick, session) {
+            FailureAction::None => {}
+            FailureAction::Panic => {
+                // lint:allow(no-panic)
+                panic!("chaos: injected {phase:?} panic (tick {tick}, session {session})")
+            }
+            FailureAction::Delay { ms } => clock.sleep_us(ms.saturating_mul(1000)),
+        }
+    }
+}
+
+/// The clock [`Engine::process_batch`] reads its tick-deadline watchdog
+/// from. Injectable ([`Engine::set_tick_clock`]) so deadline behaviour is
+/// deterministic in tests: production uses the default [`MonotonicClock`],
+/// tests install a [`FakeClock`] and advance it by hand (injected
+/// [`FailureAction::Delay`]s go through [`TickClock::sleep_us`], so a fake
+/// clock turns them into pure time arithmetic).
+pub trait TickClock: Send + Sync {
+    /// Microseconds elapsed since an arbitrary fixed origin.
+    fn now_us(&self) -> u64;
+    /// Blocks (or, on a fake clock, pretends to block) for `us`
+    /// microseconds.
+    fn sleep_us(&self, us: u64);
+}
+
+/// Wall-clock [`TickClock`]: `std::time::Instant` against a fixed origin.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TickClock for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn sleep_us(&self, us: u64) {
+        std::thread::sleep(std::time::Duration::from_micros(us));
+    }
+}
+
+/// Deterministic [`TickClock`] for tests: time advances only when the test
+/// says so ([`FakeClock::advance_us`]) or when a sleep is requested —
+/// [`TickClock::sleep_us`] advances the clock instead of blocking, so
+/// injected delays exert deadline pressure without slowing the test down.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    now: AtomicU64,
+}
+
+impl FakeClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance_us(&self, us: u64) {
+        self.now.fetch_add(us, Relaxed);
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.advance_us(ms.saturating_mul(1000));
+    }
+}
+
+impl TickClock for FakeClock {
+    fn now_us(&self) -> u64 {
+        self.now.load(Relaxed)
+    }
+
+    fn sleep_us(&self, us: u64) {
+        self.advance_us(us);
+    }
+}
+
+/// Which serving phase a [`FailureInjector`] is being consulted in (the
+/// same names [`AmcError::WorkerPanicked`] reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EnginePhase {
+    /// Per-stream RFBME (speculative fan-out or the inline fallback).
+    Estimate,
+    /// The serial admission walk's classify/commit steps.
+    Admit,
+    /// A key-frame batched-prefix bucket.
+    Prefix,
+    /// Per-frame completion (sparse encode + suffix, or warp + suffix).
+    Complete,
+}
+
+impl EnginePhase {
+    fn index(self) -> u64 {
+        match self {
+            EnginePhase::Estimate => 0,
+            EnginePhase::Admit => 1,
+            EnginePhase::Prefix => 2,
+            EnginePhase::Complete => 3,
+        }
+    }
+}
+
+/// What a [`FailureInjector`] asks the engine to do inside one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureAction {
+    /// Proceed normally.
+    None,
+    /// Panic inside the job (always contained; the frame fails with
+    /// [`AmcError::WorkerPanicked`] and its session is quarantined).
+    Panic,
+    /// Sleep `ms` milliseconds through the engine's [`TickClock`] —
+    /// deadline pressure, deterministic under a [`FakeClock`].
+    Delay {
+        /// Milliseconds to sleep.
+        ms: u64,
+    },
+}
+
+/// Deterministic failure-injection seam for chaos testing
+/// ([`Engine::set_failure_injector`]). Implementations must be pure in
+/// `(phase, tick, session)` so chaos runs replay bit-identically;
+/// [`SeededChaos`] is the stock seeded implementation.
+pub trait FailureInjector: Send + Sync {
+    /// The action to take for this `(phase, tick, session)` job.
+    fn action(&self, phase: EnginePhase, tick: u64, session: u64) -> FailureAction;
+}
+
+/// Stock [`FailureInjector`]: a splitmix64-style hash of
+/// `(seed, phase, tick, session)` rolls a per-mille die for panics and
+/// delays. Pure and allocation-free, so two engines with the same seed see
+/// the same faults at the same jobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededChaos {
+    /// Seed fixing every roll.
+    pub seed: u64,
+    /// Panic probability per job, in 1/1000ths.
+    pub panic_per_mille: u64,
+    /// Delay probability per job, in 1/1000ths (rolled after panics).
+    pub delay_per_mille: u64,
+    /// Length of an injected delay.
+    pub delay_ms: u64,
+}
+
+impl SeededChaos {
+    /// A chaos script panicking ~6% and delaying ~4% of jobs, 2 ms per
+    /// delay.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            panic_per_mille: 60,
+            delay_per_mille: 40,
+            delay_ms: 2,
+        }
+    }
+
+    fn roll(&self, phase: EnginePhase, tick: u64, session: u64) -> u64 {
+        let mut x = self.seed
+            ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ session.wrapping_mul(0xD1B5_4A32_D192_ED03)
+            ^ phase.index().wrapping_mul(0x94D0_49BB_1331_11EB);
+        // splitmix64 finalizer: avalanche the combined key so nearby
+        // (tick, session) pairs decorrelate.
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (x ^ (x >> 31)) % 1000
+    }
+}
+
+impl FailureInjector for SeededChaos {
+    fn action(&self, phase: EnginePhase, tick: u64, session: u64) -> FailureAction {
+        let roll = self.roll(phase, tick, session);
+        if roll < self.panic_per_mille {
+            FailureAction::Panic
+        } else if roll < self.panic_per_mille + self.delay_per_mille {
+            FailureAction::Delay { ms: self.delay_ms }
+        } else {
+            FailureAction::None
+        }
+    }
+}
+
+/// Operator-facing snapshot of the engine's failure-containment layer
+/// ([`Engine::health`]) — the §III-C degradation signal at engine scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineHealth {
+    /// Ticks processed (one per [`Engine::process_batch`] call).
+    pub ticks: u64,
+    /// Frames served across all sessions (key, forced-key, or predicted).
+    pub frames_served: u64,
+    /// Frame jobs that failed with a contained panic
+    /// ([`AmcError::WorkerPanicked`]). A single prefix-bucket panic fails
+    /// every frame in its bucket, so this counts frames lost, not unwinds.
+    pub panics_caught: u64,
+    /// Sessions quarantined so far (each panic outcome quarantines its
+    /// owning session; a session re-poisoned after recovery counts again).
+    pub quarantines: u64,
+    /// Live sessions currently quarantined (poisoned, not yet evicted or
+    /// retired).
+    pub quarantined_sessions: usize,
+    /// Sessions evicted by [`Engine::maintain`] (idle/LRU) or
+    /// [`Engine::evict_session`]. Per-session budget trims inside a tick
+    /// are counted per session in [`ExecStats::evictions`] instead.
+    pub evicted_sessions: u64,
+    /// Ticks that overran [`EngineLimits::tick_deadline_ms`] at any
+    /// watchdog checkpoint.
+    pub deadline_overruns: u64,
+    /// Key-frame upgrades shed by the deadline watchdog
+    /// (`BudgetExceeded { what: "tick deadline" }`).
+    pub deadline_sheds: u64,
+    /// Frames shed by the frame/key per-tick budgets (all other
+    /// [`FrameOutcome::Shed`] outcomes).
+    pub budget_sheds: u64,
+    /// Key frames forced by the residual confidence bound across all
+    /// sessions ([`FrameOutcome::ForcedKey`]).
+    pub forced_keys: u64,
+    /// Median of the last [`TICK_RING`] tick durations, microseconds
+    /// (0 until a tick completes).
+    pub tick_p50_us: u64,
+    /// 99th percentile of the last [`TICK_RING`] tick durations,
+    /// microseconds.
+    pub tick_p99_us: u64,
+}
+
+/// Ring-buffer depth behind [`EngineHealth::tick_p50_us`] /
+/// [`EngineHealth::tick_p99_us`].
+pub const TICK_RING: usize = 256;
+
+/// Mutable half of [`EngineHealth`]: the counters the engine accumulates
+/// serially at the end of every tick, plus the tick-duration ring.
+#[derive(Debug)]
+struct HealthState {
+    ticks: u64,
+    frames_served: u64,
+    panics_caught: u64,
+    quarantines: u64,
+    evicted_sessions: u64,
+    deadline_overruns: u64,
+    deadline_sheds: u64,
+    budget_sheds: u64,
+    forced_keys: u64,
+    /// Last [`TICK_RING`] tick durations in µs, written circularly.
+    recent_us: Vec<u64>,
+    next_slot: usize,
+}
+
+impl Default for HealthState {
+    /// The ring is allocated to its full capacity up front so
+    /// `record_tick` never allocates on the serving hot path (the
+    /// steady-state allocation audit counts every transient).
+    fn default() -> Self {
+        Self {
+            ticks: 0,
+            frames_served: 0,
+            panics_caught: 0,
+            quarantines: 0,
+            evicted_sessions: 0,
+            deadline_overruns: 0,
+            deadline_sheds: 0,
+            budget_sheds: 0,
+            forced_keys: 0,
+            recent_us: Vec::with_capacity(TICK_RING),
+            next_slot: 0,
+        }
+    }
+}
+
+impl HealthState {
+    fn record_tick(&mut self, us: u64) {
+        if self.recent_us.len() < TICK_RING {
+            self.recent_us.push(us);
+        } else {
+            self.recent_us[self.next_slot] = us;
+        }
+        self.next_slot = (self.next_slot + 1) % TICK_RING;
+    }
+
+    fn percentile(sorted: &[u64], p: usize) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+    }
 }
 
 /// The per-stream AMC state machine: everything one video stream needs
@@ -832,6 +1228,14 @@ pub struct EngineLimits {
     /// A session idle for at least this many ticks has its key state
     /// evicted by [`Engine::maintain`].
     pub idle_evict_ticks: u64,
+    /// Soft per-tick deadline in milliseconds, read from the engine's
+    /// [`TickClock`]. Once a tick has run past it, remaining *key-frame*
+    /// upgrades are shed with zero-trace
+    /// [`AmcError::BudgetExceeded`]`{ what: "tick deadline" }` semantics
+    /// (predicted frames still serve; committed work always finishes) and
+    /// the overrun is counted in [`EngineHealth::deadline_overruns`].
+    /// `u64::MAX` (the default) disables the watchdog.
+    pub tick_deadline_ms: u64,
     /// Worker threads one [`Engine::process_batch`] tick fans out over
     /// (see the [module docs](self#threading-model--determinism)). `1`
     /// (the default) runs every phase inline on the calling thread and
@@ -853,6 +1257,7 @@ impl EngineLimits {
             max_session_bytes: usize::MAX,
             max_total_bytes: usize::MAX,
             idle_evict_ticks: u64::MAX,
+            tick_deadline_ms: u64::MAX,
             worker_threads: 1,
         }
     }
@@ -891,6 +1296,9 @@ impl EngineLimits {
         }
         if self.idle_evict_ticks == 0 {
             return invalid("engine limit idle_evict_ticks must be at least 1");
+        }
+        if self.tick_deadline_ms == 0 {
+            return invalid("engine limit tick_deadline_ms must be at least 1");
         }
         if self.worker_threads == 0 {
             return invalid("engine limit worker_threads must be at least 1");
@@ -950,6 +1358,12 @@ impl EngineLimitsBuilder {
     /// Sets [`EngineLimits::idle_evict_ticks`].
     pub fn idle_evict_ticks(mut self, n: u64) -> Self {
         self.limits.idle_evict_ticks = n;
+        self
+    }
+
+    /// Sets [`EngineLimits::tick_deadline_ms`].
+    pub fn tick_deadline_ms(mut self, ms: u64) -> Self {
+        self.limits.tick_deadline_ms = ms;
         self
     }
 
@@ -1106,6 +1520,11 @@ struct SessionSlot {
     /// Set by [`Engine::evict_session`]: admission is revoked and further
     /// submissions return [`AmcError::SessionEvicted`].
     retired: AtomicBool,
+    /// Set when a contained panic escaped a job holding this session's
+    /// state: the session is quarantined and submissions return
+    /// [`AmcError::SessionPoisoned`] until the state is evicted
+    /// ([`StreamSession::evict_state`] clears the flag).
+    poisoned: AtomicBool,
 }
 
 /// A serving engine: one network, shared scratch pools, any number of
@@ -1135,6 +1554,15 @@ pub struct Engine {
     /// Weak handles to every admitted session's bookkeeping slot; dead
     /// weaks (dropped sessions) are pruned on admission and maintenance.
     slots: Vec<Weak<SessionSlot>>,
+    /// Deadline-watchdog clock ([`Engine::set_tick_clock`]); monotonic
+    /// wall clock unless a test injects a [`FakeClock`].
+    clock: Arc<dyn TickClock>,
+    /// Chaos hook ([`Engine::set_failure_injector`]); `None` in
+    /// production, where every `contain::chaos` call is a no-op.
+    injector: Option<Arc<dyn FailureInjector>>,
+    /// Containment counters and the tick-duration ring behind
+    /// [`Engine::health`].
+    health: HealthState,
 }
 
 /// Source of process-unique [`Engine`] identities.
@@ -1206,7 +1634,58 @@ impl Engine {
             next_session: 0,
             tick: 0,
             slots: Vec::new(),
+            clock: Arc::new(MonotonicClock::new()),
+            injector: None,
+            health: HealthState::default(),
         })
+    }
+
+    /// Replaces the deadline-watchdog clock — a [`FakeClock`] makes
+    /// deadline behaviour fully deterministic in tests.
+    pub fn set_tick_clock(&mut self, clock: Arc<dyn TickClock>) {
+        self.clock = clock;
+    }
+
+    /// Installs a chaos [`FailureInjector`] consulted inside every
+    /// contained per-frame job. Injected panics are contained exactly like
+    /// real ones (the frame fails typed, the session is quarantined), so
+    /// this is the deterministic seam the soak harness drives.
+    pub fn set_failure_injector(&mut self, injector: Arc<dyn FailureInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Removes the chaos injector.
+    pub fn clear_failure_injector(&mut self) {
+        self.injector = None;
+    }
+
+    /// Snapshot of the failure-containment layer: panics contained,
+    /// quarantines, evictions, deadline pressure, sheds, forced keys, and
+    /// recent tick-duration percentiles. See [`EngineHealth`] for field
+    /// semantics. Cheap enough to scrape every tick.
+    pub fn health(&self) -> EngineHealth {
+        let quarantined_sessions = self
+            .slots
+            .iter()
+            .filter_map(Weak::upgrade)
+            .filter(|s| s.poisoned.load(Relaxed) && !s.retired.load(Relaxed))
+            .count();
+        let mut sorted = self.health.recent_us.clone();
+        sorted.sort_unstable();
+        EngineHealth {
+            ticks: self.health.ticks,
+            frames_served: self.health.frames_served,
+            panics_caught: self.health.panics_caught,
+            quarantines: self.health.quarantines,
+            quarantined_sessions,
+            evicted_sessions: self.health.evicted_sessions,
+            deadline_overruns: self.health.deadline_overruns,
+            deadline_sheds: self.health.deadline_sheds,
+            budget_sheds: self.health.budget_sheds,
+            forced_keys: self.health.forced_keys,
+            tick_p50_us: HealthState::percentile(&sorted, 50),
+            tick_p99_us: HealthState::percentile(&sorted, 99),
+        }
     }
 
     fn check_session(&self, session: &StreamSession) -> Result<(), AmcError> {
@@ -1269,7 +1748,9 @@ impl Engine {
     }
 
     /// Sum of every live session's audited footprint, as of each
-    /// session's last completed frame.
+    /// session's last submission (served or refused — a contained panic
+    /// can move a quarantined session's footprint, and the ledger tracks
+    /// it).
     pub fn total_session_bytes(&self) -> usize {
         self.slots
             .iter()
@@ -1320,6 +1801,7 @@ impl Engine {
             last_tick: AtomicU64::new(self.tick),
             bytes: AtomicUsize::new(core.memory_footprint()),
             retired: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
         });
         self.slots.push(Arc::downgrade(&slot));
         Ok(StreamSession {
@@ -1369,14 +1851,20 @@ impl Engine {
     ///
     /// * [`FrameOutcome::Shed`] — backpressure
     ///   ([`AmcError::BudgetExceeded`]): the tick's frame or key-frame
-    ///   budget was exhausted before this job; resubmit next tick.
+    ///   budget was exhausted before this job, or the tick overran
+    ///   [`EngineLimits::tick_deadline_ms`] before this key-frame upgrade
+    ///   (`what: "tick deadline"`); resubmit next tick.
     /// * [`FrameOutcome::Rejected`] — the submission is wrong:
     ///   [`AmcError::EngineMismatch`] (session opened by a different
     ///   engine), [`AmcError::SessionEvicted`] (session retired by
-    ///   [`Engine::evict_session`]), [`AmcError::FrameGeometryMismatch`]
-    ///   (frame resolution differs from the network's input shape), or
-    ///   [`AmcError::Internal`] (a violated engine invariant — never
-    ///   expected; returned instead of panicking so serving survives it).
+    ///   [`Engine::evict_session`]), [`AmcError::SessionPoisoned`]
+    ///   (session quarantined by a contained panic; evict to recover),
+    ///   [`AmcError::FrameGeometryMismatch`] (frame resolution differs
+    ///   from the network's input shape), [`AmcError::WorkerPanicked`]
+    ///   (this job's own worker panicked — contained, and the session is
+    ///   now quarantined), or [`AmcError::Internal`] (a violated engine
+    ///   invariant — never expected; returned instead of panicking so
+    ///   serving survives it).
     pub fn process_batch<'a>(
         &mut self,
         jobs: impl IntoIterator<Item = (&'a mut StreamSession, &'a GrayImage)>,
@@ -1400,6 +1888,28 @@ impl Engine {
         let limits = self.limits;
         let engine_id = self.engine_id;
         let workers = self.scratches.len();
+        // Cloned handles so the containment/watchdog seams borrow nothing
+        // from `self` while the phases below borrow `self.scratches`.
+        let clock_arc = Arc::clone(&self.clock);
+        let clock: &dyn TickClock = clock_arc.as_ref();
+        let injector_arc = self.injector.clone();
+        let injector: Option<&dyn FailureInjector> = injector_arc.as_deref();
+        let tick_start = clock.now_us();
+        let deadline_active = limits.tick_deadline_ms != u64::MAX;
+        let deadline_us = limits.tick_deadline_ms.saturating_mul(1000);
+        // Sticky overrun marker, shared with the prefix fan-out buckets
+        // (their checkpoint is the one that observes mid-phase delays).
+        let overrun = AtomicBool::new(false);
+        let past_deadline = |overrun: &AtomicBool| {
+            if !deadline_active {
+                return false;
+            }
+            if clock.now_us().saturating_sub(tick_start) > deadline_us {
+                overrun.store(true, Relaxed);
+                return true;
+            }
+            overrun.load(Relaxed)
+        };
 
         // Phase 0: side-effect-free screening, split by where each check
         // sits in the serial precedence order — `hard` refusals (wrong
@@ -1417,6 +1927,10 @@ impl Engine {
                 Some(AmcError::SessionEvicted {
                     session: session.id,
                 })
+            } else if session.slot.poisoned.load(Relaxed) {
+                Some(AmcError::SessionPoisoned {
+                    session: session.id,
+                })
             } else {
                 None
             });
@@ -1431,25 +1945,30 @@ impl Engine {
         // Bounded by the frame budget so a submission storm against a
         // tight budget does not do unbounded speculative work; the walk
         // falls back to an inline estimate for anything not speculated.
-        let mut motions: Vec<Option<Option<RfbmeResult>>> = (0..jobs.len()).map(|_| None).collect();
+        // Each estimate is a contained job: a panic here (scratch is the
+        // only state it can half-mutate, and scratch never influences
+        // results) surfaces in the walk at exactly the point the inline
+        // estimate would have run.
+        type MotionSlot = Option<Result<Option<RfbmeResult>, AmcError>>;
+        let mut motions: Vec<MotionSlot> = (0..jobs.len()).map(|_| None).collect();
         if workers > 1 {
             let mut speculated = 0usize;
-            let mut items: Vec<(
-                &mut SessionCore,
-                &GrayImage,
-                &mut Option<Option<RfbmeResult>>,
-            )> = Vec::new();
+            let mut items: Vec<(&mut SessionCore, &GrayImage, u64, &mut MotionSlot)> = Vec::new();
             for (i, ((session, frame), slot)) in jobs.iter_mut().zip(motions.iter_mut()).enumerate()
             {
                 if hard[i].is_none() && geom[i].is_none() && speculated < limits.max_frames_per_tick
                 {
                     speculated += 1;
-                    items.push((&mut session.core, frame, slot));
+                    let sid = session.id;
+                    items.push((&mut session.core, frame, sid, slot));
                 }
             }
             let mut units = vec![(); workers];
-            fan_out(&mut units, items, |(), (core, frame, slot)| {
-                *slot = Some(core.estimate_motion(frame));
+            fan_out(&mut units, items, |(), (core, frame, sid, slot)| {
+                *slot = Some(contain::run("estimate", || {
+                    contain::chaos(injector, clock, EnginePhase::Estimate, tick, sid);
+                    core.estimate_motion(frame)
+                }));
             });
         }
 
@@ -1476,23 +1995,52 @@ impl Engine {
                 if let Some(e) = geom[i].take() {
                     return Err(e);
                 }
+                // A speculative estimate is consumed (Ok or panic) exactly
+                // where the inline estimate would run, so error precedence
+                // matches the single-worker walk.
                 let motion = match motions[i].take() {
-                    Some(speculated) => speculated,
-                    None => session.core.estimate_motion(frame),
+                    Some(speculated) => speculated?,
+                    None => {
+                        let sid = session.id;
+                        let core = &mut session.core;
+                        contain::run("estimate", || {
+                            contain::chaos(injector, clock, EnginePhase::Estimate, tick, sid);
+                            core.estimate_motion(frame)
+                        })?
+                    }
                 };
-                let plan = session.core.classify(&motion);
-                if plan.kind() == FrameKind::Key && admitted_keys >= limits.max_key_frames_per_tick
-                {
-                    return Err(AmcError::BudgetExceeded {
-                        what: "key frames per tick",
-                        budget: limits.max_key_frames_per_tick,
-                    });
+                let plan = {
+                    let sid = session.id;
+                    let core = &mut session.core;
+                    contain::run("admit", || {
+                        contain::chaos(injector, clock, EnginePhase::Admit, tick, sid);
+                        core.classify(&motion)
+                    })?
+                };
+                if plan.kind() == FrameKind::Key {
+                    // Deadline watchdog: once the tick is past its soft
+                    // budget, no *new* key-frame upgrade is admitted —
+                    // shed pre-commit, zero trace, like any other budget.
+                    if past_deadline(&overrun) {
+                        return Err(AmcError::BudgetExceeded {
+                            what: "tick deadline",
+                            budget: usize::try_from(limits.tick_deadline_ms).unwrap_or(usize::MAX),
+                        });
+                    }
+                    if admitted_keys >= limits.max_key_frames_per_tick {
+                        return Err(AmcError::BudgetExceeded {
+                            what: "key frames per tick",
+                            budget: limits.max_key_frames_per_tick,
+                        });
+                    }
                 }
                 // Admitted: from here on the frame is committed. The stats
                 // snapshot (taken before the commit) is what turns the
-                // session's counters into this frame's delta.
+                // session's counters into this frame's delta. The commit
+                // is contained too — a panic mid-commit leaves counters
+                // half-bumped, which is exactly what quarantine is for.
                 let stats_before = session.core.stats();
-                session.core.commit_frame(&plan, &motion);
+                contain::run("admit", || session.core.commit_frame(&plan, &motion))?;
                 admitted += 1;
                 session.slot.last_tick.store(tick, Relaxed);
                 match plan.kind() {
@@ -1524,6 +2072,12 @@ impl Engine {
                     }
                 }
             })();
+            // Quarantine: a contained panic may have left this session's
+            // state half-mutated, so the session is poisoned until it is
+            // evicted and rehydrated through the forced-key seam.
+            if matches!(&plan, Err(AmcError::WorkerPanicked { .. })) {
+                session.slot.poisoned.store(true, Relaxed);
+            }
             plans.push(plan);
         }
 
@@ -1537,42 +2091,89 @@ impl Engine {
         // of the batch, so the split never changes an output bit. The
         // geometry screen guarantees every input shares the network's
         // input shape, as the batched prefix requires.
-        let mut acts: Vec<Option<Tensor3>> = (0..key_slots.len()).map(|_| None).collect();
-        if workers == 1 || key_slots.len() <= 1 {
-            let key_inputs: Vec<Tensor3> =
-                key_slots.iter().map(|&i| jobs[i].1.to_tensor()).collect();
-            let outs =
-                self.net
-                    .forward_prefix_batched(key_inputs, self.target, &mut self.scratches[0]);
-            for (slot, out) in acts.iter_mut().zip(outs) {
-                *slot = Some(out);
-            }
-        } else {
+        // Containment note: the chaos hook runs per frame (so injection
+        // stays pure in `(tick, session)`), but a real panic inside the
+        // batched pass cannot name a frame, so it costs — and quarantines —
+        // every session in its bucket.
+        type ActSlot = Option<Result<Tensor3, AmcError>>;
+        let mut acts: Vec<ActSlot> = (0..key_slots.len()).map(|_| None).collect();
+        if !key_slots.is_empty() {
             let net: &Network = &self.net;
             let target = self.target;
-            let buckets_n = workers.min(key_slots.len());
-            let mut buckets: Vec<(Vec<&GrayImage>, Vec<&mut Option<Tensor3>>)> =
-                (0..buckets_n).map(|_| (Vec::new(), Vec::new())).collect();
-            for ((k, &i), slot) in key_slots.iter().enumerate().zip(acts.iter_mut()) {
-                let (frames, slots) = &mut buckets[k % buckets_n];
-                frames.push(jobs[i].1);
-                slots.push(slot);
-            }
-            fan_out(
-                &mut self.scratches,
-                buckets,
-                |scratch, (frames, mut slots)| {
-                    let inputs: Vec<Tensor3> = frames.iter().map(|f| f.to_tensor()).collect();
-                    let outs = net.forward_prefix_batched(inputs, target, scratch);
-                    for (slot, out) in slots.iter_mut().zip(outs) {
-                        **slot = Some(out);
-                    }
-                },
+            type PrefixJob<'f> = (
+                Vec<(&'f GrayImage, u64, &'f AtomicBool)>,
+                Vec<&'f mut ActSlot>,
             );
+            let run_bucket = |scratch: &mut GemmScratch, (frames, mut slots): PrefixJob<'_>| {
+                // Deadline checkpoint between fan-out buckets: committed
+                // key frames always finish (shedding happens at
+                // admission), but an overrun observed here is recorded
+                // for the health snapshot.
+                past_deadline(&overrun);
+                let mut clean: Vec<usize> = Vec::new();
+                for (k, &(_, sid, poisoned)) in frames.iter().enumerate() {
+                    match contain::run("prefix", || {
+                        contain::chaos(injector, clock, EnginePhase::Prefix, tick, sid);
+                    }) {
+                        Ok(()) => clean.push(k),
+                        Err(e) => {
+                            poisoned.store(true, Relaxed);
+                            *slots[k] = Some(Err(e));
+                        }
+                    }
+                }
+                if clean.is_empty() {
+                    return;
+                }
+                let inputs: Vec<Tensor3> = clean.iter().map(|&k| frames[k].0.to_tensor()).collect();
+                match contain::run("prefix", || {
+                    net.forward_prefix_batched(inputs, target, scratch)
+                }) {
+                    Ok(outs) => {
+                        for (&k, out) in clean.iter().zip(outs) {
+                            *slots[k] = Some(Ok(out));
+                        }
+                    }
+                    Err(e) => {
+                        for &k in &clean {
+                            frames[k].2.store(true, Relaxed);
+                            *slots[k] = Some(Err(e.clone()));
+                        }
+                    }
+                }
+            };
+            if workers == 1 || key_slots.len() <= 1 {
+                let job: PrefixJob<'_> = (
+                    key_slots
+                        .iter()
+                        .map(|&i| (jobs[i].1, jobs[i].0.id, &jobs[i].0.slot.poisoned))
+                        .collect(),
+                    acts.iter_mut().collect(),
+                );
+                run_bucket(&mut self.scratches[0], job);
+            } else {
+                let buckets_n = workers.min(key_slots.len());
+                let mut buckets: Vec<PrefixJob<'_>> =
+                    (0..buckets_n).map(|_| (Vec::new(), Vec::new())).collect();
+                for ((k, &i), slot) in key_slots.iter().enumerate().zip(acts.iter_mut()) {
+                    let (frames, slots) = &mut buckets[k % buckets_n];
+                    frames.push((jobs[i].1, jobs[i].0.id, &jobs[i].0.slot.poisoned));
+                    slots.push(slot);
+                }
+                fan_out(&mut self.scratches, buckets, run_bucket);
+            }
         }
         for (&i, act) in key_slots.iter().zip(acts) {
-            if let Ok((Plan::Key { act: slot, .. }, _)) = &mut plans[i] {
-                *slot = act;
+            match act {
+                Some(Ok(out)) => {
+                    if let Ok((Plan::Key { act: slot, .. }, _)) = &mut plans[i] {
+                        *slot = Some(out);
+                    }
+                }
+                Some(Err(e)) => plans[i] = Err(e),
+                // `None` is the missing-prefix seam: phase 4 reports it as
+                // a typed `AmcError::Internal`.
+                None => {}
             }
         }
 
@@ -1594,88 +2195,142 @@ impl Engine {
         for (((session, frame), plan), slot) in jobs.iter_mut().zip(plans).zip(outcomes.iter_mut())
         {
             match plan {
-                Err(e) => *slot = Some(FrameOutcome::from_error(e)),
-                Ok((plan, stats_before)) => items.push((session, frame, plan, stats_before, slot)),
-            }
-        }
-        fan_out(
-            &mut self.scratches,
-            items,
-            |scratch, (session, frame, plan, stats_before, slot)| {
-                let outcome = match plan {
-                    Plan::Key {
-                        metrics,
-                        rfbme_ops,
-                        forced,
-                        act,
-                    } => match act {
-                        None => FrameOutcome::Rejected(AmcError::Internal {
-                            what: "one prefix activation per key frame",
-                        }),
-                        Some(act) => {
-                            let residual = metrics.as_ref().map(|m| m.block_error_per_pixel);
-                            let served = session
-                                .core
-                                .finish_key_frame(net, scratch, frame, act, metrics, rfbme_ops);
-                            // Per-session budget: rather than let one
-                            // stream grow past its allowance, trim its
-                            // state — the stream degrades to
-                            // bounded-memory all-key serving instead of
-                            // failing.
-                            if session.core.memory_footprint() > max_session_bytes {
-                                session.core.evict_state();
-                            }
-                            let stats = session.core.stats().delta_since(&stats_before);
-                            match (forced, residual) {
-                                (true, Some(residual)) => FrameOutcome::ForcedKey {
-                                    residual,
-                                    frame: served,
-                                    stats,
-                                },
-                                _ => FrameOutcome::Key {
-                                    frame: served,
-                                    stats,
-                                },
-                            }
-                        }
-                    },
-                    Plan::Predicted {
-                        metrics,
-                        rfbme_ops,
-                        motion,
-                    } => {
-                        match session
-                            .core
-                            .finish_predicted(net, scratch, &motion, metrics, rfbme_ops)
-                        {
-                            Ok(served) => {
-                                let stats = session.core.stats().delta_since(&stats_before);
-                                FrameOutcome::Predicted {
-                                    frame: served,
-                                    stats,
-                                }
-                            }
-                            Err(e) => FrameOutcome::from_error(e),
-                        }
-                    }
-                };
-                if outcome.is_served() {
+                Err(e) => {
+                    // Keep the audited footprint honest even for failed
+                    // jobs: a contained panic after admission may have
+                    // mutated the session's state (that's what quarantine
+                    // is for), and the memory ledger must reflect it.
                     session
                         .slot
                         .bytes
                         .store(session.core.memory_footprint(), Relaxed);
+                    *slot = Some(FrameOutcome::from_error(e));
                 }
+                Ok((plan, stats_before)) => items.push((session, frame, plan, stats_before, slot)),
+            }
+        }
+        past_deadline(&overrun);
+        fan_out(
+            &mut self.scratches,
+            items,
+            |scratch, (session, frame, plan, stats_before, slot)| {
+                let sid = session.id;
+                let core = &mut session.core;
+                let result = contain::run("complete", || {
+                    contain::chaos(injector, clock, EnginePhase::Complete, tick, sid);
+                    match plan {
+                        Plan::Key {
+                            metrics,
+                            rfbme_ops,
+                            forced,
+                            act,
+                        } => match act {
+                            None => FrameOutcome::Rejected(AmcError::Internal {
+                                what: "one prefix activation per key frame",
+                            }),
+                            Some(act) => {
+                                let residual = metrics.as_ref().map(|m| m.block_error_per_pixel);
+                                let served = core
+                                    .finish_key_frame(net, scratch, frame, act, metrics, rfbme_ops);
+                                // Per-session budget: rather than let one
+                                // stream grow past its allowance, trim its
+                                // state — the stream degrades to
+                                // bounded-memory all-key serving instead of
+                                // failing.
+                                if core.memory_footprint() > max_session_bytes {
+                                    core.evict_state();
+                                }
+                                let stats = core.stats().delta_since(&stats_before);
+                                match (forced, residual) {
+                                    (true, Some(residual)) => FrameOutcome::ForcedKey {
+                                        residual,
+                                        frame: served,
+                                        stats,
+                                    },
+                                    _ => FrameOutcome::Key {
+                                        frame: served,
+                                        stats,
+                                    },
+                                }
+                            }
+                        },
+                        Plan::Predicted {
+                            metrics,
+                            rfbme_ops,
+                            motion,
+                        } => {
+                            match core.finish_predicted(net, scratch, &motion, metrics, rfbme_ops) {
+                                Ok(served) => {
+                                    let stats = core.stats().delta_since(&stats_before);
+                                    FrameOutcome::Predicted {
+                                        frame: served,
+                                        stats,
+                                    }
+                                }
+                                Err(e) => FrameOutcome::from_error(e),
+                            }
+                        }
+                    }
+                });
+                let outcome = match result {
+                    Ok(outcome) => outcome,
+                    Err(e) => {
+                        // A panic mid-completion may have left key state
+                        // half-written: quarantine the session.
+                        session.slot.poisoned.store(true, Relaxed);
+                        FrameOutcome::Rejected(e)
+                    }
+                };
+                // Unconditional: a contained panic or typed refusal may
+                // still have moved the footprint (e.g. the admission
+                // commit before a completion panic), and the memory
+                // ledger must track the core, not just happy paths.
+                session
+                    .slot
+                    .bytes
+                    .store(session.core.memory_footprint(), Relaxed);
                 *slot = Some(outcome);
             },
         );
-        outcomes
+        let results: Vec<FrameOutcome> = outcomes
             .into_iter()
             .map(|o| {
                 o.unwrap_or(FrameOutcome::Rejected(AmcError::Internal {
                     what: "a job produced no outcome",
                 }))
             })
-            .collect()
+            .collect();
+
+        // Tick epilogue: the health ledger. Serial, on the calling thread,
+        // after every worker has finished — no outcome can race with it.
+        let elapsed = clock.now_us().saturating_sub(tick_start);
+        self.health.ticks += 1;
+        self.health.record_tick(elapsed);
+        if deadline_active && (elapsed > deadline_us || overrun.load(Relaxed)) {
+            self.health.deadline_overruns += 1;
+        }
+        for outcome in &results {
+            match outcome {
+                FrameOutcome::Shed(AmcError::BudgetExceeded {
+                    what: "tick deadline",
+                    ..
+                }) => self.health.deadline_sheds += 1,
+                FrameOutcome::Shed(_) => self.health.budget_sheds += 1,
+                FrameOutcome::Rejected(AmcError::WorkerPanicked { .. }) => {
+                    self.health.panics_caught += 1;
+                    self.health.quarantines += 1;
+                }
+                FrameOutcome::Rejected(_) => {}
+                FrameOutcome::ForcedKey { .. } => {
+                    self.health.forced_keys += 1;
+                    self.health.frames_served += 1;
+                }
+                FrameOutcome::Key { .. } | FrameOutcome::Predicted { .. } => {
+                    self.health.frames_served += 1;
+                }
+            }
+        }
+        results
     }
 
     /// Housekeeping over the offered sessions: evicts the key state of
@@ -1724,6 +2379,7 @@ impl Engine {
                 evicted += 1;
             }
         }
+        self.health.evicted_sessions += evicted as u64;
         evicted
     }
 
@@ -1742,6 +2398,7 @@ impl Engine {
         self.check_session(session)?;
         session.slot.retired.store(true, Relaxed);
         session.evict_state();
+        self.health.evicted_sessions += 1;
         Ok(())
     }
 }
@@ -1792,10 +2449,22 @@ impl StreamSession {
     /// key state was present (the returned flag). The next frame
     /// *rehydrates* as a key frame, bit-identical to a fresh session from
     /// that frame on.
+    ///
+    /// Eviction is also the quarantine exit: dropping the suspect state is
+    /// exactly what makes a poisoned session trustworthy again, so the
+    /// poisoned flag is cleared here (and nowhere else).
     pub fn evict_state(&mut self) -> bool {
         let had_state = self.core.evict_state();
         self.slot.bytes.store(self.core.memory_footprint(), Relaxed);
+        self.slot.poisoned.store(false, Relaxed);
         had_state
+    }
+
+    /// Whether this session is quarantined after a contained worker panic
+    /// (every submission returns [`AmcError::SessionPoisoned`] until
+    /// [`StreamSession::evict_state`] rehydrates it).
+    pub fn is_quarantined(&self) -> bool {
+        self.slot.poisoned.load(Relaxed)
     }
 
     /// Audited heap footprint: the session struct plus the stored key
@@ -1876,15 +2545,16 @@ impl crate::pipeline::FrameExecutor for EngineExecutor {
         "engine"
     }
 
-    fn push_frame(&mut self, frame: &GrayImage) -> Option<AmcFrameResult> {
-        let outcome = self.engine.process(&mut self.session, frame);
-        // An unlimited engine sheds nothing, so a refusal here is a harness
-        // bug the experiment should stop on, not serve through.
-        Some(
-            outcome
-                .into_result()
-                .expect("an unlimited engine serves every frame"), // lint:allow(no-panic)
-        )
+    fn push_frame(&mut self, frame: &GrayImage) -> Result<Option<AmcFrameResult>, AmcError> {
+        // An unlimited engine sheds nothing, so any refusal here (a bad
+        // frame, a contained panic) surfaces as its typed error for the
+        // caller to stop on — never as a panic that could kill a process
+        // serving other streams.
+        Ok(Some(
+            self.engine
+                .process(&mut self.session, frame)
+                .into_result()?,
+        ))
     }
 
     fn finish(&mut self) -> Option<AmcFrameResult> {
@@ -2524,5 +3194,338 @@ mod tests {
             all.sort_unstable();
             assert_eq!(all, (0..7).collect::<Vec<_>>());
         }
+    }
+
+    /// Silences the default panic hook for injected chaos panics (their
+    /// payloads start with `"chaos:"` by contract) so contained-panic tests
+    /// don't spray backtrace noise; real panics still print.
+    fn quiet_chaos_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(str::to_string)
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                if !msg.starts_with("chaos:") {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    /// Test injector: panic every time `session` reaches `phase`.
+    struct PanicOn {
+        phase: EnginePhase,
+        session: u64,
+    }
+
+    impl FailureInjector for PanicOn {
+        fn action(&self, phase: EnginePhase, _tick: u64, session: u64) -> FailureAction {
+            if phase == self.phase && session == self.session {
+                FailureAction::Panic
+            } else {
+                FailureAction::None
+            }
+        }
+    }
+
+    fn engine_with_workers(seed: u64, workers: usize) -> Engine {
+        let net = Arc::new(zoo::tiny_fasterm(seed).network);
+        let limits = EngineLimits::builder()
+            .worker_threads(workers)
+            .build()
+            .unwrap();
+        Engine::with_limits(net, AmcConfig::default(), limits).unwrap()
+    }
+
+    fn assert_same_bits(a: &FrameOutcome, b: &FrameOutcome) {
+        let (fa, fb) = (a.frame().unwrap(), b.frame().unwrap());
+        assert_eq!(fa.is_key, fb.is_key);
+        assert_eq!(fa.output.as_slice(), fb.output.as_slice());
+        assert_eq!(fa.macs_executed, fb.macs_executed);
+        assert_eq!(fa.rfbme_ops, fb.rfbme_ops);
+    }
+
+    #[test]
+    fn contained_panic_quarantines_only_the_owner() {
+        quiet_chaos_panics();
+        for workers in [1usize, 3] {
+            let mut engine = engine_with_workers(2, workers);
+            let mut oracle = engine_with_workers(2, workers);
+            let mut a = engine.open_session().unwrap();
+            let mut b = engine.open_session().unwrap();
+            let mut b_oracle = oracle.open_session().unwrap();
+            engine.process(&mut a, &frame(0)).unwrap();
+            engine.set_failure_injector(Arc::new(PanicOn {
+                phase: EnginePhase::Complete,
+                session: a.id(),
+            }));
+            for t in 1..4 {
+                let f = frame(t);
+                let results = engine.process_batch([(&mut a, &f), (&mut b, &f)]);
+                match (t, &results[0]) {
+                    // The panic costs exactly a's frame, once...
+                    (1, FrameOutcome::Rejected(AmcError::WorkerPanicked { phase, .. })) => {
+                        assert_eq!(*phase, "complete");
+                    }
+                    // ...and afterwards a is refused at screening, even
+                    // though the injector still targets it.
+                    (_, FrameOutcome::Rejected(AmcError::SessionPoisoned { session })) => {
+                        assert_eq!(*session, a.id());
+                    }
+                    (t, other) => panic!("tick {t}: expected containment, got {other:?}"),
+                }
+                assert!(a.is_quarantined());
+                // b serves bit-identically to an engine a never touched.
+                let want = oracle.process(&mut b_oracle, &f);
+                assert_same_bits(&results[1], &want);
+            }
+            assert_eq!(b.stats(), b_oracle.stats());
+            let health = engine.health();
+            assert_eq!(health.panics_caught, 1);
+            assert_eq!(health.quarantines, 1);
+            assert_eq!(health.quarantined_sessions, 1);
+            // Recovery: evicting the suspect state ends the quarantine and
+            // rehydrates through the forced-key seam, bit-identical to a
+            // fresh session.
+            engine.clear_failure_injector();
+            a.evict_state();
+            assert!(!a.is_quarantined());
+            assert_eq!(engine.health().quarantined_sessions, 0);
+            let mut fresh = engine.open_session().unwrap();
+            for t in 4..7 {
+                let f = frame(t);
+                let got = engine.process(&mut a, &f);
+                let want = engine.process(&mut fresh, &f);
+                assert_same_bits(&got, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_phase_panic_is_contained_per_frame() {
+        quiet_chaos_panics();
+        for workers in [1usize, 3] {
+            let mut engine = engine_with_workers(1, workers);
+            let mut s = engine.open_session().unwrap();
+            engine.process(&mut s, &frame(0)).unwrap();
+            let frames_before = s.stats().frames;
+            engine.set_failure_injector(Arc::new(PanicOn {
+                phase: EnginePhase::Estimate,
+                session: s.id(),
+            }));
+            // The estimate runs only with key state present, speculatively
+            // (workers > 1) or inline — contained either way.
+            match engine.process(&mut s, &frame(1)) {
+                FrameOutcome::Rejected(AmcError::WorkerPanicked { phase, .. }) => {
+                    assert_eq!(phase, "estimate");
+                }
+                other => panic!("expected a contained estimate panic, got {other:?}"),
+            }
+            assert!(s.is_quarantined());
+            assert_eq!(
+                s.stats().frames,
+                frames_before,
+                "a pre-commit panic leaves the frame counters untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_phase_panic_quarantines_the_key_frame_owner() {
+        quiet_chaos_panics();
+        for workers in [1usize, 3] {
+            let mut engine = engine_with_workers(3, workers);
+            let mut a = engine.open_session().unwrap();
+            let mut b = engine.open_session().unwrap();
+            engine.set_failure_injector(Arc::new(PanicOn {
+                phase: EnginePhase::Prefix,
+                session: a.id(),
+            }));
+            // Both first frames are key frames; only a's job panics in its
+            // prefix bucket, b's key frame completes normally.
+            let f = frame(0);
+            let results = engine.process_batch([(&mut a, &f), (&mut b, &f)]);
+            match &results[0] {
+                FrameOutcome::Rejected(AmcError::WorkerPanicked { phase, .. }) => {
+                    assert_eq!(*phase, "prefix");
+                }
+                other => panic!("expected a contained prefix panic, got {other:?}"),
+            }
+            assert!(a.is_quarantined());
+            assert!(results[1].frame().unwrap().is_key);
+            assert!(!b.is_quarantined());
+        }
+    }
+
+    /// Delay injector: stall `session`'s estimate through the tick clock.
+    struct DelayOn {
+        session: u64,
+        ms: u64,
+    }
+
+    impl FailureInjector for DelayOn {
+        fn action(&self, phase: EnginePhase, _tick: u64, session: u64) -> FailureAction {
+            if phase == EnginePhase::Estimate && session == self.session {
+                FailureAction::Delay { ms: self.ms }
+            } else {
+                FailureAction::None
+            }
+        }
+    }
+
+    #[test]
+    fn tick_deadline_sheds_keys_but_serves_predicted() {
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let limits = EngineLimits::builder().tick_deadline_ms(5).build().unwrap();
+        let mut engine = Engine::with_limits(net, AmcConfig::default(), limits).unwrap();
+        let clock = Arc::new(FakeClock::new());
+        engine.set_tick_clock(Arc::clone(&clock) as Arc<dyn TickClock>);
+        let mut a = engine.open_session().unwrap();
+        let mut b = engine.open_session().unwrap();
+        engine.process(&mut a, &frame(0)).unwrap(); // a has key state
+        assert_eq!(engine.health().deadline_overruns, 0);
+        // a's estimate stalls 10 ms > the 5 ms budget; b's key-frame
+        // upgrade behind it is shed with zero trace, while a's own
+        // (already admitted) predicted frame still completes.
+        engine.set_failure_injector(Arc::new(DelayOn {
+            session: a.id(),
+            ms: 10,
+        }));
+        let f = frame(1);
+        let results = engine.process_batch([(&mut a, &f), (&mut b, &f)]);
+        assert!(
+            !results[0].frame().unwrap().is_key,
+            "the overrun tick still serves its predicted frame"
+        );
+        match &results[1] {
+            FrameOutcome::Shed(AmcError::BudgetExceeded {
+                what: "tick deadline",
+                budget: 5,
+            }) => {}
+            other => panic!("expected a deadline shed, got {other:?}"),
+        }
+        assert_eq!(b.stats().frames, 0, "a deadline shed leaves no trace");
+        let health = engine.health();
+        assert_eq!(health.deadline_overruns, 1);
+        assert_eq!(health.deadline_sheds, 1);
+        assert_eq!(health.budget_sheds, 0);
+        // Next tick starts a fresh budget: b's key frame is admitted.
+        engine.clear_failure_injector();
+        assert!(engine.process(&mut b, &f).unwrap().is_key);
+        assert_eq!(engine.health().deadline_overruns, 1);
+    }
+
+    #[test]
+    fn health_snapshot_tracks_ticks_serves_and_percentiles() {
+        let net = Arc::new(zoo::tiny_fasterm(4).network);
+        let mut engine = Engine::new(net, AmcConfig::default()).unwrap();
+        let clock = Arc::new(FakeClock::new());
+        engine.set_tick_clock(Arc::clone(&clock) as Arc<dyn TickClock>);
+        assert_eq!(engine.health(), EngineHealth::default());
+        let mut s = engine.open_session().unwrap();
+        for t in 0..4 {
+            engine.process(&mut s, &frame(t)).unwrap();
+            clock.advance_us(100); // between ticks: not counted as duration
+        }
+        let health = engine.health();
+        assert_eq!(health.ticks, 4);
+        assert_eq!(health.frames_served, 4);
+        assert_eq!(health.panics_caught, 0);
+        assert_eq!(
+            (health.tick_p50_us, health.tick_p99_us),
+            (0, 0),
+            "a fake clock static within ticks measures zero-length ticks"
+        );
+        // Eviction bookkeeping: engine-driven evictions are counted.
+        engine.evict_session(&mut s).unwrap();
+        assert_eq!(engine.health().evicted_sessions, 1);
+    }
+
+    #[test]
+    fn seeded_chaos_is_pure_and_seed_sensitive() {
+        let chaos = SeededChaos::new(7);
+        let mut panics = 0usize;
+        let mut delays = 0usize;
+        for tick in 0..50u64 {
+            for session in 0..20u64 {
+                for phase in [
+                    EnginePhase::Estimate,
+                    EnginePhase::Admit,
+                    EnginePhase::Prefix,
+                    EnginePhase::Complete,
+                ] {
+                    let action = chaos.action(phase, tick, session);
+                    assert_eq!(
+                        action,
+                        chaos.action(phase, tick, session),
+                        "pure in (phase, tick, session)"
+                    );
+                    match action {
+                        FailureAction::Panic => panics += 1,
+                        FailureAction::Delay { .. } => delays += 1,
+                        FailureAction::None => {}
+                    }
+                }
+            }
+        }
+        // 4000 rolls at 6% / 4% nominal rates: generous bounds, no flake.
+        assert!((100..500).contains(&panics), "panic rolls: {panics}");
+        assert!((60..400).contains(&delays), "delay rolls: {delays}");
+        let other = SeededChaos::new(8);
+        assert!(
+            (0..1000u64).any(|t| chaos.action(EnginePhase::Admit, t, 0)
+                != other.action(EnginePhase::Admit, t, 0)),
+            "different seeds must disagree somewhere"
+        );
+    }
+
+    #[test]
+    fn clocks_behave() {
+        let fake = FakeClock::new();
+        assert_eq!(fake.now_us(), 0);
+        fake.advance_ms(2);
+        assert_eq!(fake.now_us(), 2000);
+        fake.sleep_us(500); // a fake sleep advances instead of blocking
+        assert_eq!(fake.now_us(), 2500);
+        let wall = MonotonicClock::new();
+        let a = wall.now_us();
+        assert!(wall.now_us() >= a, "monotonic never goes backwards");
+    }
+
+    #[test]
+    fn zero_tick_deadline_is_rejected() {
+        assert!(matches!(
+            EngineLimits::builder().tick_deadline_ms(0).build(),
+            Err(AmcError::InvalidConfig { .. })
+        ));
+        // u64::MAX (the default) means "no deadline" and is valid.
+        let limits = EngineLimits::builder().build().unwrap();
+        assert_eq!(limits.tick_deadline_ms, u64::MAX);
+    }
+
+    #[test]
+    fn engine_executor_surfaces_refusals_as_typed_errors() {
+        // Regression for the removed `.expect("an unlimited engine serves
+        // every frame")`: a bad frame through the FrameExecutor seam must
+        // come back as a typed error, not a harness-killing panic.
+        use crate::pipeline::FrameExecutor;
+        let net = Arc::new(zoo::tiny_fasterm(0).network);
+        let mut exec = EngineExecutor::new(net, AmcConfig::default(), 1).unwrap();
+        let served = exec.push_frame(&frame(0)).unwrap();
+        assert!(served.unwrap().is_key);
+        let small = GrayImage::from_fn(24, 24, |y, x| ((y * 7 + x) % 199) as u8);
+        match exec.push_frame(&small) {
+            Err(AmcError::FrameGeometryMismatch { got_height: 24, .. }) => {}
+            other => panic!("expected a typed geometry refusal, got {other:?}"),
+        }
+        // The refusal cost nothing: the stream keeps serving.
+        assert!(!exec.push_frame(&frame(1)).unwrap().unwrap().is_key);
     }
 }

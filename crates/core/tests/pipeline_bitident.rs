@@ -34,8 +34,8 @@ fn assert_bit_identical(config: AmcConfig, label: &str) {
     let frames = sequence();
     let mut serial = AmcExecutor::try_new(&z.network, config).unwrap();
     let mut pipelined = PipelinedExecutor::new(AmcExecutor::try_new(&z.network, config).unwrap());
-    let a = FrameExecutor::process_clip(&mut serial, &frames);
-    let b = FrameExecutor::process_clip(&mut pipelined, &frames);
+    let a = FrameExecutor::process_clip(&mut serial, &frames).expect("clean clip serves");
+    let b = FrameExecutor::process_clip(&mut pipelined, &frames).expect("clean clip serves");
     assert_eq!(a.len(), 20, "{label}: serial result count");
     assert_eq!(b.len(), 20, "{label}: pipelined result count");
     for (t, (x, y)) in a.iter().zip(&b).enumerate() {

@@ -15,7 +15,9 @@ use eva2_cnn::zoo;
 use eva2_core::error::AmcError;
 use eva2_core::executor::{AmcConfig, AmcExecutor, AmcFrameResult, WarpMode};
 use eva2_core::policy::PolicyConfig;
-use eva2_core::serve::{Engine, EngineLimits, FrameOutcome};
+use eva2_core::serve::{
+    Engine, EngineLimits, EnginePhase, FailureAction, FailureInjector, FrameOutcome,
+};
 use eva2_tensor::GrayImage;
 use eva2_video::faults::{FaultScript, FaultyScene};
 use eva2_video::scene::{Scene, SceneConfig};
@@ -438,6 +440,131 @@ proptest! {
                 s
             );
         }
+    }
+}
+
+/// Silences the default panic hook for injected chaos panics (payloads
+/// start with `"chaos:"` by contract) so contained-panic cases don't spray
+/// backtrace noise; real panics still print.
+fn quiet_chaos_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_string)
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !msg.starts_with("chaos:") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Injector that panics every time `session` reaches `phase`.
+struct PanicOn {
+    phase: EnginePhase,
+    session: u64,
+}
+
+impl FailureInjector for PanicOn {
+    fn action(&self, phase: EnginePhase, _tick: u64, session: u64) -> FailureAction {
+        if phase == self.phase && session == self.session {
+            FailureAction::Panic
+        } else {
+            FailureAction::None
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The poisoned extension of the evicted≡fresh property: a session
+    /// quarantined by a contained panic (in any phase), once evicted and
+    /// rehydrated, serves bit-identically to a fresh session on the same
+    /// frames — outputs, MACs, and the full statistics delta — across
+    /// random configs and the inline (1) and pooled (3) engines.
+    #[test]
+    fn quarantined_session_rehydrates_bit_identical_to_fresh(
+        cfg_idx in 0usize..3,
+        phase_idx in 0usize..3,
+        warm in 1usize..4,
+        tail in 2usize..5,
+        stream in 0usize..STREAMS,
+        pooled in 0usize..2,
+    ) {
+        quiet_chaos_panics();
+        let configs = [
+            AmcConfig::default(),
+            AmcConfig {
+                fixed_point: true,
+                ..Default::default()
+            },
+            AmcConfig {
+                warp: WarpMode::Memoize,
+                policy: PolicyConfig::StaticRate { period: 3 },
+                ..Default::default()
+            },
+        ];
+        // Prefix is exercised in the soak (it needs a key frame to land
+        // exactly on the panic tick); these three fire deterministically
+        // once key state exists.
+        let phases = [
+            (EnginePhase::Estimate, "estimate"),
+            (EnginePhase::Admit, "admit"),
+            (EnginePhase::Complete, "complete"),
+        ];
+        let (phase, phase_name) = phases[phase_idx];
+        let workers = if pooled == 1 { 3 } else { 1 };
+        let mut engine = engine_with(configs[cfg_idx], workers);
+        let mut session = engine.open_session().expect("capacity");
+        for t in 0..warm {
+            engine
+                .process(&mut session, &stream_frame(stream, t))
+                .expect("admitted");
+        }
+        engine.set_failure_injector(std::sync::Arc::new(PanicOn {
+            phase,
+            session: session.id(),
+        }));
+        match engine.process(&mut session, &stream_frame(stream, warm)) {
+            FrameOutcome::Rejected(AmcError::WorkerPanicked { phase: got, .. }) => {
+                prop_assert_eq!(got, phase_name);
+            }
+            other => prop_assert!(false, "expected a contained panic, got {:?}", other),
+        }
+        prop_assert!(session.is_quarantined());
+        // Quarantine is sticky: the next submission is screened out before
+        // any phase runs (the injector never even sees the job).
+        match engine.process(&mut session, &stream_frame(stream, warm)) {
+            FrameOutcome::Rejected(AmcError::SessionPoisoned { session: id }) => {
+                prop_assert_eq!(id, session.id());
+            }
+            other => prop_assert!(false, "expected SessionPoisoned, got {:?}", other),
+        }
+        // Recovery: eviction drops the suspect state and ends quarantine;
+        // from there the stream is indistinguishable from a fresh session.
+        engine.clear_failure_injector();
+        prop_assert!(session.evict_state(), "state was present to evict");
+        prop_assert!(!session.is_quarantined());
+        let before = session.stats();
+        let mut fresh = engine.open_session().expect("capacity");
+        for t in warm..warm + tail {
+            let frame = stream_frame(stream, t);
+            let r_old = engine.process(&mut session, &frame).expect("admitted");
+            let r_new = engine.process(&mut fresh, &frame).expect("admitted");
+            if t == warm {
+                prop_assert!(r_old.is_key, "rehydration forces a key frame");
+            }
+            assert_result_eq(&r_old, &r_new, &format!("rehydrated vs fresh, frame {t}"));
+        }
+        prop_assert_eq!(session.stats().delta_since(&before), fresh.stats());
     }
 }
 

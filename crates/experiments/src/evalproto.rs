@@ -301,7 +301,10 @@ pub fn run_policy_with(
         let mut exec = kind.build(&zoo.network, config);
         let mut results = Vec::with_capacity(clip.len());
         for frame in &clip.frames {
-            results.extend(exec.push_frame(&frame.image));
+            results.extend(
+                exec.push_frame(&frame.image)
+                    .expect("executor refused a clean experiment frame"),
+            );
         }
         results.extend(exec.finish());
         for (r, frame) in results.into_iter().zip(&clip.frames) {

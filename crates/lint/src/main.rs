@@ -16,6 +16,11 @@
 //!    `src/main.rs`) must declare `#![forbid(unsafe_code)]`.
 //! 3. **`must-use-builder`** — every `pub struct *Builder` must be
 //!    `#[must_use]`: a dropped builder is always a bug.
+//! 4. **`contained-unwind`** — `catch_unwind` may appear only inside the
+//!    block marked `// lint: containment` in `serve.rs` (the serving
+//!    engine's per-frame containment seam). Panic-swallowing anywhere
+//!    else — kernels, analysis passes, harnesses — hides real bugs
+//!    instead of containing them per session.
 //!
 //! The scanner masks comments and string literals before matching (doc
 //! examples legitimately show `.unwrap()`), and skips `#[cfg(test)]`
@@ -255,6 +260,47 @@ fn test_line_mask(masked: &[String]) -> Vec<bool> {
     in_test
 }
 
+/// Marks each line inside the block opened after a `// lint: containment`
+/// marker (the one designated `catch_unwind` seam), by brace counting on
+/// the masked source. The marker's own line and the attribute/doc lines
+/// between it and the opening brace are included.
+fn containment_line_mask(masked: &[String], raw_lines: &[&str]) -> Vec<bool> {
+    let mut in_block = vec![false; masked.len()];
+    let mut depth = 0usize;
+    let mut pending = false;
+    let mut close_at: Option<usize> = None;
+    for (idx, line) in masked.iter().enumerate() {
+        if raw_lines
+            .get(idx)
+            .is_some_and(|l| l.trim_start().starts_with("// lint: containment"))
+        {
+            pending = true;
+        }
+        if pending || close_at.is_some() {
+            in_block[idx] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        pending = false;
+                        close_at = Some(depth);
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if close_at == Some(depth) {
+                        close_at = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    in_block
+}
+
 /// Whether line `idx` (0-based) carries or inherits a
 /// `// lint:allow(<rule>)` escape.
 fn allowed(raw_lines: &[&str], idx: usize, rule: &str) -> bool {
@@ -272,6 +318,7 @@ fn scan_file(label: &str, source: &str, is_crate_root: bool) -> Vec<Finding> {
     let raw_lines: Vec<&str> = source.lines().collect();
     let masked = mask_source(source);
     let in_test = test_line_mask(&masked);
+    let containment = containment_line_mask(&masked, &raw_lines);
     let hot_path = raw_lines
         .iter()
         .any(|l| l.trim_start().starts_with("// lint: hot-path"));
@@ -303,6 +350,19 @@ fn scan_file(label: &str, source: &str, is_crate_root: bool) -> Vec<Finding> {
                     });
                 }
             }
+        }
+        if line.contains("catch_unwind")
+            && !(label.ends_with("serve.rs") && containment[idx])
+            && !allowed(&raw_lines, idx, "contained-unwind")
+        {
+            findings.push(Finding {
+                file: label.to_string(),
+                line: idx + 1,
+                rule: "contained-unwind",
+                message: "`catch_unwind` outside serve.rs's `// lint: containment` module; \
+                          panic-swallowing belongs only at the serving per-frame boundary"
+                    .into(),
+            });
         }
         if let Some(name) = line
             .trim_start()
@@ -420,6 +480,17 @@ fn self_test() -> bool {
     let seeded_panic = "// lint: hot-path\nfn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
     let seeded_builder = "pub struct LimitsBuilder {\n    inner: u32,\n}\n";
     let seeded_root = "pub fn lib_fn() {}\n";
+    let seeded_unwind =
+        "fn f() -> bool {\n    std::panic::catch_unwind(|| true).unwrap_or(false)\n}\n";
+    let contained_unwind = concat!(
+        "// lint: containment\n",
+        "/// The one sanctioned seam.\n",
+        "mod contain {\n",
+        "    use std::panic::catch_unwind;\n",
+        "    pub fn run() { let _ = catch_unwind(|| ()); }\n",
+        "}\n",
+        "fn outside() { let _ = std::panic::catch_unwind(|| ()); }\n",
+    );
     let clean = concat!(
         "#![forbid(unsafe_code)]\n",
         "// lint: hot-path\n",
@@ -453,6 +524,17 @@ fn self_test() -> bool {
         (
             "seeded forbid-unsafe",
             !scan_file("lib.rs", seeded_root, true).is_empty(),
+        ),
+        (
+            "seeded contained-unwind (kernel file)",
+            !scan_file("kernel.rs", seeded_unwind, false).is_empty(),
+        ),
+        (
+            // In serve.rs the containment block is sanctioned but a
+            // catch_unwind outside it is still a violation — exactly one
+            // finding, on the `outside` line.
+            "seeded contained-unwind (outside serve.rs's seam)",
+            scan_file("serve.rs", contained_unwind, false).len() == 1,
         ),
         (
             "compliant file stays clean",
@@ -564,6 +646,35 @@ mod tests {
         let findings = scan_file("f.rs", bad, false);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "must-use-builder");
+    }
+
+    #[test]
+    fn catch_unwind_is_flagged_outside_the_containment_seam() {
+        // Any file other than serve.rs: flagged even inside a marked block
+        // (there is exactly one sanctioned seam, and it lives in serve.rs).
+        let elsewhere =
+            "// lint: containment\nmod contain {\n    use std::panic::catch_unwind;\n}\n";
+        let findings = scan_file("crates/cnn/src/gemm.rs", elsewhere, false);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "contained-unwind");
+        // serve.rs: clean inside the marked block, flagged outside it.
+        let serve = "// lint: containment\nmod contain {\n    use std::panic::catch_unwind;\n}\nfn f() { let _ = std::panic::catch_unwind(|| ()); }\n";
+        let findings = scan_file("crates/core/src/serve.rs", serve, false);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 5);
+        // The escape hatch still works, with a justification.
+        let allowed = "// lint:allow(contained-unwind) — test fixture\nfn f() { let _ = std::panic::catch_unwind(|| ()); }\n";
+        assert!(scan_file("crates/cnn/src/gemm.rs", allowed, false).is_empty());
+    }
+
+    #[test]
+    fn containment_mask_covers_marker_through_block_close() {
+        let src =
+            "// lint: containment\n/// Docs.\nmod contain {\n    fn inner() {}\n}\nfn after() {}\n";
+        let masked = mask_source(src);
+        let raw: Vec<&str> = src.lines().collect();
+        let mask = containment_line_mask(&masked, &raw);
+        assert_eq!(mask[..6], [true, true, true, true, true, false]);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 use eva2::amc::error::AmcError;
 use eva2::amc::executor::AmcConfig;
 use eva2::amc::policy::PolicyConfig;
-use eva2::amc::serve::{Engine, EngineLimits, FrameOutcome};
+use eva2::amc::serve::{
+    Engine, EngineLimits, EnginePhase, FailureAction, FailureInjector, FrameOutcome,
+};
 use eva2::cnn::zoo;
 use eva2::video::faults::{FaultKind, FaultScript, FaultyScene};
 use eva2::video::scene::{Scene, SceneConfig};
@@ -137,5 +139,89 @@ fn main() {
     println!(
         "\nstream 1: {} frames, {} keys ({} forced by the residual bound)",
         stats.frames, stats.key_frames, stats.forced_keys
+    );
+
+    // 5. Failure containment: a worker panic is caught at the frame
+    //    boundary (this frame only), the owning session is quarantined,
+    //    and eviction is the recovery path — neighbours never notice, and
+    //    the engine's health snapshot keeps score.
+    //
+    // Injected chaos panics carry a `"chaos:"` payload by contract;
+    // silence just those so the walkthrough output stays readable.
+    // Containment catches them either way — the hook only controls
+    // stderr noise.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let chaos = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("chaos:"));
+        if !chaos {
+            default_hook(info);
+        }
+    }));
+    struct PanicOn {
+        session: u64,
+    }
+    impl FailureInjector for PanicOn {
+        fn action(&self, phase: EnginePhase, _tick: u64, session: u64) -> FailureAction {
+            if phase == EnginePhase::Complete && session == self.session {
+                FailureAction::Panic
+            } else {
+                FailureAction::None
+            }
+        }
+    }
+    println!("\nfailure containment (stream 2):");
+    engine.set_failure_injector(Arc::new(PanicOn {
+        session: sessions[2].id(),
+    }));
+    let clip: Vec<_> = (2..6).map(|t| scenes[2].render(t).image).collect();
+    match engine.process(&mut sessions[2], &clip[0]) {
+        FrameOutcome::Rejected(AmcError::WorkerPanicked { phase, .. }) => {
+            println!("containment: panic in the {phase} phase caught; this frame only")
+        }
+        other => panic!("expected a contained panic, got {other:?}"),
+    }
+    // The panic may have left stream 2's state half-written, so the
+    // session is quarantined: every submission refuses with a typed error
+    // until the suspect state is dropped.
+    match engine.process(&mut sessions[2], &clip[1]) {
+        FrameOutcome::Rejected(AmcError::SessionPoisoned { session }) => {
+            println!("quarantine: session {session} refuses until evicted")
+        }
+        other => panic!("expected SessionPoisoned, got {other:?}"),
+    }
+    // Meanwhile the neighbours serve on, bit-identical to a world where
+    // stream 2 never existed.
+    let healthy = engine.process(&mut sessions[0], &scenes[0].render(3).image);
+    println!(
+        "neighbour: stream 0 {} through stream 2's quarantine",
+        if healthy.is_served() {
+            "served"
+        } else {
+            "was disturbed"
+        }
+    );
+    // Recovery is eviction: drop the suspect state and the next frame
+    // rehydrates as a key frame, bit-identical to a fresh session.
+    engine.clear_failure_injector();
+    sessions[2].evict_state();
+    let recovered = engine
+        .process(&mut sessions[2], &clip[2])
+        .expect("rehydrates");
+    println!(
+        "recovery: evicted, rehydrated as key = {}, quarantined = {}",
+        recovered.is_key,
+        sessions[2].is_quarantined()
+    );
+    let health = engine.health();
+    println!(
+        "health: {} ticks, {} frames served, {} panics caught, {} quarantines, p99 tick {}us",
+        health.ticks,
+        health.frames_served,
+        health.panics_caught,
+        health.quarantines,
+        health.tick_p99_us
     );
 }
